@@ -1,0 +1,14 @@
+"""Benchmark-suite helpers: every experiment's report is printed and saved
+under benchmarks/results/ so the regenerated tables/series survive the run."""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, report: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(report + "\n")
+    print(f"\n{report}\n[saved to {path}]")

@@ -1,0 +1,61 @@
+"""Multi-GPU scaling study on the simulated Polaris platform.
+
+Runs a real (scaled-down) memoized reconstruction to obtain the hit/miss
+trace, then replays that trace at paper scale across 1..16 simulated A100s —
+the Section 5.2 / Figures 14-16 experiment: intra-node scaling, the
+inter-node dip, memory-node NIC saturation, and query-latency inflation.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+import numpy as np
+
+from repro.cluster import ProblemDims
+from repro.core import MLRConfig, MLRSolver, MemoConfig, simulate_iteration
+from repro.lamino import LaminoGeometry, LaminoOperators, brain_like, simulate_data
+from repro.solvers import ADMMConfig
+
+
+def main() -> None:
+    # -- real run at simulation scale to harvest the memoization trace ---------
+    n = 32
+    geometry = LaminoGeometry((n, n, n), n_angles=n, det_shape=(n, n), tilt_deg=61.0)
+    data = simulate_data(brain_like(geometry.vol_shape, seed=3), geometry,
+                         noise_level=0.05, seed=1)
+    ops = LaminoOperators(geometry)
+    admm = ADMMConfig(n_outer=10, n_inner=4, step_max_rel=4.0)
+    solver = MLRSolver(
+        geometry,
+        MLRConfig(chunk_size=4, memo=MemoConfig(tau=0.92, warmup_iterations=2)),
+        admm=admm,
+        ops=ops,
+    )
+    result = solver.reconstruct(data)
+    steady = [ev for ev in result.events if ev.outer == admm.n_outer - 1]
+    db_keys = sum(1 for ev in result.events if ev.case == "miss")
+    print(f"trace harvested: {len(steady)} chunk-ops in the steady iteration, "
+          f"{db_keys} database entries")
+
+    # -- paper-scale replay across GPU counts -----------------------------------
+    dims = ProblemDims(n=1024, n_chunks=64)
+    print(f"\n{'GPUs':>5} {'LSP (s)':>9} {'speedup':>8} {'mem-NIC util':>13} "
+          f"{'query p50 (ms)':>15} {'>100ms':>7}")
+    base = None
+    for g in (1, 2, 4, 8, 16):
+        perf = simulate_iteration(
+            dims, n_gpus=g, variant="canc_fused", n_inner=4,
+            trace=steady, db_keys=max(db_keys, 1),
+        )
+        base = base or perf.lsp_time
+        lat = np.asarray(perf.query_latencies)
+        print(f"{g:>5} {perf.lsp_time:>9.2f} {base / perf.lsp_time:>8.2f} "
+              f"{perf.memory_nic_utilization():>12.0%} "
+              f"{np.median(lat) * 1e3 if lat.size else 0:>15.1f} "
+              f"{np.mean(lat > 0.1) if lat.size else 0:>7.0%}")
+    print("\nintra-node scaling is near-linear; crossing nodes (>4 GPUs) adds "
+          "all-to-all rechunking traffic, and the shared memory-node NIC "
+          "becomes the bottleneck — the Figures 14-16 story.")
+
+
+if __name__ == "__main__":
+    main()

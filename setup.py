@@ -1,0 +1,18 @@
+"""Legacy setup shim: the execution environment is offline and lacks the
+``wheel`` package, so ``pip install -e .`` must go through the classic
+``setup.py develop`` path instead of PEP 660."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "mLR: scalable laminography reconstruction based on memoization "
+        "(SC'25 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,8 @@
+"""ANN index substrate (Faiss substitute): IVF, HNSW, brute force, k-means."""
+
+from .flat import FlatIndex
+from .hnsw import HNSWIndex
+from .ivf import IVFFlatIndex
+from .kmeans import assign, kmeans
+
+__all__ = ["FlatIndex", "HNSWIndex", "IVFFlatIndex", "assign", "kmeans"]

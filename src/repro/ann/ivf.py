@@ -1,0 +1,125 @@
+"""Cluster-based (inverted-file) approximate nearest-neighbor index.
+
+This is the Faiss ``IVFFlat`` structure the paper picks for the memoization
+index database: "We use the cluster-based ANN in Faiss because it allows
+dynamic insertion with minimal overhead compared to the graph-based ANN,
+which incurs high reconstruction costs."  A k-means coarse quantizer
+partitions key space; each cluster owns an inverted list of vectors;
+queries scan the ``nprobe`` nearest clusters.  Inserts append to one list —
+O(1), no restructuring — which is the property mLR relies on, and which
+:mod:`repro.ann.hnsw` exists to contrast against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kmeans import kmeans
+
+__all__ = ["IVFFlatIndex"]
+
+
+class IVFFlatIndex:
+    """IVF-Flat ANN index with dynamic insertion and batched search."""
+
+    def __init__(self, dim: int, n_clusters: int = 16, nprobe: int = 2) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if not (1 <= nprobe):
+            raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+        self.dim = dim
+        self.n_clusters = n_clusters
+        self.nprobe = min(nprobe, n_clusters)
+        self.centroids: np.ndarray | None = None
+        self._lists: list[list[np.ndarray]] = []
+        self._list_ids: list[list[int]] = []
+        self._next_id = 0
+        self.n_distance_computations = 0
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @property
+    def is_trained(self) -> bool:
+        return self.centroids is not None
+
+    def __len__(self) -> int:
+        return sum(len(lst) for lst in self._list_ids)
+
+    def train(self, samples: np.ndarray, seed: int = 0) -> None:
+        """Fit the coarse quantizer on representative key vectors."""
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.float32))
+        if samples.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {samples.shape[1]}")
+        k = min(self.n_clusters, samples.shape[0])
+        centers, _ = kmeans(samples, k, seed=seed)
+        self.n_clusters = k
+        self.nprobe = min(self.nprobe, k)
+        self.centroids = centers.astype(np.float32)
+        self._lists = [[] for _ in range(k)]
+        self._list_ids = [[] for _ in range(k)]
+
+    # -- insertion ---------------------------------------------------------------------
+
+    def add(self, vecs: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        """Dynamic insertion: O(1) append to the nearest cluster's list."""
+        if not self.is_trained:
+            raise RuntimeError("index must be trained before adding vectors")
+        vecs = np.atleast_2d(np.asarray(vecs, dtype=np.float32))
+        if ids is None:
+            ids = np.arange(self._next_id, self._next_id + len(vecs))
+        ids = np.asarray(ids, dtype=np.int64)
+        self._next_id = max(self._next_id, int(ids.max()) + 1)
+        cl = self._nearest_clusters(vecs, 1)[:, 0]
+        for v, i, c in zip(vecs, ids, cl):
+            self._lists[c].append(v)
+            self._list_ids[c].append(int(i))
+        return ids
+
+    # -- search -----------------------------------------------------------------------
+
+    def _nearest_clusters(self, queries: np.ndarray, n: int) -> np.ndarray:
+        d = (
+            np.sum(queries**2, axis=1)[:, None]
+            - 2.0 * queries @ self.centroids.T
+            + np.sum(self.centroids**2, axis=1)[None, :]
+        )
+        self.n_distance_computations += d.size
+        return np.argsort(d, axis=1)[:, :n]
+
+    def search(self, queries: np.ndarray, k: int = 1):
+        """Batched ``nprobe`` search; returns Euclidean ``(distances, ids)``.
+
+        Batching queries amortizes the centroid scan — the benefit the
+        paper's key-coalescing optimization exploits ("batched lookup in the
+        index database").
+        """
+        if not self.is_trained:
+            raise RuntimeError("index must be trained before searching")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        nq = queries.shape[0]
+        dists = np.full((nq, k), np.inf, dtype=np.float32)
+        ids = np.full((nq, k), -1, dtype=np.int64)
+        probes = self._nearest_clusters(queries, self.nprobe)
+        for qi in range(nq):
+            cand_vecs: list[np.ndarray] = []
+            cand_ids: list[int] = []
+            for c in probes[qi]:
+                cand_vecs.extend(self._lists[c])
+                cand_ids.extend(self._list_ids[c])
+            if not cand_ids:
+                continue
+            mat = np.stack(cand_vecs)
+            d2 = np.sum((mat - queries[qi]) ** 2, axis=1)
+            self.n_distance_computations += d2.size
+            kk = min(k, len(cand_ids))
+            order = np.argsort(d2)[:kk]
+            dists[qi, :kk] = np.sqrt(d2[order])
+            ids[qi, :kk] = np.asarray(cand_ids)[order]
+        return dists, ids
+
+    # -- introspection ------------------------------------------------------------------
+
+    def list_sizes(self) -> list[int]:
+        return [len(lst) for lst in self._list_ids]

@@ -1,0 +1,65 @@
+"""Lloyd's k-means with k-means++ seeding (the IVF coarse quantizer)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans", "assign"]
+
+
+def _kmeanspp_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    n = x.shape[0]
+    centers = np.empty((k, x.shape[1]), dtype=x.dtype)
+    centers[0] = x[rng.integers(n)]
+    d2 = np.sum((x - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        probs = d2 / max(d2.sum(), 1e-30)
+        centers[i] = x[rng.choice(n, p=probs)]
+        d2 = np.minimum(d2, np.sum((x - centers[i]) ** 2, axis=1))
+    return centers
+
+
+def assign(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Nearest-center index for each row of ``x`` (squared L2)."""
+    # ||x-c||^2 = ||x||^2 - 2 x.c + ||c||^2 ; the x term is constant per row
+    d = -2.0 * x @ centers.T + np.sum(centers**2, axis=1)[None, :]
+    return np.argmin(d, axis=1)
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    n_iters: int = 25,
+    seed: int = 0,
+    tol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster rows of ``x`` into ``k`` centers; returns (centers, labels).
+
+    Empty clusters are re-seeded from the point farthest from its center,
+    so the returned centers always partition the data into ``k`` groups.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    n = x.shape[0]
+    if not (1 <= k <= n):
+        raise ValueError(f"need 1 <= k <= n_samples, got k={k}, n={n}")
+    rng = np.random.default_rng(seed)
+    centers = _kmeanspp_init(x, k, rng)
+    labels = assign(x, centers)
+    for _ in range(n_iters):
+        moved = 0.0
+        for c in range(k):
+            members = x[labels == c]
+            if len(members) == 0:
+                # re-seed from the globally worst-served point
+                far = np.argmax(np.sum((x - centers[labels]) ** 2, axis=1))
+                new = x[far]
+            else:
+                new = members.mean(axis=0)
+            moved += float(np.sum((centers[c] - new) ** 2))
+            centers[c] = new
+        labels = assign(x, centers)
+        if moved < tol:
+            break
+    return centers, labels

@@ -1,0 +1,22 @@
+"""Simulated HPC platform (Polaris substitute): DES kernel, devices, topology,
+and the paper-calibrated cost model."""
+
+from .costmodel import CostModel, ProblemDims
+from .des import Resource, Task, Timeline
+from .devices import CPUSpec, GPUSpec, LinkSpec, NodeSpec, POLARIS, SSDSpec
+from .topology import ClusterModel
+
+__all__ = [
+    "CostModel",
+    "ProblemDims",
+    "Resource",
+    "Task",
+    "Timeline",
+    "CPUSpec",
+    "GPUSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "POLARIS",
+    "SSDSpec",
+    "ClusterModel",
+]

@@ -1,0 +1,158 @@
+"""Analytic cost model for paper-scale operation timings.
+
+All performance experiments run the *numerics* at simulation scale but
+replay timing at *paper scale*; this module supplies the per-task durations
+the discrete-event timeline schedules.  Costs are first-order analytic
+models (elements x work-per-element / device-throughput + latency) with two
+fitted constants, calibrated so the baseline pipeline reproduces the
+paper's headline numbers:
+
+- original ADMM-FFT on ``(1K)^3``, 60 iterations  ->  ~68 s      (Fig. 8a)
+- exposed CPU-GPU transfer share on ``(1K)^3``    ->  ~47 %      (Sec. 2)
+- index query on 1M keys, dim 60                  ->  ~0.2 ms    (Sec. 4.3.2)
+- value-database P99                              ->  <0.5 ms    (Sec. 4.3.2)
+
+The fit is recorded in EXPERIMENTS.md; no experiment consumes absolute
+seconds beyond these anchors — the figures report normalized times, ratios
+and distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .devices import POLARIS, NodeSpec
+
+__all__ = ["ProblemDims", "CostModel"]
+
+
+@dataclass(frozen=True)
+class ProblemDims:
+    """Paper-scale problem: cubic volume ``n^3``, ``n`` angles, ``n^2`` detector."""
+
+    n: int
+    n_chunks: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"n must be >= 2, got {self.n}")
+        if not (1 <= self.n_chunks <= self.n):
+            raise ValueError(f"n_chunks must be in [1, n], got {self.n_chunks}")
+
+    @property
+    def chunk_slices(self) -> int:
+        return max(1, self.n // self.n_chunks)
+
+    @property
+    def chunk_elems(self) -> int:
+        """Elements of one chunk operand (a slab of an n^3 array)."""
+        return self.chunk_slices * self.n * self.n
+
+    @property
+    def chunk_bytes(self) -> int:
+        """COMPLEX64 chunk payload."""
+        return 8 * self.chunk_elems
+
+    @property
+    def volume_bytes(self) -> int:
+        return 8 * self.n**3
+
+
+@dataclass
+class CostModel:
+    """Durations (seconds) for every schedulable unit of work."""
+
+    node: NodeSpec = POLARIS
+    #: effective GPU throughput for gridding-FFT work, elements/s; fitted.
+    gpu_fft_elems_per_s: float = 16.0e9
+    #: relative op weights: F_u2D's per-element work is dominated by the
+    #: per-point Gaussian gather (taps^2 per target) vs the 1-D transform's
+    #: taps; ratios below reproduce the paper's observation that F_u2D is
+    #: the longest operation (Sec. 4.3.2) and its Fig. 10 proportions.
+    op_weight: dict = field(
+        default_factory=lambda: {
+            "Fu1D": 1.0,
+            "Fu1D*": 1.05,
+            "Fu2D": 4.0,
+            "Fu2D*": 4.2,
+            "F2D": 0.35,
+            "F2D*": 0.35,
+        }
+    )
+    #: index DB: seconds per 0.2 ms IVF probe of a 1M-key database (Sec 4.3.2)
+    index_query_base_s: float = 0.2e-3
+    #: value DB service latency (Redis get/put handling, excl. wire time)
+    value_db_service_s: float = 0.2e-3
+    #: per-message RDMA/RPC software overhead on each side
+    rpc_overhead_s: float = 5e-6
+    key_bytes: int = 240  # 60-dim float32 key + framing (< 1 KB, Sec. 4.3.3)
+    coalesce_payload_bytes: int = 4096
+
+    # -- GPU ops -----------------------------------------------------------------------
+
+    def fft_time(self, op: str, dims: ProblemDims) -> float:
+        """GPU time of one chunk-level FFT operation at paper scale."""
+        if op not in self.op_weight:
+            raise ValueError(f"unknown op {op!r}")
+        work = dims.chunk_elems * math.log2(dims.n) * self.op_weight[op]
+        return work / self.gpu_fft_elems_per_s
+
+    # -- data movement -------------------------------------------------------------------
+
+    def h2d_time(self, dims: ProblemDims) -> float:
+        return self.node.pcie.transfer_time(dims.chunk_bytes)
+
+    def d2h_time(self, dims: ProblemDims) -> float:
+        return self.node.pcie.transfer_time(dims.chunk_bytes)
+
+    def net_time(self, nbytes: float) -> float:
+        """One direction over a Slingshot NIC."""
+        return self.node.nic.transfer_time(nbytes) + self.rpc_overhead_s
+
+    def nvlink_time(self, nbytes: float) -> float:
+        return self.node.nvlink.transfer_time(nbytes)
+
+    def ssd_write_time(self, nbytes: float) -> float:
+        return self.node.ssd.write_time(nbytes)
+
+    def ssd_read_time(self, nbytes: float) -> float:
+        return self.node.ssd.read_time(nbytes)
+
+    # -- CPU work ------------------------------------------------------------------------
+
+    def encode_time(self, dims: ProblemDims) -> float:
+        """INT8 CNN key encoding of one chunk on the host.
+
+        The encoder downsamples the chunk to a 32x32 2-channel image; its
+        conv stack costs ~2.6 MMACs, to which we add a pass over the chunk
+        for the downsampling reduction.  "less than 1% of the total
+        execution time" per the paper.
+        """
+        cnn_macs = 2.6e6
+        downsample_ops = dims.chunk_elems
+        return (cnn_macs * 2 + downsample_ops) / self.node.cpu.int8_ops_per_s * 4
+
+    def cpu_subtract_time(self, dims: ProblemDims) -> float:
+        """Frequency-domain COMPLEX64 subtraction on the CPU (the Sec. 4.2
+        penalty that motivates fusing the subtraction into the GPU kernel)."""
+        return dims.chunk_elems / self.node.cpu.complex_elemwise_per_s
+
+    def cache_compare_time(self, n_items: int) -> float:
+        """Similarity comparison against ``n_items`` cached keys (60-dim)."""
+        return n_items * 60 * 2 / (self.node.cpu.int8_ops_per_s / 16)
+
+    # -- memoization database ----------------------------------------------------------
+
+    def index_query_time(self, n_keys: int, batch: int = 1) -> float:
+        """IVF probe cost: grows ~sqrt(n_keys) (cluster count scaling), with
+        sublinear batching gains from multithreaded batched lookup."""
+        scale = math.sqrt(max(n_keys, 1) / 1e6)
+        per = self.index_query_base_s * max(scale, 0.05)
+        return per * batch**0.6
+
+    def value_fetch_wire_bytes(self, dims: ProblemDims) -> int:
+        return dims.chunk_bytes
+
+    def keys_per_coalesced_message(self) -> int:
+        return max(1, self.coalesce_payload_bytes // self.key_bytes)

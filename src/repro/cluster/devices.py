@@ -1,0 +1,101 @@
+"""Device and link specifications, with a Polaris-node default catalog.
+
+Numbers mirror the evaluation platform of Section 6.1: Polaris nodes with
+one 32-core EPYC 7543P, 512 GB DDR4, four 40-GB A100s (NVLink), two local
+NVMe SSDs, and dual HPE Slingshot-11 NICs at 200 Gb/s bidirectional
+injection bandwidth.  Effective bandwidths are the sustained (not peak)
+figures typically measured on that hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "CPUSpec", "LinkSpec", "SSDSpec", "NodeSpec", "POLARIS"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU compute engine; throughput is the effective FFT processing rate
+    in elements/second (complex64), fitted in :mod:`.costmodel`."""
+
+    name: str = "A100-40GB"
+    memory_gb: float = 40.0
+    fft_elems_per_s: float = 35e9
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0 or self.fft_elems_per_s <= 0:
+            raise ValueError("GPU spec values must be positive")
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Host CPU: elementwise complex throughput (for the un-fused frequency-
+    domain subtraction of Section 4.2) and int8 CNN inference throughput."""
+
+    name: str = "EPYC-7543P"
+    cores: int = 32
+    memory_gb: float = 512.0
+    # COMPLEX64 streaming arithmetic is DRAM-bound on the host (~3 arrays
+    # of traffic per op at ~20 GB/s effective), hence far below peak FLOPs.
+    complex_elemwise_per_s: float = 1.5e9
+    int8_ops_per_s: float = 2.0e12
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A data link: fixed latency plus bandwidth-serialized transfer."""
+
+    name: str
+    bandwidth_gbs: float  # GB/s, effective
+    latency_us: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0 or self.latency_us < 0:
+            raise ValueError("bad link spec")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` once the link is granted."""
+        return self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+@dataclass(frozen=True)
+class SSDSpec:
+    name: str = "NVMe-1.6TB"
+    capacity_tb: float = 1.6
+    read_gbs: float = 3.2
+    write_gbs: float = 2.0
+    latency_us: float = 80.0
+
+    def read_time(self, nbytes: float) -> float:
+        return self.latency_us * 1e-6 + nbytes / (self.read_gbs * 1e9)
+
+    def write_time(self, nbytes: float) -> float:
+        return self.latency_us * 1e-6 + nbytes / (self.write_gbs * 1e9)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One cluster node: GPUs, host, PCIe, NVLink, NIC, SSDs."""
+
+    gpu: GPUSpec
+    cpu: CPUSpec
+    n_gpus: int = 4
+    # effective PCIe4 x16 rate including host staging of chunked operands
+    pcie: LinkSpec = LinkSpec("PCIe4x16", bandwidth_gbs=16.0, latency_us=10.0)
+    nvlink: LinkSpec = LinkSpec("NVLink3", bandwidth_gbs=300.0, latency_us=5.0)
+    nic: LinkSpec = LinkSpec("Slingshot11", bandwidth_gbs=25.0, latency_us=2.0)
+    ssd: SSDSpec = SSDSpec()
+    n_ssds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+
+
+#: The evaluation platform of paper Section 6.1.
+POLARIS = NodeSpec(gpu=GPUSpec(), cpu=CPUSpec())

@@ -1,0 +1,77 @@
+"""mLR core: memoization engine, caches, coalescer, offload planner,
+multi-GPU scaling, and the trace-driven performance simulation."""
+
+from .coalescer import CoalesceStats, KeyCoalescer
+from .config import MemoConfig, MLRConfig
+from .keying import CNNKeyEncoder, PoolKeyEncoder, chunk_to_image, chunk_to_stack, pool3d
+from .memo_cache import CacheHit, CacheStats, GlobalMemoCache, PrivateMemoCache
+from .memo_db import MemoDatabase, MemoDBStats, QueryOutcome
+from .memo_engine import (
+    CASE_CACHE,
+    CASE_DB,
+    CASE_DIRECT,
+    CASE_MISS,
+    MemoEvent,
+    MemoizedExecutor,
+)
+from .mlr_solver import MLRResult, MLRSolver
+from .offload import (
+    AccessPoint,
+    IterationSchedule,
+    OffloadAction,
+    OffloadPlanner,
+    PlanOutcome,
+    greedy_offload,
+    lru_offload,
+)
+from .perfsim import (
+    IterationPerf,
+    coalesce_comparison,
+    memo_case_breakdown,
+    phase_times,
+    simulate_iteration,
+    total_runtime,
+)
+from .scaling import GPUAssignment, distribute_chunks
+
+__all__ = [
+    "CoalesceStats",
+    "KeyCoalescer",
+    "MemoConfig",
+    "MLRConfig",
+    "CNNKeyEncoder",
+    "PoolKeyEncoder",
+    "chunk_to_image",
+    "chunk_to_stack",
+    "pool3d",
+    "CacheHit",
+    "CacheStats",
+    "GlobalMemoCache",
+    "PrivateMemoCache",
+    "MemoDatabase",
+    "MemoDBStats",
+    "QueryOutcome",
+    "CASE_CACHE",
+    "CASE_DB",
+    "CASE_DIRECT",
+    "CASE_MISS",
+    "MemoEvent",
+    "MemoizedExecutor",
+    "MLRResult",
+    "MLRSolver",
+    "AccessPoint",
+    "IterationSchedule",
+    "OffloadAction",
+    "OffloadPlanner",
+    "PlanOutcome",
+    "greedy_offload",
+    "lru_offload",
+    "IterationPerf",
+    "coalesce_comparison",
+    "memo_case_breakdown",
+    "phase_times",
+    "simulate_iteration",
+    "total_runtime",
+    "GPUAssignment",
+    "distribute_chunks",
+]

@@ -1,0 +1,79 @@
+"""Configuration for the mLR memoized solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MemoConfig", "MLRConfig"]
+
+
+@dataclass
+class MemoConfig:
+    """Memoization-engine knobs (paper Sections 3--4).
+
+    tau:
+        Cosine-similarity acceptance threshold (default 0.92, the paper's
+        evaluation default; Section 4.5 discusses 0.9 for PCB-class features
+        vs 0.95 for fine biological structure).
+    encoder:
+        ``"pool"`` — deterministic downsample-to-key encoder (fast, default
+        for large sweeps); ``"cnn"`` — the paper's contrastively trained
+        3-layer CNN (pass a trained :class:`~repro.nn.ChunkEncoder` or let
+        the solver train one during warmup).
+    cache:
+        ``"private"`` (paper default: one single-entry FIFO cache per chunk
+        location), ``"global"`` (the baseline it is compared against), or
+        ``None`` (no local cache — every lookup goes to the memo database).
+    """
+
+    tau: float = 0.92
+    encoder: str = "pool"
+    key_hw: int = 8
+    key_depth: int = 16
+    embed_dim: int = 60
+    cache: str | None = "private"
+    index_clusters: int = 16
+    index_nprobe: int = 4
+    index_train_min: int = 32
+    memo_ops: tuple[str, ...] = ("Fu1D", "Fu2D", "Fu2D*", "Fu1D*")
+    track_similarity_census: bool = False
+    warmup_iterations: int = 1
+    #: The FFT operations are linear, and cosine similarity (the paper's
+    #: Eq. 3 gate) is scale-blind while residual magnitudes shrink across
+    #: ADMM iterations.  Scale-corrected reuse multiplies a retrieved value
+    #: by ||query chunk|| / ||stored chunk||, which keeps reuse sound as the
+    #: solver converges; disable to study the raw-reuse failure mode.
+    scale_correction: bool = True
+    #: Bounded staleness: a chunk location serves at most this many
+    #: consecutive memoized results before the engine forces a recompute
+    #: (which refreshes the database and cache).  The paper's beamline-scale
+    #: runs self-limit — 53% of lookups still miss at tau=0.92 (Sec. 6.4) —
+    #: but small smooth synthetic problems converge so cleanly that the
+    #: similarity gate alone never rejects, chaining one stale value forever
+    #: and biasing the gradient.  The refresh bound restores the paper's
+    #: intermittent-reuse regime; set to a huge value to disable.
+    max_consecutive_reuse: int = 4
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.tau <= 1.0):
+            raise ValueError(f"tau must be in (0, 1], got {self.tau}")
+        if self.encoder not in ("pool", "cnn"):
+            raise ValueError(f"encoder must be 'pool' or 'cnn', got {self.encoder!r}")
+        if self.cache not in ("private", "global", None):
+            raise ValueError(f"cache must be 'private', 'global' or None")
+        if self.key_hw < 2:
+            raise ValueError(f"key_hw must be >= 2, got {self.key_hw}")
+        if self.warmup_iterations < 0:
+            raise ValueError("warmup_iterations must be >= 0")
+
+
+@dataclass
+class MLRConfig:
+    """Top-level mLR configuration: ADMM + memoization + chunking."""
+
+    chunk_size: int = 16
+    memo: MemoConfig = field(default_factory=MemoConfig)
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")

@@ -1,0 +1,159 @@
+"""The distributed memoization database (paper Section 4.3.2, Figure 6).
+
+Two cooperating stores on the (simulated) memory node:
+
+- an **index database** organizing keys by similarity — an IVF ANN index
+  (:class:`~repro.ann.IVFFlatIndex`), trained lazily on the first keys and
+  supporting O(1) dynamic insertion,
+- a **value database** holding the FFT-operation outputs as serialized
+  arrays under integer ids (:class:`~repro.kvstore.KVStore`).
+
+A query encodes nothing itself: it receives a key vector, finds the nearest
+stored key, gates on the paper's Eq. 3 cosine-similarity threshold tau, and
+returns the decoded value on acceptance.  All traffic statistics needed by
+the performance model (queries, hits, inserted/fetched bytes) are counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ann.ivf import IVFFlatIndex
+from ..kvstore.serialization import decode_array, encode_array
+from ..kvstore.store import KVStore
+from ..solvers.metrics import cosine_similarity
+
+__all__ = ["MemoDBStats", "QueryOutcome", "MemoDatabase"]
+
+
+@dataclass
+class MemoDBStats:
+    queries: int = 0
+    hits: int = 0
+    inserts: int = 0
+    bytes_inserted: int = 0
+    bytes_fetched: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.queries if self.queries else 0.0
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Result of one memoization lookup."""
+
+    value: np.ndarray | None
+    similarity: float
+    matched_id: int
+    n_entries: int
+    stored_meta: object = None  # reuse metadata recorded at insert time
+
+    @property
+    def hit(self) -> bool:
+        return self.value is not None
+
+
+@dataclass
+class MemoDatabase:
+    """Index + value store for one FFT operation's memoization table."""
+
+    dim: int
+    tau: float = 0.92
+    index_clusters: int = 16
+    index_nprobe: int = 4
+    train_min: int = 32
+
+    index: IVFFlatIndex = field(init=False)
+    values: KVStore = field(init=False)
+    stats: MemoDBStats = field(init=False)
+    _pretrain: list = field(init=False, default_factory=list)
+    _keys: dict = field(init=False, default_factory=dict)
+    _meta: dict = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.tau <= 1.0):
+            raise ValueError(f"tau must be in (0, 1], got {self.tau}")
+        self.index = IVFFlatIndex(
+            self.dim, n_clusters=self.index_clusters, nprobe=self.index_nprobe
+        )
+        self.values = KVStore()
+        self.stats = MemoDBStats()
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # -- insertion ---------------------------------------------------------------------
+
+    def insert(self, key: np.ndarray, value: np.ndarray, meta=None) -> int:
+        """DB.Put: store the (key, value) pair — plus the reuse metadata
+        (input-chunk DC and AC norm) — training the coarse quantizer once
+        enough keys accumulated."""
+        key = np.asarray(key, dtype=np.float32).ravel()
+        if key.shape[0] != self.dim:
+            raise ValueError(f"key dim {key.shape[0]} != {self.dim}")
+        if not self.index.is_trained:
+            self._pretrain.append(key)
+            if len(self._pretrain) >= self.train_min:
+                self.index.train(np.stack(self._pretrain))
+                ids = self.index.add(np.stack(self._pretrain))
+                del self._pretrain[:]
+                new_id = int(ids[-1])
+            else:
+                new_id = len(self._pretrain) - 1
+        else:
+            new_id = int(self.index.add(key[None])[0])
+        self._keys[new_id] = key
+        self._meta[new_id] = meta
+        payload = encode_array(value)
+        self.values.put(new_id, payload)
+        self.stats.inserts += 1
+        self.stats.bytes_inserted += len(payload)
+        return new_id
+
+    # -- lookup ------------------------------------------------------------------------
+
+    def query(self, key: np.ndarray) -> QueryOutcome:
+        """Find the most similar stored key; return its value if Eq. 3's
+        cosine similarity exceeds tau."""
+        key = np.asarray(key, dtype=np.float32).ravel()
+        self.stats.queries += 1
+        n = len(self.values)
+        if not self.index.is_trained:
+            # cold database: fall back to linear scan over pretrain buffer
+            best_sim, best_id = -2.0, -1
+            for i, cand in enumerate(self._pretrain):
+                sim = cosine_similarity(key, cand)
+                if sim > best_sim:
+                    best_sim, best_id = sim, i
+            if best_id >= 0 and best_sim > self.tau:
+                raw = self.values.get(best_id)
+                if raw is not None:
+                    self.stats.hits += 1
+                    self.stats.bytes_fetched += len(raw)
+                    return QueryOutcome(
+                        decode_array(raw), best_sim, best_id, n,
+                        self._meta.get(best_id),
+                    )
+            return QueryOutcome(None, best_sim, -1, n)
+        dists, ids = self.index.search(key[None], k=1)
+        matched = int(ids[0, 0])
+        if matched < 0:
+            return QueryOutcome(None, -2.0, -1, n)
+        # Eq. 3 gate on the matched key
+        stored_key = self._stored_key(matched)
+        sim = cosine_similarity(key, stored_key) if stored_key is not None else -2.0
+        if sim > self.tau:
+            raw = self.values.get(matched)
+            if raw is not None:
+                self.stats.hits += 1
+                self.stats.bytes_fetched += len(raw)
+                return QueryOutcome(
+                    decode_array(raw), sim, matched, n, self._meta.get(matched)
+                )
+        return QueryOutcome(None, sim, matched, n)
+
+    def _stored_key(self, wanted: int) -> np.ndarray | None:
+        return self._keys.get(wanted)

@@ -1,0 +1,351 @@
+"""The memoization engine: a drop-in executor that replaces FFT operations.
+
+:class:`MemoizedExecutor` subclasses the chunk-streaming
+:class:`~repro.solvers.executor.DirectExecutor` and intercepts the four
+cancelled-pipeline operations (``Fu1D``, ``Fu2D``, ``Fu2D*``, ``Fu1D*``).
+For every chunk it runs the paper's Figure 6 workflow:
+
+1. encode the operation's input chunk into a key,
+2. probe the chunk location's **private cache** (Section 4.4),
+3. on a cache miss, query the **memoization database** on the memory node
+   (Section 4.3.2) through the key **coalescer** (Section 4.3.3),
+4. on a database miss, perform the real FFT operation and insert the
+   (key, value) pair (the *insertion* path).
+
+Every decision is appended to ``events`` — the trace the trace-driven
+performance simulation (:mod:`repro.core.perfsim`) replays at paper scale,
+and the raw material for Figures 4, 10 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..solvers.executor import DirectExecutor
+from ..solvers.metrics import cosine_similarity
+from .coalescer import KeyCoalescer
+from .config import MemoConfig
+from .keying import CNNKeyEncoder, PoolKeyEncoder
+from .memo_cache import GlobalMemoCache, PrivateMemoCache
+from .memo_db import MemoDatabase
+
+__all__ = ["MemoEvent", "MemoizedExecutor", "CASE_MISS", "CASE_DB", "CASE_CACHE", "CASE_DIRECT"]
+
+#: event case labels (Figure 10's "Fail Memo" / "Suc Memo" / "Memo w/Caching")
+CASE_MISS = "miss"  # no match: original computation + insertion
+CASE_DB = "db_hit"  # value retrieved from the remote memoization database
+CASE_CACHE = "cache_hit"  # value served by the local memoization cache
+CASE_DIRECT = "direct"  # memoization bypassed (warmup / non-memoized op)
+
+
+@dataclass(frozen=True)
+class MemoEvent:
+    """One chunk-level memoization decision."""
+
+    outer: int
+    inner: int
+    op: str
+    chunk: int
+    case: str
+    similarity: float
+    key_bytes: int
+    value_bytes: int
+
+
+@dataclass
+class _OpState:
+    """Per-operation memoization state.
+
+    Reuse is scoped to a *chunk location* (paper Section 4.1: results are
+    stored "for a chunk location to be reused in future iterations"), so
+    each location owns a database partition — the single-physical-index
+    equivalent of a Faiss id-selector restricted to that location's ids.
+    """
+
+    make_db: object
+    dbs: dict = field(default_factory=dict)  # location -> MemoDatabase
+    cache: PrivateMemoCache | GlobalMemoCache | None = None
+    key_history: dict = field(default_factory=dict)  # location -> [keys]
+    consecutive_serves: dict = field(default_factory=dict)  # location -> int
+    dc_basis: dict = field(default_factory=dict)  # location -> op(all-ones chunk)
+
+    def db_for(self, location, dim: int) -> MemoDatabase:
+        db = self.dbs.get(location)
+        if db is None:
+            db = self.make_db(dim)
+            self.dbs[location] = db
+        return db
+
+
+class MemoizedExecutor(DirectExecutor):
+    """Chunk executor with the full mLR memoization stack."""
+
+    def __init__(
+        self,
+        ops,
+        config: MemoConfig | None = None,
+        chunk_size: int | None = None,
+        encoder=None,
+        n_locations: int | None = None,
+    ) -> None:
+        super().__init__(ops, chunk_size=chunk_size)
+        self.config = config or MemoConfig()
+        if encoder is not None:
+            self.encoder = encoder
+        elif self.config.encoder == "pool":
+            self.encoder = PoolKeyEncoder(self.config.key_hw, depth=self.config.key_depth)
+        else:
+            raise ValueError(
+                "encoder='cnn' requires passing a trained CNNKeyEncoder instance"
+            )
+        h = ops.geometry.det_shape[0]
+        size = chunk_size if chunk_size is not None else h
+        self._n_locations = (
+            n_locations if n_locations is not None else -(-h // size)
+        )
+        self._state: dict[str, _OpState] = {
+            op: self._make_state() for op in self.config.memo_ops
+        }
+        self.coalescer = KeyCoalescer()
+        self.events: list[MemoEvent] = []
+        self.enabled = True
+
+    def _make_state(self) -> _OpState:
+        cfg = self.config
+
+        def make_db(dim: int) -> MemoDatabase:
+            return MemoDatabase(
+                dim=dim,
+                tau=cfg.tau,
+                index_clusters=cfg.index_clusters,
+                index_nprobe=cfg.index_nprobe,
+                train_min=cfg.index_train_min,
+            )
+
+        if cfg.cache == "private":
+            cache = PrivateMemoCache(cfg.tau)
+        elif cfg.cache == "global":
+            cache = GlobalMemoCache(cfg.tau, capacity=self._n_locations)
+        else:
+            cache = None
+        return _OpState(make_db=make_db, cache=cache)
+
+    # -- the memoization workflow -------------------------------------------------------
+
+    @staticmethod
+    def _chunk_meta(input_chunk: np.ndarray) -> tuple[float, complex]:
+        """(AC norm, DC mean) of a chunk — the affine-reuse metadata."""
+        dc = complex(input_chunk.mean())
+        total_sq = float(np.vdot(input_chunk, input_chunk).real)
+        ac_sq = max(total_sq - input_chunk.size * abs(dc) ** 2, 0.0)
+        return float(np.sqrt(ac_sq)), dc
+
+    def _basis(self, op: str, chunk, shape: tuple[int, ...]) -> np.ndarray:
+        """``op`` applied to the all-ones chunk at this location (computed
+        once, like a plan): the exact image of the DC component."""
+        state = self._state[op]
+        basis = state.dc_basis.get(chunk.index)
+        if basis is None:
+            ones = np.ones(shape, dtype=np.complex64)
+            basis = self._apply_raw(op, chunk, ones)
+            state.dc_basis[chunk.index] = basis
+        return basis
+
+    def _apply_raw(self, op: str, chunk, arr: np.ndarray) -> np.ndarray:
+        if op == "Fu1D":
+            return self.ops.fu1d(arr)
+        if op == "Fu1D*":
+            return self.ops.fu1d_adj(arr)
+        if op == "Fu2D":
+            return self.ops.fu2d(arr, rows=chunk.slice)
+        if op == "Fu2D*":
+            return self.ops.fu2d_adj(arr, rows=chunk.slice)
+        raise ValueError(f"unknown op {op!r}")
+
+    def _memoized(self, op: str, chunk, input_chunk: np.ndarray, compute) -> np.ndarray:
+        cfg = self.config
+        in_warmup = self.outer_iteration < cfg.warmup_iterations
+        meta = self._chunk_meta(input_chunk)
+        if not self.enabled or op not in self._state or in_warmup:
+            out = compute()
+            if op in self._state and self.enabled:
+                # warmup still populates the database so later iterations hit
+                key = self.encoder.encode(input_chunk)
+                self._state[op].db_for(chunk.index, key.shape[0]).insert(
+                    key, out, meta=meta
+                )
+                self._remember_key(op, chunk.index, key)
+            self._record(op, chunk.index, CASE_DIRECT, -2.0, 0, 0)
+            return out
+
+        state = self._state[op]
+        key = self.encoder.encode(input_chunk)
+        self._remember_key(op, chunk.index, key)
+        key_bytes = key.nbytes
+
+        # Bounded staleness: force a periodic recompute so one stored value
+        # cannot serve a location's gradient indefinitely (see MemoConfig).
+        serves = state.consecutive_serves.get(chunk.index, 0)
+        must_refresh = serves >= cfg.max_consecutive_reuse
+
+        # (2) private/global memoization cache on the compute node
+        if state.cache is not None and not must_refresh:
+            hit = state.cache.lookup(chunk.index, key, self.outer_iteration)
+            if hit is not None:
+                state.consecutive_serves[chunk.index] = serves + 1
+                value = self._reconstruct(op, chunk, input_chunk, hit.value, hit.meta, meta)
+                self._record(op, chunk.index, CASE_CACHE, 1.0, key_bytes, value.nbytes)
+                return value
+
+        # (3) remote memoization database (keys travel via the coalescer)
+        db = state.db_for(chunk.index, key.shape[0])
+        outcome = None
+        if not must_refresh:
+            self.coalescer.offer((op, chunk.index))
+            outcome = db.query(key)
+            if outcome.hit:
+                state.consecutive_serves[chunk.index] = serves + 1
+                value = self._reconstruct(
+                    op, chunk, input_chunk, outcome.value, outcome.stored_meta, meta
+                )
+                if state.cache is not None:
+                    state.cache.insert(
+                        chunk.index, key, outcome.value, meta=outcome.stored_meta
+                    )
+                self._record(
+                    op, chunk.index, CASE_DB, outcome.similarity, key_bytes, value.nbytes
+                )
+                return value
+
+        # (4) miss: original computation + asynchronous insertion
+        out = compute()
+        state.consecutive_serves[chunk.index] = 0
+        db.insert(key, out, meta=meta)
+        if state.cache is not None:
+            state.cache.insert(chunk.index, key, out, meta=meta)
+        sim = outcome.similarity if outcome is not None else -2.0
+        self._record(op, chunk.index, CASE_MISS, sim, key_bytes, out.nbytes)
+        return out
+
+    def _reconstruct(
+        self,
+        op: str,
+        chunk,
+        input_chunk: np.ndarray,
+        value: np.ndarray,
+        stored_meta,
+        query_meta,
+    ) -> np.ndarray:
+        """Affine scale-corrected reuse.
+
+        The FFT operations are linear, so with ``B = op(ones)`` and a stored
+        pair ``(a, V = op(a))`` the served estimate for a tau-similar query
+        ``q`` is::
+
+            op(q) ~= (||q_ac|| / ||a_ac||) * (V - dc_a * B)  +  dc_q * B
+
+        The DC (mean) component — which dominates these operands and whose
+        mismatch is what makes naive value reuse blow up — is handled
+        *exactly*; only the AC residual is approximated, with error bounded
+        by the Eq. 3 gate.
+        """
+        if not self.config.scale_correction or stored_meta is None:
+            return value.copy()
+        ac_a, dc_a = stored_meta
+        ac_q, dc_q = query_meta
+        basis = self._basis(op, chunk, input_chunk.shape)
+        scale = ac_q / ac_a if ac_a > 0 else 0.0
+        out = (value - np.complex64(dc_a) * basis) * np.float32(scale)
+        out += np.complex64(dc_q) * basis
+        return out.astype(value.dtype, copy=False)
+
+    def _remember_key(self, op: str, location: int, key: np.ndarray) -> None:
+        if self.config.track_similarity_census:
+            self._state[op].key_history.setdefault(location, []).append(key.copy())
+
+    def _record(self, op, chunk_idx, case, sim, kb, vb) -> None:
+        self.events.append(
+            MemoEvent(
+                outer=self.outer_iteration,
+                inner=self.inner_iteration,
+                op=op,
+                chunk=chunk_idx,
+                case=case,
+                similarity=sim,
+                key_bytes=kb,
+                value_bytes=vb,
+            )
+        )
+
+    # -- chunk kernels intercepted -----------------------------------------------------
+
+    def _run_fu1d(self, chunk, u_c):
+        return self._memoized("Fu1D", chunk, u_c, lambda: super(MemoizedExecutor, self)._run_fu1d(chunk, u_c))
+
+    def _run_fu1d_adj(self, chunk, u1_c):
+        return self._memoized("Fu1D*", chunk, u1_c, lambda: super(MemoizedExecutor, self)._run_fu1d_adj(chunk, u1_c))
+
+    def _run_fu2d(self, chunk, u1_c, sub):
+        # Memoize the *linear* transform only: the fused kernel's output is
+        # affine (it subtracts the constant dhat slab), which would break
+        # scale-corrected reuse.  The subtraction is re-applied outside the
+        # memoized region; the performance model still accounts for fusion.
+        out = self._memoized(
+            "Fu2D",
+            chunk,
+            u1_c,
+            lambda: super(MemoizedExecutor, self)._run_fu2d(chunk, u1_c, None),
+        )
+        if sub is not None:
+            out = out - sub
+        return out
+
+    def _run_fu2d_adj(self, chunk, r_c):
+        return self._memoized("Fu2D*", chunk, r_c, lambda: super(MemoizedExecutor, self)._run_fu2d_adj(chunk, r_c))
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def case_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.case] = out.get(ev.case, 0) + 1
+        return out
+
+    def cache_stats(self, op: str):
+        return self._state[op].cache.stats if self._state[op].cache else None
+
+    def db_stats(self, op: str):
+        """Aggregated database statistics across all location partitions."""
+        from .memo_db import MemoDBStats
+
+        agg = MemoDBStats()
+        for db in self._state[op].dbs.values():
+            agg.queries += db.stats.queries
+            agg.hits += db.stats.hits
+            agg.inserts += db.stats.inserts
+            agg.bytes_inserted += db.stats.bytes_inserted
+            agg.bytes_fetched += db.stats.bytes_fetched
+        return agg
+
+    def db_entries(self, op: str) -> int:
+        return sum(len(db) for db in self._state[op].dbs.values())
+
+    def similarity_census(self, op: str, tau: float | None = None) -> dict[int, list[int]]:
+        """Figure 4: per location, for each iteration's key, how many *prior*
+        keys at the same location are tau-similar."""
+        tau = tau if tau is not None else self.config.tau
+        out: dict[int, list[int]] = {}
+        for location, keys in self._state[op].key_history.items():
+            counts = []
+            for i, key in enumerate(keys):
+                counts.append(
+                    sum(
+                        1
+                        for prev in keys[:i]
+                        if cosine_similarity(key, prev) > tau
+                    )
+                )
+            out[location] = counts
+        return out

@@ -1,0 +1,141 @@
+"""mLR: the memoized ADMM-FFT reconstruction solver (the paper's system).
+
+:class:`MLRSolver` assembles the full stack — laminography operators, the
+memoized executor, and the ADMM driver — behind one call::
+
+    solver = MLRSolver(geometry, MLRConfig(), ADMMConfig(n_outer=60))
+    result = solver.reconstruct(projections)
+
+mLR does not change the FFT algorithm or the solver mathematics; it reduces
+the *number of FFT operation executions* via memoization (Section 3), so a
+run with an impossible threshold (``tau -> 1``) degenerates to the original
+ADMM-FFT bit-for-bit — a property the integration tests assert.
+
+For the paper's CNN key encoder, :meth:`train_encoder` performs the
+contrastive warmup (Section 4.3.1): it harvests chunk images from a few
+unmemoized iterations, trains the encoder on Eq. 2, INT8-quantizes it, and
+installs it in the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..lamino.geometry import LaminoGeometry
+from ..lamino.operators import LaminoOperators
+from ..solvers.admm import ADMMConfig, ADMMResult, ADMMSolver
+from .config import MLRConfig
+from .keying import CNNKeyEncoder, chunk_to_image
+from .memo_engine import MemoEvent, MemoizedExecutor
+
+__all__ = ["MLRResult", "MLRSolver"]
+
+
+@dataclass
+class MLRResult:
+    """Reconstruction + memoization trace."""
+
+    u: np.ndarray
+    history: dict[str, list[float]] = field(default_factory=dict)
+    events: list[MemoEvent] = field(default_factory=list)
+    case_counts: dict[str, int] = field(default_factory=dict)
+    op_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def memoized_fraction(self) -> float:
+        """Share of memoizable chunk-ops served without FFT computation."""
+        served = self.case_counts.get("db_hit", 0) + self.case_counts.get("cache_hit", 0)
+        total = sum(
+            n for case, n in self.case_counts.items() if case != "direct"
+        ) or 1
+        return served / total
+
+
+class MLRSolver:
+    """End-to-end memoized laminography reconstruction."""
+
+    def __init__(
+        self,
+        geometry: LaminoGeometry,
+        config: MLRConfig | None = None,
+        admm: ADMMConfig | None = None,
+        ops: LaminoOperators | None = None,
+        encoder=None,
+    ) -> None:
+        self.geometry = geometry
+        self.config = config or MLRConfig()
+        self.admm_config = admm or ADMMConfig()
+        self.ops = ops if ops is not None else LaminoOperators(geometry)
+        self.executor = MemoizedExecutor(
+            self.ops,
+            config=self.config.memo,
+            chunk_size=self.config.chunk_size,
+            encoder=encoder,
+        )
+        self.solver = ADMMSolver(self.ops, self.admm_config, executor=self.executor)
+
+    # -- optional CNN warmup -----------------------------------------------------------
+
+    def train_encoder(
+        self,
+        d: np.ndarray,
+        harvest_iterations: int = 2,
+        n_epochs: int = 6,
+        embed_dim: int | None = None,
+        input_hw: int = 16,
+        seed: int = 0,
+    ) -> CNNKeyEncoder:
+        """Contrastively train the paper's CNN encoder on harvested chunks.
+
+        Runs ``harvest_iterations`` of unmemoized ADMM to collect real chunk
+        images, trains :class:`~repro.nn.ChunkEncoder` with the Eq. 2 loss,
+        quantizes to INT8 and installs it as the executor's key encoder.
+        """
+        from ..nn.cnn import ChunkEncoder
+        from ..nn.contrastive import train_contrastive
+        from ..solvers.executor import DirectExecutor
+
+        harvest: list[np.ndarray] = []
+        size = self.config.chunk_size
+
+        class _Harvester(DirectExecutor):
+            def _run_fu2d(self, chunk, u1_c, sub):
+                harvest.append(chunk_to_image(u1_c[:, :, :].transpose(1, 0, 2), input_hw))
+                return super()._run_fu2d(chunk, u1_c, sub)
+
+        ex = _Harvester(self.ops, chunk_size=size)
+        cfg = ADMMConfig(
+            alpha=self.admm_config.alpha,
+            rho=self.admm_config.rho,
+            n_outer=harvest_iterations,
+            n_inner=self.admm_config.n_inner,
+        )
+        ADMMSolver(self.ops, cfg, executor=ex).run(d)
+        images = np.stack(harvest).astype(np.complex64)
+        encoder = ChunkEncoder(
+            input_hw=input_hw,
+            embed_dim=embed_dim or self.config.memo.embed_dim,
+            seed=seed,
+        )
+        train_contrastive(encoder, images, n_epochs=n_epochs, seed=seed)
+        key_encoder = CNNKeyEncoder(encoder, quantized=True)
+        self.executor.encoder = key_encoder
+        # rebuild per-op databases for the new key dimensionality
+        self.executor._state = {
+            op: self.executor._make_state() for op in self.config.memo.memo_ops
+        }
+        return key_encoder
+
+    # -- reconstruction -----------------------------------------------------------------
+
+    def reconstruct(self, d: np.ndarray, u0: np.ndarray | None = None) -> MLRResult:
+        admm_result: ADMMResult = self.solver.run(d, u0=u0)
+        return MLRResult(
+            u=admm_result.u,
+            history=admm_result.history,
+            events=list(self.executor.events),
+            case_counts=self.executor.case_counts(),
+            op_counts=admm_result.op_counts,
+        )

@@ -1,0 +1,15 @@
+"""Experiment harness: datasets, per-figure regenerators, reporting."""
+
+from . import experiments, report
+from .datasets import DATASETS, LARGE, MEDIUM, SMALL, DatasetSpec, build
+
+__all__ = [
+    "experiments",
+    "report",
+    "DATASETS",
+    "LARGE",
+    "MEDIUM",
+    "SMALL",
+    "DatasetSpec",
+    "build",
+]

@@ -1,0 +1,60 @@
+"""Self-describing binary codec for numpy arrays.
+
+The value database stores FFT-operation outputs as opaque byte strings (the
+way Redis would); this codec frames dtype/shape so arrays round-trip exactly.
+
+Wire format::
+
+    magic (4s) | version (u8) | dtype-string length (u8) | ndim (u8) | pad (u8)
+    | shape (ndim * u64) | dtype string | raw bytes (C order)
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["encode_array", "decode_array", "encoded_nbytes"]
+
+_MAGIC = b"mLRv"
+_HEADER = struct.Struct("<4sBBBB")
+
+
+def encode_array(a: np.ndarray) -> bytes:
+    """Serialize an array (any dtype/shape) to a self-describing byte string."""
+    a = np.ascontiguousarray(a)
+    dtype_str = a.dtype.str.encode("ascii")
+    if len(dtype_str) > 255:
+        raise ValueError(f"dtype string too long: {a.dtype}")
+    if a.ndim > 255:
+        raise ValueError(f"too many dimensions: {a.ndim}")
+    header = _HEADER.pack(_MAGIC, 1, len(dtype_str), a.ndim, 0)
+    shape = struct.pack(f"<{a.ndim}Q", *a.shape)
+    return header + shape + dtype_str + a.tobytes()
+
+
+def decode_array(raw: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    if len(raw) < _HEADER.size:
+        raise ValueError("buffer too short for header")
+    magic, version, dlen, ndim, _ = _HEADER.unpack_from(raw, 0)
+    if magic != _MAGIC:
+        raise ValueError(f"bad magic {magic!r}")
+    if version != 1:
+        raise ValueError(f"unsupported version {version}")
+    off = _HEADER.size
+    shape = struct.unpack_from(f"<{ndim}Q", raw, off)
+    off += 8 * ndim
+    dtype = np.dtype(raw[off : off + dlen].decode("ascii"))
+    off += dlen
+    a = np.frombuffer(raw, dtype=dtype, offset=off)
+    expect = int(np.prod(shape)) if ndim else 1
+    if a.size != expect:
+        raise ValueError(f"payload size {a.size} != shape product {expect}")
+    return a.reshape(shape).copy()
+
+
+def encoded_nbytes(a: np.ndarray) -> int:
+    """Size in bytes :func:`encode_array` would produce (without encoding)."""
+    return _HEADER.size + 8 * a.ndim + len(a.dtype.str) + a.nbytes

@@ -1,0 +1,107 @@
+"""In-memory key-value store — the Redis stand-in for the value database.
+
+Functional subset the memoization system needs: byte-string values under
+integer/str keys, capacity-bounded with FIFO or LRU eviction, and the
+hit/miss/bytes statistics the evaluation reports.  Latency is *not* modeled
+here — the discrete-event cluster simulation (:mod:`repro.cluster`) owns all
+timing; this class is purely functional so it can also run inside the DES.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["KVStats", "KVStore"]
+
+
+@dataclass
+class KVStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class KVStore:
+    """Capacity-bounded byte store with FIFO/LRU eviction.
+
+    ``capacity_bytes=None`` means unbounded (the paper's memory node holds
+    the whole database; bounded mode exists for the local-cache experiments
+    and for failure-injection tests).
+    """
+
+    capacity_bytes: int | None = None
+    eviction: str = "fifo"
+    _data: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _nbytes: int = 0
+    stats: KVStats = field(default_factory=KVStats)
+
+    def __post_init__(self) -> None:
+        if self.eviction not in ("fifo", "lru"):
+            raise ValueError(f"eviction must be 'fifo' or 'lru', got {self.eviction!r}")
+        if self.capacity_bytes is not None and self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive or None")
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    def put(self, key, value: bytes) -> None:
+        """Insert/overwrite; evicts oldest (FIFO) or least-recent (LRU) entries
+        until the new value fits."""
+        if not isinstance(value, (bytes, bytearray, memoryview)):
+            raise TypeError(f"value must be bytes-like, got {type(value).__name__}")
+        value = bytes(value)
+        if self.capacity_bytes is not None and len(value) > self.capacity_bytes:
+            raise ValueError("value larger than store capacity")
+        if key in self._data:
+            self._nbytes -= len(self._data.pop(key))
+        while self.capacity_bytes is not None and self._nbytes + len(value) > self.capacity_bytes:
+            _, old = self._data.popitem(last=False)
+            self._nbytes -= len(old)
+            self.stats.evictions += 1
+        self._data[key] = value
+        self._nbytes += len(value)
+        self.stats.puts += 1
+        self.stats.bytes_in += len(value)
+
+    def get(self, key) -> bytes | None:
+        """Fetch; returns ``None`` on miss (and counts it)."""
+        value = self._data.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        if self.eviction == "lru":
+            self._data.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.bytes_out += len(value)
+        return value
+
+    def delete(self, key) -> bool:
+        value = self._data.pop(key, None)
+        if value is None:
+            return False
+        self._nbytes -= len(value)
+        return True
+
+    def keys(self):
+        return list(self._data.keys())
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._nbytes = 0

@@ -1,0 +1,83 @@
+"""Chunk partitioning of volumes and intermediates.
+
+The existing laminography pipeline (and mLR on top of it) never materializes
+a whole operator application on the GPU: the partition axis of each operand
+is split into fixed-size *chunks* that are streamed device-to-device.  A
+chunk location (the ``(op, index)`` pair) is also the key granularity of the
+paper's memoization cache — each location owns a private single-entry cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Chunk", "chunk_ranges", "iter_chunks", "num_chunks", "reassemble"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A slab of an array along one axis.
+
+    ``index`` is the chunk location (0-based), ``lo:hi`` the slab range on
+    ``axis``.
+    """
+
+    index: int
+    axis: int
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def slice(self) -> slice:
+        return slice(self.lo, self.hi)
+
+    def take(self, a: np.ndarray) -> np.ndarray:
+        """View of the chunk's slab of ``a``."""
+        sl = [slice(None)] * a.ndim
+        sl[self.axis] = self.slice
+        return a[tuple(sl)]
+
+    def put(self, a: np.ndarray, value: np.ndarray) -> None:
+        """Write ``value`` into the chunk's slab of ``a`` in place."""
+        sl = [slice(None)] * a.ndim
+        sl[self.axis] = self.slice
+        a[tuple(sl)] = value
+
+
+def chunk_ranges(n: int, size: int) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into consecutive ranges of width ``size`` (last may
+    be short)."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    if n < 1:
+        raise ValueError(f"axis length must be >= 1, got {n}")
+    return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+
+def num_chunks(n: int, size: int) -> int:
+    return len(chunk_ranges(n, size))
+
+
+def iter_chunks(n: int, size: int, axis: int = 0) -> Iterator[Chunk]:
+    """Yield :class:`Chunk` descriptors covering an axis of length ``n``."""
+    for i, (lo, hi) in enumerate(chunk_ranges(n, size)):
+        yield Chunk(index=i, axis=axis, lo=lo, hi=hi)
+
+
+def reassemble(chunks: list[tuple[Chunk, np.ndarray]], shape: tuple[int, ...], dtype) -> np.ndarray:
+    """Rebuild a full array from ``(chunk, value)`` pairs."""
+    out = np.empty(shape, dtype=dtype)
+    covered = 0
+    for chunk, value in chunks:
+        chunk.put(out, value)
+        covered += chunk.size
+    if covered != shape[chunks[0][0].axis]:
+        raise ValueError("chunks do not cover the partition axis exactly")
+    return out

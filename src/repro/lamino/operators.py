@@ -1,0 +1,144 @@
+"""The laminography operator stack: ``F_u1D``, ``F_u2D``, ``F_2D`` and adjoints.
+
+These are the six FFT operations of the paper's Algorithm 1.  The forward
+laminography operator factors as::
+
+    L u = F*_2D ( F_u2D ( F_u1D u ) )            (Algorithm 1, line 4)
+
+and its adjoint as ``L* d = F*_u1D ( F*_u2D ( F_2D d ) )``.  After operation
+cancellation (Algorithm 2) the detector-plane pair ``F*_2D``/``F_2D`` is
+elided and the solver works directly on ``d_hat = F_2D d`` in the frequency
+domain; :class:`LaminoOperators` exposes both compositions.
+
+All operators are exact numerical adjoint pairs (dot-product test to rounding
+error), and ``F_2D`` is unitary (``norm='ortho'``) so that the cancellation
+``F_2D F*_2D = I`` of Section 4.2 holds exactly.
+
+Shapes follow the paper::
+
+    u      (n1, n0, n2)            real or complex volume
+    u1     (n1, h,  n2)            after F_u1D   (z -> eta*sin(phi))
+    u2     (n_angles, h, w)        after F_u2D   (in-plane NUFFT)
+    d      (n_angles, h, w)        detector-space projections
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import LaminoGeometry
+from .usfft import (
+    USFFT1DPlan,
+    USFFT2DPlan,
+    usfft1d_type1,
+    usfft1d_type2,
+    usfft2d_type1,
+    usfft2d_type2,
+)
+
+__all__ = ["LaminoOperators", "OP_NAMES", "MEMOIZABLE_OPS"]
+
+#: The six FFT operations of Algorithm 1, in forward-then-adjoint order.
+OP_NAMES = ("Fu1D", "Fu2D", "F2D*", "F2D", "Fu2D*", "Fu1D*")
+
+#: The four operations that survive cancellation (Algorithm 2) and that the
+#: memoization engine replaces.
+MEMOIZABLE_OPS = ("Fu1D", "Fu2D", "Fu2D*", "Fu1D*")
+
+
+class LaminoOperators:
+    """Plan-carrying implementation of the laminography FFT operations.
+
+    Building an instance precomputes the USFFT gridding plans for the given
+    geometry; individual operator applications then run entirely from the
+    plans.  Chunked application (the unit the memoization engine works on) is
+    supported through the ``rows`` arguments, which select a slab of the
+    relevant partition axis:
+
+    - ``fu1d`` / ``fu1d_adj`` chunk along the volume x-axis (``n1``),
+    - ``fu2d`` / ``fu2d_adj`` chunk along the detector row-frequency axis
+      (``h``),
+    - ``f2d`` / ``f2d_adj`` chunk along the projection-angle axis.
+    """
+
+    def __init__(
+        self,
+        geometry: LaminoGeometry,
+        half_width: int = 7,
+        oversample: int = 2,
+    ) -> None:
+        self.geometry = geometry
+        n1, n0, n2 = geometry.vol_shape
+        self.plan1d = USFFT1DPlan(
+            n0, geometry.z_freqs(), half_width=half_width, oversample=oversample
+        )
+        self.plan2d = USFFT2DPlan(
+            (n1, n2),
+            geometry.inplane_points(),
+            half_width=half_width,
+            oversample=oversample,
+        )
+
+    # -- the six FFT operations ---------------------------------------------------
+
+    def fu1d(self, u: np.ndarray) -> np.ndarray:
+        """``F_u1D``: ``(m1, n0, n2) -> (m1, h, n2)`` (chunkable over axis 0)."""
+        return usfft1d_type2(u, self.plan1d, axis=1)
+
+    def fu1d_adj(self, u1: np.ndarray) -> np.ndarray:
+        """``F*_u1D``: ``(m1, h, n2) -> (m1, n0, n2)``."""
+        return usfft1d_type1(u1, self.plan1d, axis=1)
+
+    def fu2d(self, u1: np.ndarray, rows: slice | None = None) -> np.ndarray:
+        """``F_u2D``: ``(n1, h_c, n2) -> (n_angles, h_c, w)``.
+
+        ``rows`` selects the detector-row-frequency slab ``u1`` covers (its
+        axis 1); by default the full ``h`` range.
+        """
+        g = self.geometry
+        sl = rows if rows is not None else slice(0, g.det_shape[0])
+        slabs = np.ascontiguousarray(np.moveaxis(u1, 1, 0))  # (h_c, n1, n2)
+        flat = usfft2d_type2(slabs, self.plan2d, slices=sl)  # (h_c, ntheta*w)
+        out = flat.reshape(slabs.shape[0], g.n_angles, g.det_shape[1])
+        return np.ascontiguousarray(np.moveaxis(out, 0, 1))  # (ntheta, h_c, w)
+
+    def fu2d_adj(self, u2: np.ndarray, rows: slice | None = None) -> np.ndarray:
+        """``F*_u2D``: ``(n_angles, h_c, w) -> (n1, h_c, n2)``."""
+        g = self.geometry
+        sl = rows if rows is not None else slice(0, g.det_shape[0])
+        h_c = u2.shape[1]
+        flat = np.ascontiguousarray(np.moveaxis(u2, 1, 0)).reshape(h_c, -1)
+        slabs = usfft2d_type1(flat, self.plan2d, slices=sl)  # (h_c, n1, n2)
+        return np.ascontiguousarray(np.moveaxis(slabs, 0, 1))
+
+    @staticmethod
+    def f2d(d: np.ndarray) -> np.ndarray:
+        """``F_2D``: unitary centered detector FFT, per angle (chunkable axis 0)."""
+        shifted = np.fft.ifftshift(d, axes=(-2, -1))
+        spec = np.fft.fft2(shifted, axes=(-2, -1), norm="ortho")
+        return np.fft.fftshift(spec, axes=(-2, -1))
+
+    @staticmethod
+    def f2d_adj(dhat: np.ndarray) -> np.ndarray:
+        """``F*_2D`` = inverse of ``f2d`` (unitary, so adjoint == inverse)."""
+        shifted = np.fft.ifftshift(dhat, axes=(-2, -1))
+        img = np.fft.ifft2(shifted, axes=(-2, -1), norm="ortho")
+        return np.fft.fftshift(img, axes=(-2, -1))
+
+    # -- compositions ---------------------------------------------------------------
+
+    def forward(self, u: np.ndarray) -> np.ndarray:
+        """Full forward model ``L u`` (Algorithm 1): volume -> projections."""
+        return self.f2d_adj(self.fu2d(self.fu1d(u)))
+
+    def adjoint(self, d: np.ndarray) -> np.ndarray:
+        """Adjoint ``L* d``: projections -> volume."""
+        return self.fu1d_adj(self.fu2d_adj(self.f2d(d)))
+
+    def forward_freq(self, u: np.ndarray) -> np.ndarray:
+        """Cancelled forward model (Algorithm 2): volume -> detector spectrum."""
+        return self.fu2d(self.fu1d(u))
+
+    def adjoint_freq(self, dhat: np.ndarray) -> np.ndarray:
+        """Adjoint of :meth:`forward_freq`: detector spectrum -> volume."""
+        return self.fu1d_adj(self.fu2d_adj(dhat))

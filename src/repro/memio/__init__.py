@@ -1,0 +1,21 @@
+"""Offload substrate: variable inventory, phase tracing, SSD backing."""
+
+from .backing import SpillManager, SpillStats
+from .tracer import Access, PhaseTrace
+from .variables import (
+    TrackedVariable,
+    admm_variables,
+    peak_resident_bytes,
+    total_bytes,
+)
+
+__all__ = [
+    "SpillManager",
+    "SpillStats",
+    "Access",
+    "PhaseTrace",
+    "TrackedVariable",
+    "admm_variables",
+    "peak_resident_bytes",
+    "total_bytes",
+]

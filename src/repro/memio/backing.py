@@ -1,0 +1,113 @@
+"""Functional SSD backing store: real spill/prefetch of numpy arrays.
+
+The performance side of ADMM-Offload is simulated (:mod:`repro.core.offload`
+plans against the cost model), but offloading itself is real: this manager
+writes arrays to disk, drops the in-memory reference, and prefetches them
+back on a worker thread so the fetch at next use is (ideally) a cache hit —
+the exact mechanics of paper Section 5.1 at laptop scale.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SpillStats", "SpillManager"]
+
+
+@dataclass
+class SpillStats:
+    spills: int = 0
+    loads: int = 0
+    prefetches: int = 0
+    prefetch_hits: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+
+class SpillManager:
+    """Spill numpy arrays to a directory; prefetch them back asynchronously."""
+
+    def __init__(self, directory: str | None = None, workers: int = 2) -> None:
+        self._own_dir = directory is None
+        self._dir = tempfile.mkdtemp(prefix="mlr-spill-") if directory is None else directory
+        os.makedirs(self._dir, exist_ok=True)
+        self._pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="spill")
+        self._futures: dict[str, Future] = {}
+        self._on_disk: set[str] = set()
+        self._lock = threading.Lock()
+        self.stats = SpillStats()
+
+    # -- core operations ------------------------------------------------------------
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self._dir, f"{name}.npy")
+
+    def spill(self, name: str, array: np.ndarray) -> None:
+        """Write ``array`` to SSD under ``name`` (synchronous, like the
+        paper's offload-after-last-access)."""
+        np.save(self._path(name), array)
+        with self._lock:
+            self._on_disk.add(name)
+            self._futures.pop(name, None)
+        self.stats.spills += 1
+        self.stats.bytes_written += array.nbytes
+
+    def prefetch(self, name: str) -> None:
+        """Start loading ``name`` on a background thread."""
+        with self._lock:
+            if name not in self._on_disk:
+                raise KeyError(f"{name!r} is not spilled")
+            if name in self._futures:
+                return
+            self._futures[name] = self._pool.submit(np.load, self._path(name))
+        self.stats.prefetches += 1
+
+    def fetch(self, name: str) -> np.ndarray:
+        """Return the array, waiting on an in-flight prefetch if one exists."""
+        with self._lock:
+            fut = self._futures.pop(name, None)
+            if name not in self._on_disk:
+                raise KeyError(f"{name!r} is not spilled")
+        if fut is not None:
+            if fut.done():
+                self.stats.prefetch_hits += 1
+            arr = fut.result()
+        else:
+            arr = np.load(self._path(name))
+        self.stats.loads += 1
+        self.stats.bytes_read += arr.nbytes
+        return arr
+
+    def discard(self, name: str) -> None:
+        with self._lock:
+            self._futures.pop(name, None)
+            self._on_disk.discard(name)
+        try:
+            os.remove(self._path(name))
+        except FileNotFoundError:
+            pass
+
+    def is_spilled(self, name: str) -> bool:
+        return name in self._on_disk
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        if self._own_dir:
+            for name in list(self._on_disk):
+                self.discard(name)
+            try:
+                os.rmdir(self._dir)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SpillManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

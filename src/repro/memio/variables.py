@@ -1,0 +1,75 @@
+"""ADMM variable inventory: sizes, alias status, offload candidacy.
+
+The offload planner needs to know, for the paper-scale problem, how many
+bytes each ADMM variable occupies and whether it is a legal offload
+candidate ("a variable ... that does not have pointer aliases" — paper
+Section 5.1).  The sizes below are the true footprints of this repository's
+solver state (complex64 everywhere, gradient fields carry 3 components),
+evaluated at paper-scale dimensions; Figure 2's memory breakdown is
+regenerated from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TrackedVariable", "admm_variables", "total_bytes", "peak_resident_bytes"]
+
+_COMPLEX64 = 8
+
+
+@dataclass(frozen=True)
+class TrackedVariable:
+    """One solver-state array."""
+
+    name: str
+    nbytes: int
+    has_aliases: bool = False  # aliased variables are not offload candidates
+    description: str = ""
+
+    @property
+    def offload_candidate(self) -> bool:
+        return not self.has_aliases
+
+
+def admm_variables(n: int, n_angles: int | None = None) -> dict[str, TrackedVariable]:
+    """Variable table for a cubic ``n^3`` problem (detector ``n x n``,
+    ``n_angles`` defaults to ``n``)."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    nth = n_angles if n_angles is not None else n
+    vol = _COMPLEX64 * n**3
+    field3 = 3 * vol
+    data = _COMPLEX64 * nth * n * n
+    return {
+        "u": TrackedVariable(
+            "u", vol, has_aliases=True, description="reconstruction (aliased by CG)"
+        ),
+        "psi": TrackedVariable("psi", field3, description="TV splitting variable"),
+        "lam": TrackedVariable("lam", field3, description="Lagrange multipliers"),
+        "g": TrackedVariable("g", field3, description="psi - lam/rho (LSP target)"),
+        "g_prev": TrackedVariable(
+            "g_prev", vol, description="previous CG gradient (Algorithm 1 line 10)"
+        ),
+        "d": TrackedVariable(
+            "d", data, has_aliases=True, description="measured projections"
+        ),
+        "dhat": TrackedVariable("dhat", data, description="F2D(d), Algorithm 2 line 2"),
+        "work": TrackedVariable(
+            "work",
+            2 * data + vol,
+            has_aliases=True,
+            description="pipeline intermediates (u1, rhat, G)",
+        ),
+    }
+
+
+def total_bytes(variables: dict[str, TrackedVariable]) -> int:
+    return sum(v.nbytes for v in variables.values())
+
+
+def peak_resident_bytes(
+    variables: dict[str, TrackedVariable], offloaded: set[str] = frozenset()
+) -> int:
+    """Peak CPU residency if ``offloaded`` variables live on SSD between uses."""
+    return sum(v.nbytes for name, v in variables.items() if name not in offloaded)

@@ -1,0 +1,36 @@
+"""NumPy CNN substrate: the chunk key encoder and its training/quantization."""
+
+from .cnn import ChunkEncoder, complex_to_channels
+from .contrastive import SGD, TrainReport, make_pairs, pair_loss, train_contrastive
+from .layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    Param,
+    ReLU,
+    Sequential,
+)
+from .quantize import QuantizedEncoder, QuantizedTensor, quantize_tensor
+
+__all__ = [
+    "ChunkEncoder",
+    "complex_to_channels",
+    "SGD",
+    "TrainReport",
+    "make_pairs",
+    "pair_loss",
+    "train_contrastive",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "Layer",
+    "MaxPool2D",
+    "Param",
+    "ReLU",
+    "Sequential",
+    "QuantizedEncoder",
+    "QuantizedTensor",
+    "quantize_tensor",
+]

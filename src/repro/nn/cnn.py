@@ -1,0 +1,75 @@
+"""The paper's chunk-encoder CNN (Section 4.3.1).
+
+Architecture, verbatim from the paper: "Our CNN has three layers.  The first
+layer has 32 filters, each with the size of 5x5.  The second layer has 64
+filters, each with the size of 3x3.  The third layer is a fully connected
+layer which embeds the features extracted by the prior layers into a
+lower-dimensional space."  Inputs are two-channel (real/imaginary) images —
+the decomposition the paper uses because DL frameworks do not support
+COMPLEX64 tensors — and the default embedding dimensionality is 60, matching
+the index-database example of Section 4.3.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+__all__ = ["ChunkEncoder", "complex_to_channels"]
+
+
+def complex_to_channels(img: np.ndarray) -> np.ndarray:
+    """Split a complex image batch ``(B, H, W)`` into ``(B, 2, H, W)``.
+
+    "the COMPLEX64-typed matrix is decomposed into two matrices,
+    corresponding to the real and imaginary components" — this preserves
+    magnitude and phase exactly.
+    """
+    if img.ndim != 3:
+        raise ValueError(f"expected (B, H, W), got {img.shape}")
+    return np.stack([img.real, img.imag], axis=1).astype(np.float32)
+
+
+class ChunkEncoder:
+    """3-layer CNN mapping ``(B, 2, hw, hw)`` chunk images to ``(B, dim)`` keys."""
+
+    def __init__(self, input_hw: int = 32, embed_dim: int = 60, seed: int = 0) -> None:
+        if input_hw % 4:
+            raise ValueError(f"input_hw must be divisible by 4, got {input_hw}")
+        self.input_hw = input_hw
+        self.embed_dim = embed_dim
+        feat = 64 * (input_hw // 4) * (input_hw // 4)
+        self.net = Sequential(
+            Conv2D(2, 32, 5, seed=seed),
+            ReLU(),
+            MaxPool2D(),
+            Conv2D(32, 64, 3, seed=seed + 1),
+            ReLU(),
+            MaxPool2D(),
+            Flatten(),
+            Dense(feat, embed_dim, seed=seed + 2),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1:] != (2, self.input_hw, self.input_hw):
+            raise ValueError(
+                f"expected (B, 2, {self.input_hw}, {self.input_hw}), got {x.shape}"
+            )
+        return self.net.forward(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad)
+
+    def encode(self, img: np.ndarray) -> np.ndarray:
+        """Encode a batch of complex images ``(B, H, W)`` to keys ``(B, dim)``."""
+        return self.forward(complex_to_channels(img))
+
+    def params(self):
+        return self.net.params()
+
+    def zero_grad(self) -> None:
+        self.net.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(int(np.prod(p.shape)) for p in self.params())

@@ -1,0 +1,180 @@
+"""Minimal NumPy neural-network layers with exact backward passes.
+
+The paper trains its key encoder with PyTorch on a GPU; this module is the
+offline-environment substitute: conv/pool/dense layers implemented with
+im2col (``sliding_window_view``) whose gradients are verified against
+numerical differentiation in the test suite.  Only what the 3-layer chunk
+encoder needs is provided — this is not a general DL framework.
+
+All layers operate on ``(batch, channels, height, width)`` float32 tensors
+(dense layers on ``(batch, features)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Param", "Layer", "Conv2D", "ReLU", "MaxPool2D", "Flatten", "Dense", "Sequential"]
+
+
+class Param:
+    """A trainable tensor with its accumulated gradient."""
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = value.astype(np.float32)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+
+class Layer:
+    """Base layer: ``forward`` caches what ``backward`` needs."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def params(self) -> list[Param]:
+        return []
+
+
+class Conv2D(Layer):
+    """`same`-padded 2-D convolution (stride 1) via im2col."""
+
+    def __init__(self, in_ch: int, out_ch: int, ksize: int, seed: int = 0) -> None:
+        if ksize % 2 == 0:
+            raise ValueError(f"ksize must be odd for same padding, got {ksize}")
+        rng = np.random.default_rng(seed)
+        fan_in = in_ch * ksize * ksize
+        self.ksize = ksize
+        self.in_ch = in_ch
+        self.out_ch = out_ch
+        self.weight = Param(
+            rng.standard_normal((out_ch, in_ch, ksize, ksize)) * np.sqrt(2.0 / fan_in)
+        )
+        self.bias = Param(np.zeros(out_ch))
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_ch:
+            raise ValueError(f"expected (B,{self.in_ch},H,W), got {x.shape}")
+        k = self.ksize
+        p = k // 2
+        xp = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        # windows: (B, C, H, W, k, k)
+        win = np.lib.stride_tricks.sliding_window_view(xp, (k, k), axis=(2, 3))
+        B, C, H, W = x.shape
+        cols = win.reshape(B, C, H, W, k * k).transpose(0, 2, 3, 1, 4).reshape(
+            B * H * W, C * k * k
+        )
+        wmat = self.weight.value.reshape(self.out_ch, C * k * k)
+        out = cols @ wmat.T + self.bias.value
+        self._cache = (x.shape, cols)
+        return out.reshape(B, H, W, self.out_ch).transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        (B, C, H, W), cols = self._cache
+        k = self.ksize
+        p = k // 2
+        gflat = grad.transpose(0, 2, 3, 1).reshape(B * H * W, self.out_ch)
+        self.weight.grad += (gflat.T @ cols).reshape(self.weight.shape)
+        self.bias.grad += gflat.sum(axis=0)
+        # grad wrt input: correlate grad with flipped kernels == scatter cols
+        gcols = gflat @ self.weight.value.reshape(self.out_ch, C * k * k)
+        gcols = gcols.reshape(B, H, W, C, k, k)
+        gx = np.zeros((B, C, H + 2 * p, W + 2 * p), dtype=grad.dtype)
+        for i in range(k):
+            for j in range(k):
+                gx[:, :, i : i + H, j : j + W] += gcols[:, :, :, :, i, j].transpose(
+                    0, 3, 1, 2
+                )
+        return gx[:, :, p : p + H, p : p + W]
+
+    def params(self) -> list[Param]:
+        return [self.weight, self.bias]
+
+
+class ReLU(Layer):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class MaxPool2D(Layer):
+    """2x2 max pooling (the only size the encoder needs)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        B, C, H, W = x.shape
+        if H % 2 or W % 2:
+            raise ValueError(f"H and W must be even for 2x2 pooling, got {x.shape}")
+        blocks = x.reshape(B, C, H // 2, 2, W // 2, 2)
+        out = blocks.max(axis=(3, 5))
+        # distribute ties evenly so backward remains a true subgradient
+        mask = blocks == out[:, :, :, None, :, None]
+        self._mask = mask / mask.sum(axis=(3, 5), keepdims=True)
+        self._in_shape = x.shape
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = grad[:, :, :, None, :, None] * self._mask
+        return g.reshape(self._in_shape)
+
+
+class Flatten(Layer):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._in_shape)
+
+
+class Dense(Layer):
+    def __init__(self, in_features: int, out_features: int, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.weight = Param(
+            rng.standard_normal((out_features, in_features))
+            * np.sqrt(2.0 / in_features)
+        )
+        self.bias = Param(np.zeros(out_features))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.value.T + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.weight.grad += grad.T @ self._x
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value
+
+    def params(self) -> list[Param]:
+        return [self.weight, self.bias]
+
+
+class Sequential(Layer):
+    def __init__(self, *layers: Layer) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self) -> list[Param]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def zero_grad(self) -> None:
+        for p in self.params():
+            p.grad[...] = 0.0

@@ -1,0 +1,113 @@
+"""INT8 weight quantization for the key encoder (paper Section 4.3.1).
+
+"We apply INT8 quantization to the weights of the CNN model, and optimize
+its performance using vectorization (AVX512 instructions)."  Here the
+AVX512 kernels become NumPy's vectorized integer GEMMs: weights are stored
+as symmetric per-tensor int8 with a float scale, activations are quantized
+per batch, and matrix products accumulate in int32 before a single
+dequantization multiply — the standard int8 inference recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cnn import ChunkEncoder
+from .layers import Conv2D, Dense
+
+__all__ = ["QuantizedTensor", "quantize_tensor", "QuantizedEncoder"]
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """Symmetric per-tensor int8 quantization of a float array."""
+
+    q: np.ndarray  # int8
+    scale: float
+
+    def dequantize(self) -> np.ndarray:
+        return self.q.astype(np.float32) * self.scale
+
+
+def quantize_tensor(x: np.ndarray) -> QuantizedTensor:
+    """Symmetric int8: ``q = round(x / scale)`` with ``scale = max|x| / 127``."""
+    amax = float(np.max(np.abs(x)))
+    scale = amax / 127.0 if amax > 0 else 1.0
+    q = np.clip(np.rint(x / scale), -127, 127).astype(np.int8)
+    return QuantizedTensor(q=q, scale=scale)
+
+
+def _int8_gemm(xq: np.ndarray, sx: float, wq: np.ndarray, sw: float) -> np.ndarray:
+    """``(x @ w.T)`` with int32 accumulation and one dequantize multiply."""
+    acc = xq.astype(np.int32) @ wq.astype(np.int32).T
+    return acc.astype(np.float32) * (sx * sw)
+
+
+class QuantizedEncoder:
+    """Int8-weight inference path for a trained :class:`ChunkEncoder`.
+
+    Convolutions run as quantized GEMMs over im2col patches; activations are
+    re-quantized per layer (dynamic quantization).  ``forward`` mirrors the
+    float encoder within the usual int8 error envelope (see tests).
+    """
+
+    def __init__(self, encoder: ChunkEncoder) -> None:
+        self.input_hw = encoder.input_hw
+        self.embed_dim = encoder.embed_dim
+        self._layers: list[tuple] = []
+        for layer in encoder.net.layers:
+            if isinstance(layer, Conv2D):
+                wq = quantize_tensor(layer.weight.value)
+                self._layers.append(("conv", layer.ksize, wq, layer.bias.value.copy()))
+            elif isinstance(layer, Dense):
+                wq = quantize_tensor(layer.weight.value)
+                self._layers.append(("dense", None, wq, layer.bias.value.copy()))
+            else:
+                self._layers.append(("passthrough", layer, None, None))
+
+    @property
+    def nbytes_weights(self) -> int:
+        """Quantized weight footprint (what the paper's INT8 step saves)."""
+        return sum(
+            entry[2].q.nbytes for entry in self._layers if entry[0] in ("conv", "dense")
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for kind, meta, wq, bias in self._layers:
+            if kind == "conv":
+                x = self._conv_int8(x, meta, wq, bias)
+            elif kind == "dense":
+                xq = quantize_tensor(x)
+                x = _int8_gemm(
+                    xq.q, xq.scale, wq.q.reshape(wq.q.shape[0], -1), wq.scale
+                ) + bias
+            else:
+                x = meta.forward(x)
+        return x.astype(np.float32)
+
+    def encode(self, img: np.ndarray) -> np.ndarray:
+        from .cnn import complex_to_channels
+
+        return self.forward(complex_to_channels(img))
+
+    @staticmethod
+    def _im2col(x: np.ndarray, k: int) -> np.ndarray:
+        B, C, H, W = x.shape
+        p = k // 2
+        xp = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        win = np.lib.stride_tricks.sliding_window_view(xp, (k, k), axis=(2, 3))
+        return win.reshape(B, C, H, W, k * k).transpose(0, 2, 3, 1, 4).reshape(
+            B * H * W, C * k * k
+        )
+
+    def _conv_int8(
+        self, x: np.ndarray, k: int, wq: QuantizedTensor, bias: np.ndarray
+    ) -> np.ndarray:
+        B, _, H, W = x.shape
+        cols = self._im2col(x, k)
+        cq = quantize_tensor(cols)
+        out_ch = wq.q.shape[0]
+        out = _int8_gemm(cq.q, cq.scale, wq.q.reshape(out_ch, -1), wq.scale) + bias
+        return out.reshape(B, H, W, out_ch).transpose(0, 3, 1, 2)

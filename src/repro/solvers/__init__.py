@@ -1,0 +1,33 @@
+"""ADMM-TV solver machinery for laminography reconstruction."""
+
+from .admm import PHASES, ADMMConfig, ADMMResult, ADMMSolver
+from .cg import NCGState, cg_linear
+from .executor import DirectExecutor
+from .grad import div3, grad3, grad_norm
+from .lsp import LSP, LSPResult, estimate_normal_lipschitz
+from .metrics import accuracy, cosine_similarity, psnr, relative_error, rmse
+from .tv import rsp_update, shrink_isotropic, tv_norm
+
+__all__ = [
+    "PHASES",
+    "ADMMConfig",
+    "ADMMResult",
+    "ADMMSolver",
+    "NCGState",
+    "cg_linear",
+    "DirectExecutor",
+    "div3",
+    "grad3",
+    "grad_norm",
+    "LSP",
+    "LSPResult",
+    "estimate_normal_lipschitz",
+    "accuracy",
+    "cosine_similarity",
+    "psnr",
+    "relative_error",
+    "rmse",
+    "rsp_update",
+    "shrink_isotropic",
+    "tv_norm",
+]

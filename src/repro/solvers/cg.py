@@ -1,0 +1,111 @@
+"""Conjugate-gradient machinery for the laminography subproblem.
+
+Two flavors:
+
+- :func:`cg_linear` — textbook CG on a positive (semi)definite operator,
+  used as a reference and in unit tests;
+- :class:`NCGState` — the gradient-only update the paper's Algorithm 1 line 9
+  performs (``u <- CG(u, G, G_prev)``): a Dai--Yuan conjugate direction with a
+  Barzilai--Borwein step length.  It needs exactly one gradient evaluation
+  (one forward + one adjoint pass) per inner iteration, which is what gives
+  LSP its fixed six-FFT-ops (four after cancellation) cost per iteration —
+  the quantity mLR's memoization engine and the cost model both count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["cg_linear", "NCGState"]
+
+
+def _vdot(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.real(np.vdot(a, b)))
+
+
+def cg_linear(
+    apply_A: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    x0: np.ndarray,
+    n_iters: int,
+    tol: float = 0.0,
+) -> tuple[np.ndarray, list[float]]:
+    """Solve ``A x = b`` with ``n_iters`` CG steps; returns (x, residual norms)."""
+    x = x0.copy()
+    r = b - apply_A(x)
+    p = r.copy()
+    rs = _vdot(r, r)
+    history = [np.sqrt(rs)]
+    for _ in range(n_iters):
+        if history[-1] <= tol:
+            break
+        Ap = apply_A(p)
+        denom = _vdot(p, Ap)
+        if denom <= 0.0:
+            break  # numerical breakdown / semidefinite direction
+        alpha = rs / denom
+        x += alpha * p
+        r -= alpha * Ap
+        rs_new = _vdot(r, r)
+        history.append(np.sqrt(rs_new))
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return x, history
+
+
+@dataclass
+class NCGState:
+    """Stateful gradient-only update (Barzilai--Borwein steepest descent).
+
+    Usage per inner iteration::
+
+        G = gradient(u)
+        u = state.step(u, G)
+
+    The first step uses ``1/lipschitz`` as the step length (callers estimate
+    the Lipschitz constant once per solve, e.g. by power iteration on the
+    normal operator); subsequent steps use the Barzilai--Borwein BB1 length
+    ``<s,s>/<s,y>`` from consecutive iterates/gradients.  For strictly convex
+    quadratics — which LSP is — BB steepest descent is globally convergent
+    without any line search (Raydan 1993), so the update needs exactly one
+    gradient (one forward + one adjoint operator pass) per iteration; that is
+    the fixed per-iteration FFT-operation budget the paper's Algorithm 1
+    line 9 (``u <- CG(u, G, G_prev)``) assumes.  The BB length is clipped to
+    ``[step_min, step_max]`` for robustness on nearly flat directions.
+    """
+
+    lipschitz: float
+    step_min: float = 1e-8
+    #: upper clamp as a multiple of the safe 1/L gradient step.  BB steps can
+    #: legitimately exceed 1/L (that is their point), but with *approximate*
+    #: gradients — memoized FFT results — unbounded BB steps diverge, so the
+    #: clamp bounds the damage while preserving most of BB's acceleration.
+    step_max_rel: float = 25.0
+    _prev_g: np.ndarray | None = field(default=None, repr=False)
+    _prev_u: np.ndarray | None = field(default=None, repr=False)
+
+    def reset(self) -> None:
+        self._prev_g = None
+        self._prev_u = None
+
+    def step(self, u: np.ndarray, g: np.ndarray) -> np.ndarray:
+        if self.lipschitz <= 0:
+            raise ValueError(f"lipschitz must be > 0, got {self.lipschitz}")
+        if self._prev_g is None:
+            step = 1.0 / self.lipschitz
+        else:
+            y = g - self._prev_g
+            s = u - self._prev_u
+            sy = _vdot(s, y)
+            ss = _vdot(s, s)
+            # BB1; fall back to the safe Lipschitz step on negative curvature.
+            step = ss / sy if sy > 1e-30 else 1.0 / self.lipschitz
+            step = float(
+                np.clip(step, self.step_min, self.step_max_rel / self.lipschitz)
+            )
+        self._prev_g = g.copy()
+        self._prev_u = u.copy()
+        return u - step * g

@@ -1,0 +1,123 @@
+"""Operation-executor abstraction: where memoization plugs into the solver.
+
+The LSP inner loop never calls :class:`~repro.lamino.operators.LaminoOperators`
+directly; it goes through an *executor* so that mLR's memoization engine can
+intercept each FFT operation chunk-by-chunk without touching solver code.
+The contract (duck-typed; :class:`DirectExecutor` is the reference
+implementation) is:
+
+- ``fu1d / fu1d_adj / fu2d / fu2d_adj / f2d / f2d_adj`` — the six operations
+  of Algorithm 1, full-array in/out; implementations are free to partition
+  the work into chunks internally,
+- ``fu2d(..., subtract=dhat)`` — the fused subtract-in-kernel variant of
+  Section 4.2 (Figure 5b): returns ``Fu2D(x) - dhat`` from a single call,
+- ``begin_outer / begin_inner`` — iteration markers used by memoization to
+  distinguish revisits of the same chunk location,
+- ``op_counts`` — dict op-name -> number of chunk-level invocations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..lamino.chunking import iter_chunks
+from ..lamino.operators import LaminoOperators
+
+__all__ = ["DirectExecutor"]
+
+
+class DirectExecutor:
+    """Chunk-streaming executor with no memoization (the paper's baseline).
+
+    ``chunk_size`` mirrors the GPU pipeline granularity: ``fu1d`` partitions
+    along the volume x-axis, ``fu2d``/``fu2d_adj`` along the detector
+    row-frequency axis, ``f2d``/``f2d_adj`` along the angle axis.  Setting
+    ``chunk_size=None`` disables chunking (single full-array call).
+    """
+
+    def __init__(self, ops: LaminoOperators, chunk_size: int | None = None) -> None:
+        self.ops = ops
+        self.chunk_size = chunk_size
+        self.op_counts: Counter[str] = Counter()
+        self.outer_iteration = -1
+        self.inner_iteration = -1
+
+    # -- iteration markers ---------------------------------------------------------
+
+    def begin_outer(self, iteration: int) -> None:
+        self.outer_iteration = iteration
+
+    def begin_inner(self, iteration: int) -> None:
+        self.inner_iteration = iteration
+
+    # -- chunk helpers ---------------------------------------------------------------
+
+    def _chunks(self, n: int):
+        size = self.chunk_size if self.chunk_size is not None else n
+        return iter_chunks(n, size)
+
+    # -- the six operations ----------------------------------------------------------
+
+    def fu1d(self, u: np.ndarray) -> np.ndarray:
+        parts = []
+        for chunk in self._chunks(u.shape[0]):
+            self.op_counts["Fu1D"] += 1
+            parts.append(self._run_fu1d(chunk, u[chunk.slice]))
+        return np.concatenate(parts, axis=0)
+
+    def fu1d_adj(self, u1: np.ndarray) -> np.ndarray:
+        parts = []
+        for chunk in self._chunks(u1.shape[0]):
+            self.op_counts["Fu1D*"] += 1
+            parts.append(self._run_fu1d_adj(chunk, u1[chunk.slice]))
+        return np.concatenate(parts, axis=0)
+
+    def fu2d(self, u1: np.ndarray, subtract: np.ndarray | None = None) -> np.ndarray:
+        h = u1.shape[1]
+        parts = []
+        for chunk in self._chunks(h):
+            self.op_counts["Fu2D"] += 1
+            sub = subtract[:, chunk.slice, :] if subtract is not None else None
+            parts.append(self._run_fu2d(chunk, u1[:, chunk.slice, :], sub))
+        return np.concatenate(parts, axis=1)
+
+    def fu2d_adj(self, r: np.ndarray) -> np.ndarray:
+        h = r.shape[1]
+        parts = []
+        for chunk in self._chunks(h):
+            self.op_counts["Fu2D*"] += 1
+            parts.append(self._run_fu2d_adj(chunk, r[:, chunk.slice, :]))
+        return np.concatenate(parts, axis=1)
+
+    def f2d(self, d: np.ndarray) -> np.ndarray:
+        parts = []
+        for chunk in self._chunks(d.shape[0]):
+            self.op_counts["F2D"] += 1
+            parts.append(self.ops.f2d(d[chunk.slice]))
+        return np.concatenate(parts, axis=0)
+
+    def f2d_adj(self, dhat: np.ndarray) -> np.ndarray:
+        parts = []
+        for chunk in self._chunks(dhat.shape[0]):
+            self.op_counts["F2D*"] += 1
+            parts.append(self.ops.f2d_adj(dhat[chunk.slice]))
+        return np.concatenate(parts, axis=0)
+
+    # -- single-chunk kernels (overridden by the memoized executor) -------------------
+
+    def _run_fu1d(self, chunk, u_c: np.ndarray) -> np.ndarray:
+        return self.ops.fu1d(u_c)
+
+    def _run_fu1d_adj(self, chunk, u1_c: np.ndarray) -> np.ndarray:
+        return self.ops.fu1d_adj(u1_c)
+
+    def _run_fu2d(self, chunk, u1_c: np.ndarray, sub: np.ndarray | None) -> np.ndarray:
+        out = self.ops.fu2d(u1_c, rows=chunk.slice)
+        if sub is not None:
+            out = out - sub  # the fused kernel's extra argument (Fig. 5b)
+        return out
+
+    def _run_fu2d_adj(self, chunk, r_c: np.ndarray) -> np.ndarray:
+        return self.ops.fu2d_adj(r_c, rows=chunk.slice)

@@ -1,0 +1,55 @@
+"""Quality metrics: the paper's E / Accuracy (Eqs. 4--5) and friends."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relative_error",
+    "accuracy",
+    "cosine_similarity",
+    "psnr",
+    "rmse",
+]
+
+
+def relative_error(r_comp: np.ndarray, r_lb: np.ndarray) -> float:
+    """Paper Eq. 4: ``E = ||R_comp - R_LB||_F / ||R_comp||_F``.
+
+    ``r_comp`` is the reference reconstruction (original ADMM-FFT), ``r_lb``
+    the memoized one.
+    """
+    denom = float(np.linalg.norm(r_comp))
+    if denom == 0.0:
+        raise ValueError("reference reconstruction has zero norm")
+    return float(np.linalg.norm(r_comp - r_lb)) / denom
+
+
+def accuracy(r_comp: np.ndarray, r_lb: np.ndarray) -> float:
+    """Paper Eq. 5: ``Accuracy = 1 - E``."""
+    return 1.0 - relative_error(r_comp, r_lb)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Paper Eq. 3 on flattened arrays (complex-safe: real part of the
+    normalized inner product)."""
+    na = float(np.linalg.norm(a))
+    nb = float(np.linalg.norm(b))
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.real(np.vdot(a, b))) / (na * nb)
+
+
+def rmse(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.sqrt(np.mean(np.abs(a - b) ** 2)))
+
+
+def psnr(reference: np.ndarray, estimate: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB against ``reference``'s dynamic range."""
+    peak = float(np.max(np.abs(reference)))
+    if peak == 0.0:
+        raise ValueError("reference has zero dynamic range")
+    err = rmse(reference, estimate)
+    if err == 0.0:
+        return float("inf")
+    return 20.0 * np.log10(peak / err)

@@ -1,0 +1,192 @@
+"""Flat / IVF / HNSW index behavior and recall guarantees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann import FlatIndex, HNSWIndex, IVFFlatIndex
+
+
+def dataset(rng, n=200, dim=8):
+    return rng.standard_normal((n, dim)).astype(np.float32)
+
+
+class TestFlat:
+    def test_empty_search(self):
+        idx = FlatIndex(4)
+        d, i = idx.search(np.zeros((1, 4)), k=3)
+        assert np.all(np.isinf(d)) and np.all(i == -1)
+
+    def test_exact_nearest(self, rng):
+        vecs = dataset(rng)
+        idx = FlatIndex(8)
+        idx.add(vecs)
+        q = vecs[17] + 0.001
+        d, i = idx.search(q, k=1)
+        assert i[0, 0] == 17
+
+    def test_k_larger_than_index(self, rng):
+        idx = FlatIndex(4)
+        idx.add(rng.standard_normal((2, 4)).astype(np.float32))
+        d, i = idx.search(np.zeros((1, 4)), k=5)
+        assert (i[0, :2] >= 0).all() and (i[0, 2:] == -1).all()
+
+    def test_custom_ids(self, rng):
+        idx = FlatIndex(4)
+        vecs = dataset(rng, n=3, dim=4)
+        idx.add(vecs, ids=np.array([100, 200, 300]))
+        _, i = idx.search(vecs[1], k=1)
+        assert i[0, 0] == 200
+
+    def test_dim_mismatch(self, rng):
+        idx = FlatIndex(4)
+        with pytest.raises(ValueError):
+            idx.add(rng.standard_normal((2, 5)).astype(np.float32))
+
+    def test_distances_sorted_and_euclidean(self, rng):
+        vecs = dataset(rng, n=50)
+        idx = FlatIndex(8)
+        idx.add(vecs)
+        q = rng.standard_normal(8).astype(np.float32)
+        d, i = idx.search(q, k=5)
+        assert (np.diff(d[0]) >= -1e-6).all()
+        np.testing.assert_allclose(
+            d[0, 0], np.linalg.norm(vecs[i[0, 0]] - q), rtol=1e-4
+        )
+
+
+class TestIVF:
+    def test_requires_training(self, rng):
+        idx = IVFFlatIndex(8)
+        with pytest.raises(RuntimeError):
+            idx.add(dataset(rng, 4))
+        with pytest.raises(RuntimeError):
+            idx.search(np.zeros((1, 8)))
+
+    def test_recall_with_full_probe(self, rng):
+        """nprobe == n_clusters makes IVF exact."""
+        vecs = dataset(rng, n=300)
+        ivf = IVFFlatIndex(8, n_clusters=8, nprobe=8)
+        ivf.train(vecs[:100])
+        ivf.add(vecs)
+        flat = FlatIndex(8)
+        flat.add(vecs)
+        q = dataset(rng, n=20)
+        _, want = flat.search(q, k=1)
+        _, got = ivf.search(q, k=1)
+        assert (got == want).mean() == 1.0
+
+    def test_recall_reasonable_with_small_probe(self, rng):
+        vecs = dataset(rng, n=400)
+        ivf = IVFFlatIndex(8, n_clusters=16, nprobe=4)
+        ivf.train(vecs[:200])
+        ivf.add(vecs)
+        flat = FlatIndex(8)
+        flat.add(vecs)
+        q = dataset(rng, n=50)
+        _, want = flat.search(q, k=1)
+        _, got = ivf.search(q, k=1)
+        assert (got == want).mean() > 0.6
+
+    def test_dynamic_insertion_is_list_append(self, rng):
+        """Adding must not restructure: list sizes only grow by the inserted
+        count (the property the paper picks IVF for)."""
+        vecs = dataset(rng, n=64)
+        ivf = IVFFlatIndex(8, n_clusters=4)
+        ivf.train(vecs)
+        ivf.add(vecs[:32])
+        before = ivf.list_sizes()
+        ivf.add(vecs[32:])
+        after = ivf.list_sizes()
+        assert sum(after) - sum(before) == 32
+        assert all(a >= b for a, b in zip(after, before))
+
+    def test_len_counts_entries(self, rng):
+        vecs = dataset(rng, n=10)
+        ivf = IVFFlatIndex(8, n_clusters=2)
+        ivf.train(vecs)
+        assert len(ivf) == 0
+        ivf.add(vecs)
+        assert len(ivf) == 10
+
+    def test_ids_returned_on_add(self, rng):
+        vecs = dataset(rng, n=6)
+        ivf = IVFFlatIndex(8, n_clusters=2)
+        ivf.train(vecs)
+        ids1 = ivf.add(vecs[:3])
+        ids2 = ivf.add(vecs[3:])
+        assert set(ids1) | set(ids2) == set(range(6))
+
+    def test_more_clusters_than_samples_clamped(self, rng):
+        vecs = dataset(rng, n=5)
+        ivf = IVFFlatIndex(8, n_clusters=32, nprobe=32)
+        ivf.train(vecs)
+        assert ivf.n_clusters == 5
+
+    def test_batched_search_fewer_centroid_scans(self, rng):
+        """One batched call computes fewer distances than per-query calls —
+        the effect key coalescing exploits."""
+        vecs = dataset(rng, n=200)
+        q = dataset(rng, n=16)
+        a = IVFFlatIndex(8, n_clusters=8, nprobe=2)
+        a.train(vecs[:100]); a.add(vecs)
+        a.n_distance_computations = 0
+        a.search(q, k=1)
+        batched = a.n_distance_computations
+        b = IVFFlatIndex(8, n_clusters=8, nprobe=2)
+        b.train(vecs[:100]); b.add(vecs)
+        b.n_distance_computations = 0
+        for row in q:
+            b.search(row[None], k=1)
+        sequential = b.n_distance_computations
+        assert batched <= sequential
+
+
+class TestHNSW:
+    def test_empty_search(self):
+        idx = HNSWIndex(4)
+        d, i = idx.search(np.zeros((1, 4)))
+        assert np.all(i == -1)
+
+    def test_single_element(self, rng):
+        idx = HNSWIndex(4)
+        v = rng.standard_normal((1, 4)).astype(np.float32)
+        idx.add(v)
+        d, i = idx.search(v)
+        assert i[0, 0] == 0 and d[0, 0] < 1e-5
+
+    def test_recall_against_flat(self, rng):
+        vecs = dataset(rng, n=300)
+        hnsw = HNSWIndex(8, m=8, ef_construction=48, ef_search=32, seed=0)
+        hnsw.add(vecs)
+        flat = FlatIndex(8)
+        flat.add(vecs)
+        q = dataset(rng, n=40)
+        _, want = flat.search(q, k=1)
+        _, got = hnsw.search(q, k=1)
+        assert (got == want).mean() > 0.85
+
+    def test_insertion_rewires_graph(self, rng):
+        """The reconstruction cost the paper avoids: inserts touch existing
+        nodes' edge lists (unlike IVF's pure appends)."""
+        idx = HNSWIndex(8, m=4, seed=0)
+        idx.add(dataset(rng, n=100))
+        assert idx.n_edge_updates > 100
+
+    def test_dim_mismatch(self, rng):
+        idx = HNSWIndex(4)
+        with pytest.raises(ValueError):
+            idx.add(rng.standard_normal((2, 5)).astype(np.float32))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_nearest_self_query(self, seed):
+        rng = np.random.default_rng(seed)
+        vecs = rng.standard_normal((60, 6)).astype(np.float32)
+        idx = HNSWIndex(6, m=6, ef_search=24, seed=seed)
+        idx.add(vecs)
+        _, got = idx.search(vecs[:10], k=1)
+        assert (got[:, 0] == np.arange(10)).mean() >= 0.9

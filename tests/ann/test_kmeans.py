@@ -1,0 +1,69 @@
+"""k-means: clustering quality, edge cases, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann import assign, kmeans
+
+
+def blobs(rng, k=3, per=30, dim=4, spread=0.1):
+    centers = rng.standard_normal((k, dim)) * 5
+    pts = np.concatenate(
+        [c + spread * rng.standard_normal((per, dim)) for c in centers]
+    )
+    return pts, centers
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        pts, true_centers = blobs(rng)
+        centers, labels = kmeans(pts, 3, seed=0)
+        # each found center must be near one true center
+        for c in centers:
+            assert np.min(np.linalg.norm(true_centers - c, axis=1)) < 0.5
+
+    def test_labels_match_assign(self, rng):
+        pts, _ = blobs(rng)
+        centers, labels = kmeans(pts, 3, seed=1)
+        np.testing.assert_array_equal(labels, assign(pts, centers))
+
+    def test_k_equals_n(self, rng):
+        pts = rng.standard_normal((5, 3))
+        centers, labels = kmeans(pts, 5, seed=0)
+        assert len(np.unique(labels)) == 5
+
+    def test_k_one(self, rng):
+        pts = rng.standard_normal((20, 3))
+        centers, labels = kmeans(pts, 1)
+        np.testing.assert_allclose(centers[0], pts.mean(axis=0), rtol=1e-6)
+
+    @pytest.mark.parametrize("k", [0, 100])
+    def test_invalid_k(self, rng, k):
+        with pytest.raises(ValueError):
+            kmeans(rng.standard_normal((10, 2)), k)
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(rng.standard_normal(10), 2)
+
+    def test_deterministic_by_seed(self, rng):
+        pts, _ = blobs(rng)
+        c1, _ = kmeans(pts, 3, seed=7)
+        c2, _ = kmeans(pts, 3, seed=7)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_no_empty_clusters_on_duplicates(self):
+        pts = np.zeros((10, 2))
+        pts[5:] = 1.0
+        centers, labels = kmeans(pts, 2, seed=0)
+        assert len(np.unique(labels)) == 2
+
+    def test_inertia_not_worse_than_init(self, rng):
+        pts, _ = blobs(rng, spread=1.0)
+        centers, labels = kmeans(pts, 3, n_iters=25, seed=0)
+        inertia = np.sum((pts - centers[labels]) ** 2)
+        c0, l0 = kmeans(pts, 3, n_iters=0, seed=0)
+        inertia0 = np.sum((pts - c0[l0]) ** 2)
+        assert inertia <= inertia0 + 1e-9

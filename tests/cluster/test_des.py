@@ -1,0 +1,143 @@
+"""DES kernel invariants: FIFO ordering, overlap, utilization accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Resource, Timeline
+
+
+class TestResource:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource("r", capacity=0)
+
+    def test_serial_occupation(self):
+        r = Resource("gpu")
+        assert r.occupy(0.0, 2.0) == 2.0
+        assert r.occupy(0.0, 3.0) == 5.0  # queued behind the first
+        assert r.busy_time == 5.0
+
+    def test_multichannel(self):
+        r = Resource("nic", capacity=2)
+        assert r.occupy(0.0, 4.0) == 4.0
+        assert r.occupy(0.0, 4.0) == 4.0  # second channel
+        assert r.occupy(0.0, 1.0) == 5.0  # queued
+
+    def test_gap_respected(self):
+        r = Resource("gpu")
+        r.occupy(0.0, 1.0)
+        assert r.occupy(10.0, 1.0) == 11.0  # idle gap until release time
+
+    def test_reset(self):
+        r = Resource("gpu")
+        r.occupy(0.0, 5.0)
+        r.reset()
+        assert r.earliest_free() == 0.0
+        assert r.busy_time == 0.0
+
+
+class TestTimeline:
+    def test_negative_duration_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.add("t", None, -1.0)
+
+    def test_dependency_chain(self):
+        tl = Timeline()
+        gpu = tl.resource("gpu")
+        a = tl.add("a", gpu, 1.0)
+        b = tl.add("b", gpu, 1.0, deps=[a])
+        assert b.start == 1.0 and b.end == 2.0
+
+    def test_pipeline_overlap(self):
+        """Transfer/compute on distinct engines overlap across chunks —
+        the Figure 1 pipeline."""
+        tl = Timeline()
+        pcie = tl.resource("pcie")
+        gpu = tl.resource("gpu")
+        total_serial = 0.0
+        prev_compute = None
+        for c in range(4):
+            t = tl.add(f"h2d{c}", pcie, 1.0)
+            k = tl.add(f"fft{c}", gpu, 2.0, deps=[t])
+            prev_compute = k
+            total_serial += 3.0
+        assert prev_compute.end < total_serial  # overlap happened
+        assert prev_compute.end == pytest.approx(1.0 + 4 * 2.0)
+
+    def test_resource_none_is_pure_dependency(self):
+        tl = Timeline()
+        a = tl.add("a", None, 5.0)
+        b = tl.add("b", None, 1.0, deps=[a])
+        assert b.start == 5.0
+
+    def test_release_time(self):
+        tl = Timeline()
+        gpu = tl.resource("gpu")
+        t = tl.add("late", gpu, 1.0, release=7.0)
+        assert t.start == 7.0
+        assert t.latency == pytest.approx(1.0)
+
+    def test_latency_includes_queueing(self):
+        tl = Timeline()
+        nic = tl.resource("nic")
+        tl.add("q0", nic, 2.0, release=0.0)
+        t = tl.add("q1", nic, 2.0, release=0.0)
+        assert t.latency == pytest.approx(4.0)
+
+    def test_makespan_and_utilization(self):
+        tl = Timeline()
+        gpu = tl.resource("gpu")
+        tl.add("a", gpu, 2.0)
+        tl.add("b", gpu, 2.0)
+        assert tl.makespan == 4.0
+        assert tl.utilization(gpu) == pytest.approx(1.0)
+        idle = tl.resource("idle")
+        assert tl.utilization(idle) == 0.0
+
+    def test_latencies_by_prefix(self):
+        tl = Timeline()
+        r = tl.resource("r")
+        tl.add("query/1", r, 1.0)
+        tl.add("query/2", r, 1.0)
+        tl.add("other", r, 1.0)
+        assert len(tl.latencies("query/")) == 2
+
+    def test_busy_between_window(self):
+        tl = Timeline()
+        gpu = tl.resource("gpu")
+        tl.add("a", gpu, 4.0)  # [0, 4)
+        assert tl.busy_between(gpu, 1.0, 3.0) == pytest.approx(2.0)
+        assert tl.busy_between(gpu, 5.0, 9.0) == 0.0
+
+
+class TestSchedulingProperties:
+    @given(
+        durations=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=20),
+        capacity=st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_of_work(self, durations, capacity):
+        """Sum of busy time equals the sum of durations; makespan is bounded
+        below by work/capacity and above by total serial work."""
+        tl = Timeline()
+        r = tl.resource("r", capacity=capacity)
+        for i, d in enumerate(durations):
+            tl.add(f"t{i}", r, d)
+        total = sum(durations)
+        assert r.busy_time == pytest.approx(total)
+        assert tl.makespan >= total / capacity - 1e-9
+        assert tl.makespan <= total + 1e-9
+
+    @given(durations=st.lists(st.floats(0.01, 5.0), min_size=2, max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_no_overlapping_tasks_on_serial_resource(self, durations):
+        tl = Timeline()
+        r = tl.resource("r")
+        tasks = [tl.add(f"t{i}", r, d) for i, d in enumerate(durations)]
+        spans = sorted((t.start, t.end) for t in tasks)
+        for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+            assert s1 >= e0 - 1e-9

@@ -1,0 +1,134 @@
+"""Device specs, link math, topology resource wiring, cost-model sanity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterModel,
+    CostModel,
+    LinkSpec,
+    POLARIS,
+    ProblemDims,
+    SSDSpec,
+    Timeline,
+)
+
+
+class TestLinkSpec:
+    def test_transfer_time_components(self):
+        link = LinkSpec("l", bandwidth_gbs=10.0, latency_us=100.0)
+        t = link.transfer_time(10e9)
+        assert t == pytest.approx(100e-6 + 1.0)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = LinkSpec("l", bandwidth_gbs=10.0, latency_us=7.0)
+        assert link.transfer_time(0) == pytest.approx(7e-6)
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            LinkSpec("l", bandwidth_gbs=0, latency_us=1)
+        with pytest.raises(ValueError):
+            LinkSpec("l", bandwidth_gbs=1, latency_us=-1)
+
+    def test_ssd_read_faster_than_write(self):
+        ssd = SSDSpec()
+        nbytes = 1e9
+        assert ssd.read_time(nbytes) < ssd.write_time(nbytes)
+
+
+class TestClusterModel:
+    def test_gpu_count_and_node_mapping(self):
+        cm = ClusterModel(Timeline(), n_gpus=6)
+        assert len(cm.gpus) == 6
+        assert cm.n_nodes == 2  # 4 GPUs per Polaris node
+        assert cm.gpus[3].node == 0 and cm.gpus[4].node == 1
+
+    def test_single_gpu(self):
+        cm = ClusterModel(Timeline(), n_gpus=1)
+        assert cm.n_nodes == 1
+        assert cm.memory_nic is not None
+
+    def test_invalid_gpus(self):
+        with pytest.raises(ValueError):
+            ClusterModel(Timeline(), n_gpus=0)
+
+    def test_memory_node_optional(self):
+        cm = ClusterModel(Timeline(), n_gpus=1, with_memory_node=False)
+        assert cm.memory_nic is None
+
+    def test_cross_node_detection(self):
+        cm = ClusterModel(Timeline(), n_gpus=8)
+        assert not cm.crosses_node(cm.gpus[0], cm.gpus[3])
+        assert cm.crosses_node(cm.gpus[0], cm.gpus[4])
+
+    def test_resources_are_shared_within_node(self):
+        tl = Timeline()
+        cm = ClusterModel(tl, n_gpus=2)
+        assert cm.nic_of(cm.gpus[0]) is cm.nic_of(cm.gpus[1])
+        assert cm.gpus[0].compute is not cm.gpus[1].compute
+
+
+class TestProblemDims:
+    def test_chunk_accounting(self):
+        dims = ProblemDims(n=1024, n_chunks=64)
+        assert dims.chunk_slices == 16
+        assert dims.chunk_elems == 16 * 1024 * 1024
+        assert dims.chunk_bytes == 8 * dims.chunk_elems
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProblemDims(n=1)
+        with pytest.raises(ValueError):
+            ProblemDims(n=64, n_chunks=128)
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.cm = CostModel()
+        self.dims = ProblemDims(n=1024, n_chunks=64)
+
+    def test_fu2d_is_longest_op(self):
+        """Sec. 4.3.2: F_u2D is the longest FFT operation for a chunk."""
+        times = {op: self.cm.fft_time(op, self.dims) for op in self.cm.op_weight}
+        assert max(times, key=times.get) == "Fu2D*"
+        assert times["Fu2D"] > times["Fu1D"] > times["F2D"]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            self.cm.fft_time("Fu3D", self.dims)
+
+    def test_index_query_anchor(self):
+        """~0.2 ms for 1M keys at dim 60 (paper Sec. 4.3.2)."""
+        t = self.cm.index_query_time(n_keys=1_000_000)
+        assert t == pytest.approx(0.2e-3, rel=0.1)
+
+    def test_index_query_batched_sublinear(self):
+        t1 = self.cm.index_query_time(1_000_000, batch=1)
+        t16 = self.cm.index_query_time(1_000_000, batch=16)
+        assert t16 < 16 * t1
+        assert t16 > t1
+
+    def test_query_much_cheaper_than_fu2d(self):
+        """The paper's 100x comparison between index query and F_u2D."""
+        q = self.cm.index_query_time(1_000_000)
+        f = self.cm.fft_time("Fu2D", self.dims)
+        assert f / q > 50
+
+    def test_encode_time_small(self):
+        """Key encoding must be a tiny fraction of the FFT op it guards."""
+        assert self.cm.encode_time(self.dims) < 0.1 * self.cm.fft_time("Fu1D", self.dims)
+
+    def test_cpu_subtract_slower_than_gpu_fft_share(self):
+        """The un-fused CPU subtraction is expensive enough to matter
+        (Sec. 4.2 reports it negates cancellation gains on 1K^3)."""
+        sub = self.cm.cpu_subtract_time(self.dims)
+        assert sub > 0.25 * self.cm.fft_time("Fu1D", self.dims)
+
+    def test_coalescing_packs_multiple_keys(self):
+        assert self.cm.keys_per_coalesced_message() >= 10
+
+    def test_transfer_times_positive(self):
+        assert self.cm.h2d_time(self.dims) > 0
+        assert self.cm.net_time(4096) > 0
+        assert self.cm.ssd_write_time(1e9) > self.cm.nvlink_time(1e9)

@@ -1,0 +1,52 @@
+"""Shared fixtures: tiny geometries and prebuilt operator stacks.
+
+Operator construction builds USFFT plans, so the expensive fixtures are
+session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lamino import (
+    LaminoGeometry,
+    LaminoOperators,
+    LaminoProjector,
+    brain_like,
+    simulate_data,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_geometry() -> LaminoGeometry:
+    return LaminoGeometry(
+        vol_shape=(16, 16, 16), n_angles=12, det_shape=(16, 16), tilt_deg=61.0
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_ops(tiny_geometry) -> LaminoOperators:
+    return LaminoOperators(tiny_geometry)
+
+
+@pytest.fixture(scope="session")
+def tiny_projector(tiny_geometry) -> LaminoProjector:
+    return LaminoProjector(tiny_geometry)
+
+
+@pytest.fixture(scope="session")
+def tiny_phantom(tiny_geometry) -> np.ndarray:
+    return brain_like(tiny_geometry.vol_shape, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_data(tiny_geometry, tiny_phantom, tiny_projector) -> np.ndarray:
+    return simulate_data(
+        tiny_phantom, tiny_geometry, noise_level=0.01, seed=1, projector=tiny_projector
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

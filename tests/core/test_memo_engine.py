@@ -1,0 +1,186 @@
+"""Memoized executor: correctness invariants against the direct executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MemoConfig, MemoizedExecutor, MLRConfig, MLRSolver
+from repro.lamino import LaminoGeometry, LaminoOperators, brain_like, simulate_data
+from repro.solvers import ADMMConfig, ADMMSolver, DirectExecutor, accuracy
+
+
+@pytest.fixture(scope="module")
+def problem():
+    n = 16
+    g = LaminoGeometry((n, n, n), n_angles=12, det_shape=(n, n), tilt_deg=61.0)
+    ops = LaminoOperators(g)
+    truth = brain_like(g.vol_shape, seed=7)
+    d = simulate_data(truth, g, noise_level=0.03, seed=1)
+    return g, ops, truth, d
+
+
+def memo_cfg(**over):
+    base = dict(
+        tau=0.92, warmup_iterations=1, index_train_min=4, index_clusters=2,
+        index_nprobe=2,
+    )
+    base.update(over)
+    return MemoConfig(**base)
+
+
+ADMM = ADMMConfig(n_outer=6, n_inner=3, step_max_rel=4.0)
+
+
+class TestEquivalence:
+    def test_impossible_tau_matches_direct_bitwise(self, problem):
+        """With tau -> 1 nothing is ever served, so mLR must equal the
+        original ADMM-FFT bit for bit (the Section 3 claim)."""
+        g, ops, truth, d = problem
+        ref = ADMMSolver(ops, ADMM, executor=DirectExecutor(ops, chunk_size=4)).run(d)
+        ex = MemoizedExecutor(ops, config=memo_cfg(tau=1.0), chunk_size=4)
+        res = ADMMSolver(ops, ADMM, executor=ex).run(d)
+        np.testing.assert_array_equal(ref.u, res.u)
+
+    def test_warmup_iterations_bypass_memoization(self, problem):
+        g, ops, truth, d = problem
+        ex = MemoizedExecutor(ops, config=memo_cfg(warmup_iterations=100), chunk_size=4)
+        ADMMSolver(ops, ADMM, executor=ex).run(d)
+        assert set(ev.case for ev in ex.events) == {"direct"}
+
+    def test_memoization_preserves_reconstruction(self, problem):
+        g, ops, truth, d = problem
+        ref = ADMMSolver(ops, ADMM).run(d)
+        solver = MLRSolver(
+            g, MLRConfig(chunk_size=4, memo=memo_cfg()), admm=ADMM, ops=ops
+        )
+        res = solver.reconstruct(d)
+        assert accuracy(ref.u.real, res.u.real) > 0.5
+        assert res.memoized_fraction > 0.2
+
+
+class TestEventTrace:
+    def test_events_cover_all_ops_and_iterations(self, problem):
+        g, ops, truth, d = problem
+        ex = MemoizedExecutor(ops, config=memo_cfg(), chunk_size=4)
+        ADMMSolver(ops, ADMM, executor=ex).run(d)
+        ops_seen = {ev.op for ev in ex.events}
+        assert ops_seen == {"Fu1D", "Fu2D", "Fu2D*", "Fu1D*"}
+        outers = {ev.outer for ev in ex.events}
+        assert outers == set(range(ADMM.n_outer))
+
+    def test_case_counts_sum_to_events(self, problem):
+        g, ops, truth, d = problem
+        ex = MemoizedExecutor(ops, config=memo_cfg(), chunk_size=4)
+        ADMMSolver(ops, ADMM, executor=ex).run(d)
+        counts = ex.case_counts()
+        assert sum(counts.values()) == len(ex.events)
+
+    def test_bounded_staleness_forces_refresh(self, problem):
+        """No location may be served more than max_consecutive_reuse times
+        in a row."""
+        g, ops, truth, d = problem
+        cfg = memo_cfg(max_consecutive_reuse=2)
+        ex = MemoizedExecutor(ops, config=cfg, chunk_size=4)
+        ADMMSolver(ops, ADMM, executor=ex).run(d)
+        streak: dict = {}
+        for ev in ex.events:
+            k = (ev.op, ev.chunk)
+            if ev.case in ("db_hit", "cache_hit"):
+                streak[k] = streak.get(k, 0) + 1
+                assert streak[k] <= 2, f"{k} served {streak[k]} times consecutively"
+            else:
+                streak[k] = 0
+
+    def test_similarity_census_tracks_history(self, problem):
+        g, ops, truth, d = problem
+        cfg = memo_cfg(track_similarity_census=True, warmup_iterations=100)
+        ex = MemoizedExecutor(ops, config=cfg, chunk_size=4)
+        ADMMSolver(ops, ADMM, executor=ex).run(d)
+        census = ex.similarity_census("Fu2D", tau=0.9)
+        assert len(census) == 4  # 16/4 chunk locations
+        for counts in census.values():
+            assert counts[0] == 0  # first key has no priors
+            assert all(c <= i for i, c in enumerate(counts))
+
+
+class TestAffineReuse:
+    def test_scaled_input_served_exactly(self, problem):
+        """A pure rescaling of a stored chunk must be served (nearly)
+        exactly — the linearity property affine reuse exploits."""
+        g, ops, truth, d = problem
+        from repro.lamino.chunking import Chunk
+
+        cfg = memo_cfg(warmup_iterations=0, max_consecutive_reuse=100)
+        ex = MemoizedExecutor(ops, config=cfg, chunk_size=4)
+        ex.begin_outer(1)  # past warmup
+        rng = np.random.default_rng(0)
+        chunk = Chunk(index=0, axis=0, lo=0, hi=4)
+        x = (rng.standard_normal((4, 16, 16)) + 1j * rng.standard_normal((4, 16, 16))).astype(np.complex64)
+        first = ex._run_fu1d(chunk, x)
+        served = ex._run_fu1d(chunk, (2.0 * x).astype(np.complex64))
+        true = ops.fu1d(2.0 * x)
+        assert ex.events[-1].case in ("db_hit", "cache_hit")
+        assert np.linalg.norm(served - true) < 1e-3 * np.linalg.norm(true)
+        del first
+
+    def test_dc_shift_served_exactly(self, problem):
+        """Adding a DC offset to a stored chunk is handled exactly by the
+        dc-basis correction."""
+        g, ops, truth, d = problem
+        from repro.lamino.chunking import Chunk
+
+        cfg = memo_cfg(warmup_iterations=0, max_consecutive_reuse=100)
+        ex = MemoizedExecutor(ops, config=cfg, chunk_size=4)
+        ex.begin_outer(1)
+        rng = np.random.default_rng(1)
+        chunk = Chunk(index=1, axis=0, lo=4, hi=8)
+        x = (rng.standard_normal((4, 16, 16)) + 1j * rng.standard_normal((4, 16, 16))).astype(np.complex64)
+        ex._run_fu1d(chunk, x)
+        shifted = (x + (0.5 - 0.25j)).astype(np.complex64)
+        served = ex._run_fu1d(chunk, shifted)
+        true = ops.fu1d(shifted)
+        assert ex.events[-1].case in ("db_hit", "cache_hit")
+        assert np.linalg.norm(served - true) < 1e-2 * np.linalg.norm(true)
+
+    def test_fused_subtraction_applied_after_reuse(self, problem):
+        g, ops, truth, d = problem
+        from repro.lamino.chunking import Chunk
+
+        cfg = memo_cfg(warmup_iterations=0, max_consecutive_reuse=100)
+        ex = MemoizedExecutor(ops, config=cfg, chunk_size=16)
+        ex.begin_outer(1)
+        rng = np.random.default_rng(2)
+        chunk = Chunk(index=0, axis=0, lo=0, hi=16)
+        x = (rng.standard_normal((16, 16, 16)) + 1j * rng.standard_normal((16, 16, 16))).astype(np.complex64)
+        sub = (rng.standard_normal(g.data_shape) + 0j).astype(np.complex64)
+        ex._run_fu2d(chunk, x, None)  # prime
+        out = ex._run_fu2d(chunk, x, sub)  # cache hit + subtraction outside
+        want = ops.fu2d(x) - sub
+        assert np.linalg.norm(out - want) < 1e-3 * np.linalg.norm(want)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tau": 0.0},
+            {"tau": 1.5},
+            {"encoder": "transformer"},
+            {"cache": "both"},
+            {"key_hw": 1},
+            {"warmup_iterations": -1},
+        ],
+    )
+    def test_invalid_memo_config(self, kwargs):
+        with pytest.raises(ValueError):
+            MemoConfig(**kwargs)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            MLRConfig(chunk_size=0)
+
+    def test_cnn_without_encoder_instance_rejected(self, problem):
+        g, ops, *_ = problem
+        with pytest.raises(ValueError):
+            MemoizedExecutor(ops, config=memo_cfg(encoder="cnn"))

@@ -1,0 +1,133 @@
+"""ADMM-Offload planner: constraints, MT selection, baselines, trace parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import CostModel, ProblemDims
+from repro.core import IterationSchedule, OffloadPlanner, greedy_offload, lru_offload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cost = CostModel()
+    dims = ProblemDims(n=1024, n_chunks=64)
+    sched = IterationSchedule.from_cost_model(dims, cost)
+    return cost, dims, sched
+
+
+class TestSchedule:
+    def test_phase_order_and_durations(self, setup):
+        _, _, sched = setup
+        assert list(sched.phase_durations) == [
+            "lsp", "rsp", "lambda_update", "penalty_update",
+        ]
+        assert all(v > 0 for v in sched.phase_durations.values())
+
+    def test_lsp_dominates(self, setup):
+        _, _, sched = setup
+        lsp = sched.phase_durations["lsp"]
+        assert lsp / sched.iteration_time > 0.6
+
+    def test_access_times_sorted_and_in_range(self, setup):
+        _, _, sched = setup
+        for var in sched.variables:
+            for first, last in sched.access_times(var):
+                assert 0 <= first <= last <= sched.iteration_time
+
+    def test_matches_solver_phase_trace(self):
+        """The canonical access map must agree with what the real solver
+        actually touches per phase (honest instrumentation)."""
+        import numpy as np
+
+        from repro.lamino import LaminoGeometry, LaminoOperators, simulate_data, brain_like
+        from repro.memio import PhaseTrace
+        from repro.solvers import ADMMConfig, ADMMSolver
+
+        g = LaminoGeometry((16, 16, 16), n_angles=8, det_shape=(16, 16))
+        ops = LaminoOperators(g)
+        d = simulate_data(brain_like(g.vol_shape, seed=0), g)
+        tracer = PhaseTrace()
+        ADMMSolver(ops, ADMMConfig(n_outer=1, n_inner=2)).run(d, tracer=tracer)
+        traced = tracer.phase_access_map(0)
+        sched = IterationSchedule.from_cost_model(
+            ProblemDims(n=1024, n_chunks=64), CostModel()
+        )
+        planned: dict[str, set] = {}
+        for ap in sched.accesses:
+            planned.setdefault(ap.phase, set()).add(ap.variable)
+        # every traced access of the offload-candidate variables appears in
+        # the canonical schedule (the schedule may add u/work refinements)
+        for phase, vars_ in traced.items():
+            for var in vars_ & {"psi", "lam", "g", "g_prev"}:
+                assert var in planned[phase], (phase, var)
+
+
+class TestPlanner:
+    def test_candidates_are_alias_free(self, setup):
+        cost, _, sched = setup
+        planner = OffloadPlanner(sched, cost)
+        cands = planner.candidates()
+        assert "u" not in cands and "work" not in cands  # aliased
+        assert {"psi", "lam", "g"} <= set(cands)
+
+    def test_empty_plan_saves_nothing(self, setup):
+        cost, _, sched = setup
+        outcome = OffloadPlanner(sched, cost).evaluate(())
+        assert outcome.memory_saving == 0.0
+        assert outcome.exposed_time == 0.0
+
+    def test_best_plan_positive_mt(self, setup):
+        cost, _, sched = setup
+        best = OffloadPlanner(sched, cost).best_plan()
+        assert best.memory_saving > 0.0
+        assert best.mt > 1.0  # better trade-off than 1:1
+
+    def test_psi_lam_selected(self, setup):
+        """The paper selects psi, lam (and g) for offloading."""
+        cost, _, sched = setup
+        best = OffloadPlanner(sched, cost).best_plan()
+        assert "psi" in best.offloaded or "lam" in best.offloaded
+
+    def test_constraint_prefetch_after_offload(self, setup):
+        cost, _, sched = setup
+        best = OffloadPlanner(sched, cost).best_plan()
+        by_var: dict[str, list] = {}
+        for a in best.actions:
+            by_var.setdefault(a.variable, []).append(a)
+        for actions in by_var.values():
+            offs = [a for a in actions if a.kind == "offload"]
+            pfs = [a for a in actions if a.kind == "prefetch"]
+            for off, pf in zip(offs, pfs):
+                assert pf.start >= off.end  # constraint (1)
+
+    def test_rss_timeline_bounded(self, setup):
+        cost, _, sched = setup
+        best = OffloadPlanner(sched, cost).best_plan()
+        peak_tl = max(v for _, v in best.rss_timeline)
+        assert peak_tl == pytest.approx(best.peak_bytes, rel=1e-6)
+        assert best.peak_bytes <= best.baseline_peak_bytes
+
+
+class TestBaselines:
+    def test_greedy_exposes_transfers(self, setup):
+        cost, _, sched = setup
+        greedy = greedy_offload(sched, cost)
+        assert greedy.time_loss > 0.3  # paper: 81.5% loss
+
+    def test_planner_beats_greedy_on_mt(self, setup):
+        cost, _, sched = setup
+        best = OffloadPlanner(sched, cost).best_plan()
+        greedy = greedy_offload(sched, cost)
+        assert best.mt > greedy.mt
+
+    def test_lru_cannot_prefetch(self, setup):
+        cost, _, sched = setup
+        lru = lru_offload(sched, cost, capacity_fraction=0.7)
+        best = OffloadPlanner(sched, cost).best_plan()
+        assert lru.time_loss > best.time_loss  # paper: 40.5% worse
+
+    def test_lru_capacity_validation(self, setup):
+        cost, _, sched = setup
+        with pytest.raises(ValueError):
+            lru_offload(sched, cost, capacity_fraction=0.0)

@@ -1,0 +1,151 @@
+"""KV store semantics: eviction, stats, serialization round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kvstore import KVStore, decode_array, encode_array, encoded_nbytes
+
+
+class TestPutGet:
+    def test_roundtrip(self):
+        kv = KVStore()
+        kv.put("a", b"hello")
+        assert kv.get("a") == b"hello"
+
+    def test_miss_returns_none_and_counts(self):
+        kv = KVStore()
+        assert kv.get("nope") is None
+        assert kv.stats.misses == 1
+
+    def test_overwrite_replaces_bytes(self):
+        kv = KVStore()
+        kv.put("k", b"xxxx")
+        kv.put("k", b"yy")
+        assert kv.get("k") == b"yy"
+        assert kv.nbytes == 2
+
+    def test_non_bytes_rejected(self):
+        kv = KVStore()
+        with pytest.raises(TypeError):
+            kv.put("k", 123)
+
+    def test_delete(self):
+        kv = KVStore()
+        kv.put("k", b"v")
+        assert kv.delete("k") is True
+        assert kv.delete("k") is False
+        assert kv.nbytes == 0
+
+    def test_contains_and_len(self):
+        kv = KVStore()
+        kv.put(1, b"a")
+        kv.put(2, b"b")
+        assert 1 in kv and 3 not in kv
+        assert len(kv) == 2
+
+    def test_clear(self):
+        kv = KVStore()
+        kv.put("k", b"v")
+        kv.clear()
+        assert len(kv) == 0 and kv.nbytes == 0
+
+
+class TestEviction:
+    def test_fifo_evicts_oldest(self):
+        kv = KVStore(capacity_bytes=10, eviction="fifo")
+        kv.put("a", b"12345")
+        kv.put("b", b"12345")
+        kv.put("c", b"1")  # evicts a
+        assert "a" not in kv and "b" in kv and "c" in kv
+        assert kv.stats.evictions == 1
+
+    def test_lru_protects_recently_used(self):
+        kv = KVStore(capacity_bytes=10, eviction="lru")
+        kv.put("a", b"12345")
+        kv.put("b", b"12345")
+        kv.get("a")  # refresh a
+        kv.put("c", b"1")  # must evict b, not a
+        assert "a" in kv and "b" not in kv
+
+    def test_oversized_value_rejected(self):
+        kv = KVStore(capacity_bytes=4)
+        with pytest.raises(ValueError):
+            kv.put("k", b"12345")
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            KVStore(eviction="random")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            KVStore(capacity_bytes=0)
+
+    def test_nbytes_never_exceeds_capacity(self):
+        kv = KVStore(capacity_bytes=16)
+        for i in range(50):
+            kv.put(i, bytes(i % 7 + 1))
+            assert kv.nbytes <= 16
+
+
+class TestStats:
+    def test_hit_rate(self):
+        kv = KVStore()
+        kv.put("k", b"v")
+        kv.get("k")
+        kv.get("k")
+        kv.get("missing")
+        assert kv.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate_zero(self):
+        assert KVStore().stats.hit_rate == 0.0
+
+    def test_byte_accounting(self):
+        kv = KVStore()
+        kv.put("k", b"abcd")
+        kv.get("k")
+        assert kv.stats.bytes_in == 4
+        assert kv.stats.bytes_out == 4
+
+
+class TestSerialization:
+    @given(
+        arr=hnp.arrays(
+            dtype=st.sampled_from([np.float32, np.complex64, np.int32, np.float64]),
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=6),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_any_array(self, arr):
+        out = decode_array(encode_array(arr))
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        np.testing.assert_array_equal(out, arr)
+
+    def test_noncontiguous_input(self, rng):
+        a = rng.standard_normal((6, 6))[::2, ::2]
+        np.testing.assert_array_equal(decode_array(encode_array(a)), a)
+
+    def test_encoded_nbytes_matches(self, rng):
+        a = (rng.standard_normal((4, 5)) + 1j * rng.standard_normal((4, 5))).astype(
+            np.complex64
+        )
+        assert encoded_nbytes(a) == len(encode_array(a))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_array(b"XXXX" + bytes(32))
+
+    def test_truncated_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            decode_array(b"mL")
+
+    def test_store_integration(self, rng):
+        kv = KVStore()
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        kv.put("arr", encode_array(a))
+        np.testing.assert_array_equal(decode_array(kv.get("arr")), a)

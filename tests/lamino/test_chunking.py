@@ -1,0 +1,68 @@
+"""Chunk partition properties (hypothesis-driven) and reassembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lamino import Chunk, chunk_ranges, iter_chunks, num_chunks, reassemble
+
+
+class TestChunkRanges:
+    @given(n=st.integers(1, 500), size=st.integers(1, 64))
+    def test_partition_covers_exactly(self, n, size):
+        ranges = chunk_ranges(n, size)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0  # contiguous, no overlap, no gap
+        assert all(hi - lo <= size for lo, hi in ranges)
+        assert sum(hi - lo for lo, hi in ranges) == n
+
+    @given(n=st.integers(1, 500), size=st.integers(1, 64))
+    def test_num_chunks_matches(self, n, size):
+        assert num_chunks(n, size) == len(chunk_ranges(n, size))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(10, 0)
+        with pytest.raises(ValueError):
+            chunk_ranges(0, 4)
+
+
+class TestChunk:
+    def test_take_put_roundtrip_axis1(self):
+        a = np.arange(24).reshape(2, 6, 2)
+        chunk = Chunk(index=1, axis=1, lo=2, hi=5)
+        sub = chunk.take(a)
+        assert sub.shape == (2, 3, 2)
+        b = np.zeros_like(a)
+        chunk.put(b, sub)
+        np.testing.assert_array_equal(b[:, 2:5, :], sub)
+        assert b[:, :2].sum() == 0 and b[:, 5:].sum() == 0
+
+    def test_size_and_slice(self):
+        c = Chunk(index=0, axis=0, lo=4, hi=9)
+        assert c.size == 5
+        assert c.slice == slice(4, 9)
+
+    def test_iter_chunks_indices_are_sequential(self):
+        chunks = list(iter_chunks(10, 4))
+        assert [c.index for c in chunks] == [0, 1, 2]
+        assert [c.size for c in chunks] == [4, 4, 2]
+
+
+class TestReassemble:
+    def test_roundtrip(self):
+        a = np.random.default_rng(0).random((7, 3))
+        pairs = [(c, c.take(a)) for c in iter_chunks(7, 3)]
+        out = reassemble(pairs, a.shape, a.dtype)
+        np.testing.assert_array_equal(out, a)
+
+    def test_incomplete_cover_raises(self):
+        a = np.zeros((7, 3))
+        pairs = [(c, c.take(a)) for c in list(iter_chunks(7, 3))[:-1]]
+        with pytest.raises(ValueError):
+            reassemble(pairs, a.shape, a.dtype)

@@ -1,0 +1,115 @@
+"""Geometry invariants: frequency factorization, tomography limit, bases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lamino import LaminoGeometry
+
+
+def make(tilt=61.0, n=16, nth=12):
+    return LaminoGeometry((n, n, n), n_angles=nth, det_shape=(n, n), tilt_deg=tilt)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("shape", [(15, 16, 16), (16, 0, 16), (16, 16, 17)])
+    def test_bad_volume_shapes(self, shape):
+        with pytest.raises(ValueError):
+            LaminoGeometry(shape, 8, (16, 16))
+
+    def test_bad_angles(self):
+        with pytest.raises(ValueError):
+            LaminoGeometry((8, 8, 8), 0, (8, 8))
+
+    @pytest.mark.parametrize("tilt", [0.0, -5.0, 90.5])
+    def test_bad_tilt(self, tilt):
+        with pytest.raises(ValueError):
+            LaminoGeometry((8, 8, 8), 8, (8, 8), tilt_deg=tilt)
+
+    def test_tilt_90_allowed(self):
+        make(tilt=90.0)
+
+
+class TestAngles:
+    def test_angles_cover_full_rotation(self):
+        g = make(nth=8)
+        a = g.angles
+        assert len(a) == 8
+        assert a[0] == 0.0
+        assert np.allclose(np.diff(a), 2 * np.pi / 8)
+
+    def test_data_shape(self):
+        g = make(n=16, nth=12)
+        assert g.data_shape == (12, 16, 16)
+
+
+class TestFrequencies:
+    def test_z_freqs_scaled_regular_grid(self):
+        g = make(tilt=30.0, n=16)
+        s = g.z_freqs()
+        assert s.shape == (16,)
+        assert np.allclose(np.diff(s), np.sin(np.radians(30.0)))
+        assert s[8] == 0.0  # centered
+
+    def test_inplane_points_shape(self):
+        g = make(n=8, nth=6)
+        pts = g.inplane_points()
+        assert pts.shape == (8, 6 * 8, 2)
+
+    def test_factorization_consistency(self):
+        """(kx, ky, kz) from z_freqs/inplane_points must equal xi*e1 + eta*e2."""
+        g = make(tilt=47.0, n=8, nth=5)
+        eta, xi = g.detector_freqs()
+        pts = g.inplane_points().reshape(8, 5, 8, 2)
+        kz = g.z_freqs()
+        for i_eta in (0, 3, 7):
+            for i_th, theta in enumerate(g.angles):
+                e1, e2 = g.detector_axes(theta)
+                for i_xi in (0, 4, 7):
+                    k = xi[i_xi] * e1 + eta[i_eta] * e2
+                    np.testing.assert_allclose(
+                        pts[i_eta, i_th, i_xi], [k[0], k[1]], atol=1e-12
+                    )
+                    np.testing.assert_allclose(kz[i_eta], k[2], atol=1e-12)
+
+    def test_tomography_limit_has_unit_z_scaling(self):
+        g = make(tilt=90.0)
+        eta, _ = g.detector_freqs()
+        np.testing.assert_allclose(g.z_freqs(), eta)
+
+    def test_tomography_limit_inplane_independent_of_eta(self):
+        g = make(tilt=90.0, n=8, nth=4)
+        pts = g.inplane_points().reshape(8, 4, 8, 2)
+        # at phi=90, cos(phi)=0: the in-plane points are the same for all eta
+        for i in range(1, 8):
+            np.testing.assert_allclose(pts[i], pts[0], atol=1e-12)
+
+
+class TestBases:
+    @pytest.mark.parametrize("theta", [0.0, 0.7, 2.1, 5.5])
+    def test_orthonormal_right_handed(self, theta):
+        g = make(tilt=35.0)
+        e1, e2 = g.detector_axes(theta)
+        b = g.beam_direction(theta)
+        for v in (e1, e2, b):
+            assert np.isclose(np.linalg.norm(v), 1.0)
+        assert np.isclose(e1 @ e2, 0.0, atol=1e-12)
+        assert np.isclose(e1 @ b, 0.0, atol=1e-12)
+        assert np.isclose(e2 @ b, 0.0, atol=1e-12)
+        np.testing.assert_allclose(np.cross(e1, e2), b, atol=1e-12)
+
+
+class TestScaling:
+    def test_with_scale_halves_dimensions(self):
+        g = LaminoGeometry((64, 64, 64), 64, (64, 64))
+        s = g.with_scale(0.5)
+        assert s.vol_shape == (32, 32, 32)
+        assert s.n_angles == 32
+        assert s.det_shape == (32, 32)
+        assert s.tilt_deg == g.tilt_deg
+
+    def test_with_scale_keeps_dimensions_even(self):
+        g = LaminoGeometry((10, 10, 10), 10, (10, 10))
+        s = g.with_scale(0.31)
+        assert all(v % 2 == 0 for v in s.vol_shape + s.det_shape)

@@ -1,0 +1,146 @@
+"""Operator-stack invariants: adjointness, unitarity, cancellation, chunking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lamino import LaminoGeometry, LaminoOperators
+
+
+def _rand_complex(rng, shape, dtype=np.complex128):
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(dtype)
+
+
+@pytest.fixture(scope="module")
+def ops():
+    g = LaminoGeometry((16, 16, 16), n_angles=12, det_shape=(16, 16), tilt_deg=61.0)
+    return LaminoOperators(g)
+
+
+class TestShapes:
+    def test_fu1d_shapes(self, ops, rng):
+        u = _rand_complex(rng, ops.geometry.vol_shape)
+        u1 = ops.fu1d(u)
+        assert u1.shape == (16, 16, 16)
+        assert ops.fu1d_adj(u1).shape == ops.geometry.vol_shape
+
+    def test_fu2d_shapes(self, ops, rng):
+        u1 = _rand_complex(rng, (16, 16, 16))
+        u2 = ops.fu2d(u1)
+        assert u2.shape == ops.geometry.data_shape
+        assert ops.fu2d_adj(u2).shape == (16, 16, 16)
+
+    def test_forward_adjoint_shapes(self, ops, rng):
+        u = _rand_complex(rng, ops.geometry.vol_shape)
+        d = ops.forward(u)
+        assert d.shape == ops.geometry.data_shape
+        assert ops.adjoint(d).shape == ops.geometry.vol_shape
+
+
+class TestAdjointness:
+    def test_fu1d_pair(self, ops, rng):
+        u = _rand_complex(rng, ops.geometry.vol_shape)
+        y = _rand_complex(rng, (16, 16, 16))
+        lhs = np.vdot(y, ops.fu1d(u))
+        rhs = np.vdot(ops.fu1d_adj(y), u)
+        assert abs(lhs - rhs) < 1e-9 * abs(lhs)
+
+    def test_fu2d_pair(self, ops, rng):
+        x = _rand_complex(rng, (16, 16, 16))
+        y = _rand_complex(rng, ops.geometry.data_shape)
+        lhs = np.vdot(y, ops.fu2d(x))
+        rhs = np.vdot(ops.fu2d_adj(y), x)
+        assert abs(lhs - rhs) < 1e-9 * abs(lhs)
+
+    def test_f2d_pair(self, ops, rng):
+        x = _rand_complex(rng, ops.geometry.data_shape)
+        y = _rand_complex(rng, ops.geometry.data_shape)
+        lhs = np.vdot(y, ops.f2d(x))
+        rhs = np.vdot(ops.f2d_adj(y), x)
+        assert abs(lhs - rhs) < 1e-10 * abs(lhs)
+
+    def test_full_operator_pair(self, ops, rng):
+        u = _rand_complex(rng, ops.geometry.vol_shape)
+        d = _rand_complex(rng, ops.geometry.data_shape)
+        lhs = np.vdot(d, ops.forward(u))
+        rhs = np.vdot(ops.adjoint(d), u)
+        assert abs(lhs - rhs) < 1e-9 * abs(lhs)
+
+
+class TestUnitarityAndCancellation:
+    def test_f2d_roundtrip_is_identity(self, ops, rng):
+        """The identity F2D F2D* = I that justifies operation cancellation."""
+        d = _rand_complex(rng, ops.geometry.data_shape)
+        np.testing.assert_allclose(ops.f2d(ops.f2d_adj(d)), d, atol=1e-12)
+        np.testing.assert_allclose(ops.f2d_adj(ops.f2d(d)), d, atol=1e-12)
+
+    def test_f2d_preserves_norm(self, ops, rng):
+        d = _rand_complex(rng, ops.geometry.data_shape)
+        assert np.isclose(np.linalg.norm(ops.f2d(d)), np.linalg.norm(d))
+
+    def test_cancelled_pipeline_equals_original(self, ops, rng):
+        """forward == F2D* (forward_freq): the Algorithm 1 vs 2 equivalence."""
+        u = _rand_complex(rng, ops.geometry.vol_shape)
+        np.testing.assert_allclose(
+            ops.forward(u), ops.f2d_adj(ops.forward_freq(u)), atol=1e-10
+        )
+
+    def test_cancelled_adjoint_equals_original(self, ops, rng):
+        d = _rand_complex(rng, ops.geometry.data_shape)
+        np.testing.assert_allclose(
+            ops.adjoint(d), ops.adjoint_freq(ops.f2d(d)), atol=1e-10
+        )
+
+
+class TestChunking:
+    def test_fu1d_chunks_along_x(self, ops, rng):
+        u = _rand_complex(rng, ops.geometry.vol_shape)
+        full = ops.fu1d(u)
+        part = np.concatenate([ops.fu1d(u[:8]), ops.fu1d(u[8:])], axis=0)
+        np.testing.assert_array_equal(full, part)
+
+    def test_fu2d_chunks_along_h(self, ops, rng):
+        u1 = _rand_complex(rng, (16, 16, 16))
+        full = ops.fu2d(u1)
+        part = np.concatenate(
+            [
+                ops.fu2d(u1[:, 0:4, :], rows=slice(0, 4)),
+                ops.fu2d(u1[:, 4:16, :], rows=slice(4, 16)),
+            ],
+            axis=1,
+        )
+        np.testing.assert_array_equal(full, part)
+
+    def test_fu2d_adj_chunks_along_h(self, ops, rng):
+        r = _rand_complex(rng, ops.geometry.data_shape)
+        full = ops.fu2d_adj(r)
+        part = np.concatenate(
+            [
+                ops.fu2d_adj(r[:, 0:10, :], rows=slice(0, 10)),
+                ops.fu2d_adj(r[:, 10:16, :], rows=slice(10, 16)),
+            ],
+            axis=1,
+        )
+        np.testing.assert_array_equal(full, part)
+
+
+class TestPhysicalSanity:
+    def test_real_volume_projects_to_nearly_real_data(self, ops):
+        # The sampled detector spectrum of a real volume is Hermitian up to
+        # the Nyquist row/column asymmetry of even grids, so the imaginary
+        # residue is small relative to the real part (but not zero).
+        from repro.lamino import brain_like
+
+        u = brain_like(ops.geometry.vol_shape, seed=4)
+        d = ops.forward(u)
+        assert np.linalg.norm(d.imag) < 0.05 * np.linalg.norm(d.real)
+
+    def test_zero_volume_projects_to_zero(self, ops):
+        d = ops.forward(np.zeros(ops.geometry.vol_shape, dtype=np.complex64))
+        assert np.allclose(d, 0)
+
+    def test_gram_operator_is_psd(self, ops, rng):
+        u = _rand_complex(rng, ops.geometry.vol_shape)
+        quad = np.vdot(u, ops.adjoint_freq(ops.forward_freq(u))).real
+        assert quad >= 0

@@ -1,0 +1,59 @@
+"""Phantom generators: determinism, value range, slab support."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lamino import brain_like, ic_layers, make_phantom, pcb, slab_envelope
+
+SHAPE = (24, 24, 24)
+
+
+@pytest.mark.parametrize("fn", [ic_layers, brain_like, pcb])
+class TestCommonProperties:
+    def test_shape_and_dtype(self, fn):
+        v = fn(SHAPE, seed=1)
+        assert v.shape == SHAPE
+        assert v.dtype == np.float32
+
+    def test_value_range(self, fn):
+        v = fn(SHAPE, seed=1)
+        assert v.min() >= 0.0
+        assert v.max() <= 1.0
+        assert v.max() > 0.1  # non-trivial content
+
+    def test_deterministic(self, fn):
+        np.testing.assert_array_equal(fn(SHAPE, seed=5), fn(SHAPE, seed=5))
+
+    def test_seed_changes_content(self, fn):
+        assert not np.array_equal(fn(SHAPE, seed=1), fn(SHAPE, seed=2))
+
+    def test_flat_slab_support(self, fn):
+        """Laminography targets are thin: top/bottom z-slices must be empty."""
+        v = fn(SHAPE, seed=3)
+        assert np.abs(v[:, :2, :]).max() < 1e-3
+        assert np.abs(v[:, -2:, :]).max() < 1e-3
+
+
+class TestSlabEnvelope:
+    def test_center_is_one_edges_zero(self):
+        env = slab_envelope(SHAPE, thickness=0.5)
+        assert env[:, SHAPE[1] // 2, :].min() > 0.9
+        assert env[:, 0, :].max() < 0.05
+
+    def test_thickness_controls_support(self):
+        thin = slab_envelope(SHAPE, thickness=0.2)
+        thick = slab_envelope(SHAPE, thickness=0.8)
+        assert thin.sum() < thick.sum()
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("kind", ["ic", "brain", "pcb"])
+    def test_make_phantom_dispatch(self, kind):
+        v = make_phantom(kind, SHAPE, seed=0)
+        assert v.shape == SHAPE
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown phantom"):
+            make_phantom("nope", SHAPE)

@@ -1,0 +1,134 @@
+"""Offload substrate: variable inventory, phase tracing, real SSD spills."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memio import (
+    PhaseTrace,
+    SpillManager,
+    admm_variables,
+    peak_resident_bytes,
+    total_bytes,
+)
+
+
+class TestVariables:
+    def test_inventory_names(self):
+        v = admm_variables(1024)
+        assert {"u", "psi", "lam", "g", "g_prev", "d", "dhat", "work"} <= set(v)
+
+    def test_field_variables_are_3x_volume(self):
+        v = admm_variables(128)
+        assert v["psi"].nbytes == 3 * v["u"].nbytes
+        assert v["psi"].nbytes == v["lam"].nbytes == v["g"].nbytes
+
+    def test_1k_peak_near_paper_121gb(self):
+        """Figure 13: no-offload peak ~121 GB at (1K)^3."""
+        total = total_bytes(admm_variables(1024))
+        assert 100 * 2**30 < total < 150 * 2**30
+
+    def test_aliased_vars_not_candidates(self):
+        v = admm_variables(64)
+        assert not v["u"].offload_candidate
+        assert v["psi"].offload_candidate
+
+    def test_peak_resident_excludes_offloaded(self):
+        v = admm_variables(64)
+        full = peak_resident_bytes(v)
+        part = peak_resident_bytes(v, offloaded={"psi", "lam"})
+        assert part == full - v["psi"].nbytes - v["lam"].nbytes
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            admm_variables(1)
+
+
+class TestPhaseTrace:
+    def test_access_ordering(self):
+        t = PhaseTrace()
+        t.begin_iteration(0)
+        t.begin_phase("lsp")
+        t.touch("u", "r")
+        t.touch("g", "w")
+        t.begin_phase("rsp")
+        t.touch("psi", "rw")
+        t.end_iteration()
+        assert [a.variable for a in t.accesses] == ["u", "g", "psi"]
+        assert t.phases(0) == ["lsp", "rsp"]
+        assert t.variables() == ["g", "psi", "u"]
+
+    def test_invalid_mode(self):
+        t = PhaseTrace()
+        with pytest.raises(ValueError):
+            t.touch("u", "x")
+
+    def test_phase_access_map(self):
+        t = PhaseTrace()
+        t.begin_iteration(1)
+        t.begin_phase("lsp")
+        t.touch("u", "r")
+        t.touch("u", "w")
+        assert t.phase_access_map(1) == {"lsp": {"u"}}
+
+    def test_last_access_phase(self):
+        t = PhaseTrace()
+        t.begin_iteration(0)
+        t.begin_phase("lsp")
+        t.touch("psi", "r")
+        t.begin_phase("rsp")
+        t.touch("psi", "w")
+        assert t.last_access_phase(0, "psi") == "rsp"
+        assert t.last_access_phase(0, "nope") is None
+
+
+class TestSpillManager:
+    def test_spill_fetch_roundtrip(self, rng, tmp_path):
+        with SpillManager(str(tmp_path)) as sm:
+            a = rng.standard_normal((32, 32)).astype(np.float32)
+            sm.spill("psi", a)
+            assert sm.is_spilled("psi")
+            out = sm.fetch("psi")
+            np.testing.assert_array_equal(out, a)
+            assert sm.stats.spills == 1 and sm.stats.loads == 1
+
+    def test_prefetch_hides_load(self, rng, tmp_path):
+        with SpillManager(str(tmp_path)) as sm:
+            a = rng.standard_normal(1000)
+            sm.spill("g", a)
+            sm.prefetch("g")
+            out = sm.fetch("g")
+            np.testing.assert_array_equal(out, a)
+            assert sm.stats.prefetches == 1
+
+    def test_fetch_unspilled_raises(self, tmp_path):
+        with SpillManager(str(tmp_path)) as sm:
+            with pytest.raises(KeyError):
+                sm.fetch("ghost")
+
+    def test_prefetch_unspilled_raises(self, tmp_path):
+        with SpillManager(str(tmp_path)) as sm:
+            with pytest.raises(KeyError):
+                sm.prefetch("ghost")
+
+    def test_double_prefetch_is_idempotent(self, rng, tmp_path):
+        with SpillManager(str(tmp_path)) as sm:
+            sm.spill("x", rng.standard_normal(10))
+            sm.prefetch("x")
+            sm.prefetch("x")
+            assert sm.stats.prefetches == 1
+
+    def test_discard(self, rng, tmp_path):
+        with SpillManager(str(tmp_path)) as sm:
+            sm.spill("x", rng.standard_normal(10))
+            sm.discard("x")
+            assert not sm.is_spilled("x")
+
+    def test_byte_accounting(self, rng, tmp_path):
+        with SpillManager(str(tmp_path)) as sm:
+            a = rng.standard_normal(256)
+            sm.spill("v", a)
+            sm.fetch("v")
+            assert sm.stats.bytes_written == a.nbytes
+            assert sm.stats.bytes_read == a.nbytes

@@ -1,0 +1,164 @@
+"""ChunkEncoder architecture, contrastive training, and quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ChunkEncoder,
+    QuantizedEncoder,
+    complex_to_channels,
+    pair_loss,
+    quantize_tensor,
+    train_contrastive,
+)
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return ChunkEncoder(input_hw=16, embed_dim=12, seed=0)
+
+
+def random_complex_images(rng, n, hw):
+    return (rng.standard_normal((n, hw, hw)) + 1j * rng.standard_normal((n, hw, hw))).astype(
+        np.complex64
+    )
+
+
+class TestArchitecture:
+    def test_paper_layer_spec(self):
+        """32 filters of 5x5, 64 filters of 3x3, then a fully connected layer."""
+        enc = ChunkEncoder(input_hw=32, embed_dim=60)
+        convs = [l for l in enc.net.layers if type(l).__name__ == "Conv2D"]
+        assert convs[0].out_ch == 32 and convs[0].ksize == 5
+        assert convs[1].out_ch == 64 and convs[1].ksize == 3
+        assert enc.embed_dim == 60
+
+    def test_forward_shape(self, encoder, rng):
+        imgs = random_complex_images(rng, 3, 16)
+        z = encoder.encode(imgs)
+        assert z.shape == (3, 12)
+        assert z.dtype == np.float32
+
+    def test_input_hw_divisible_by_four(self):
+        with pytest.raises(ValueError):
+            ChunkEncoder(input_hw=18)
+
+    def test_bad_input_shape_rejected(self, encoder, rng):
+        with pytest.raises(ValueError):
+            encoder.forward(rng.standard_normal((2, 2, 8, 8)).astype(np.float32))
+
+    def test_deterministic_by_seed(self, rng):
+        imgs = random_complex_images(rng, 2, 16)
+        z1 = ChunkEncoder(16, 8, seed=5).encode(imgs)
+        z2 = ChunkEncoder(16, 8, seed=5).encode(imgs)
+        np.testing.assert_array_equal(z1, z2)
+
+    def test_num_parameters_positive(self, encoder):
+        assert encoder.num_parameters() > 1000
+
+
+class TestComplexToChannels:
+    def test_preserves_magnitude_and_phase(self, rng):
+        img = random_complex_images(rng, 1, 8)
+        ch = complex_to_channels(img)
+        assert ch.shape == (1, 2, 8, 8)
+        np.testing.assert_allclose(ch[0, 0] + 1j * ch[0, 1], img[0], rtol=1e-6)
+
+    def test_rejects_wrong_ndim(self, rng):
+        with pytest.raises(ValueError):
+            complex_to_channels(rng.standard_normal((8, 8)).astype(np.complex64))
+
+
+class TestPairLoss:
+    def test_zero_when_distance_matches_label(self, rng):
+        za = rng.standard_normal(6).astype(np.float32)
+        zb = rng.standard_normal(6).astype(np.float32)
+        label = float(np.linalg.norm(za - zb))
+        loss, ga, gb = pair_loss(za, zb, label)
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradients_antisymmetric(self, rng):
+        za = rng.standard_normal(6).astype(np.float32)
+        zb = rng.standard_normal(6).astype(np.float32)
+        _, ga, gb = pair_loss(za, zb, 0.1)
+        np.testing.assert_allclose(ga, -gb)
+
+    def test_degenerate_pair_no_nan(self):
+        z = np.ones(4, dtype=np.float32)
+        loss, ga, gb = pair_loss(z, z.copy(), 1.0)
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(ga))
+
+    def test_gradient_direction_reduces_loss(self, rng):
+        za = rng.standard_normal(6).astype(np.float32)
+        zb = rng.standard_normal(6).astype(np.float32)
+        label = 0.5 * float(np.linalg.norm(za - zb))
+        loss0, ga, _ = pair_loss(za, zb, label)
+        loss1, _, _ = pair_loss(za - 0.01 * ga, zb, label)
+        assert loss1 < loss0
+
+
+class TestTraining:
+    def test_contrastive_training_reduces_loss(self, rng):
+        enc = ChunkEncoder(input_hw=16, embed_dim=8, seed=1)
+        imgs = random_complex_images(rng, 24, 16)
+        report = train_contrastive(enc, imgs, n_epochs=8, batch_pairs=8, lr=3e-4, seed=0)
+        assert report.losses[-1] < report.losses[0]
+
+    def test_trained_embeddings_track_chunk_distance(self, rng):
+        """After training, embedding distance must correlate with chunk
+        distance — the property the memoization threshold tau depends on."""
+        enc = ChunkEncoder(input_hw=16, embed_dim=8, seed=2)
+        base = random_complex_images(rng, 1, 16)[0]
+        # family of images at graded distances from `base`
+        imgs = np.stack(
+            [base + eps * random_complex_images(rng, 1, 16)[0] for eps in np.linspace(0, 2, 12)]
+        ).astype(np.complex64)
+        train_contrastive(enc, imgs, n_epochs=12, batch_pairs=12, lr=3e-4, seed=1)
+        z = enc.encode(imgs)
+        zdist = np.linalg.norm(z - z[0], axis=1)[1:]
+        cdist = np.linalg.norm((imgs - imgs[0]).reshape(len(imgs), -1), axis=1)[1:]
+        corr = np.corrcoef(zdist, cdist)[0, 1]
+        assert corr > 0.7
+
+
+class TestQuantization:
+    def test_quantize_roundtrip_error_bounded(self, rng):
+        x = rng.standard_normal((64, 64)).astype(np.float32)
+        qt = quantize_tensor(x)
+        assert qt.q.dtype == np.int8
+        err = np.abs(qt.dequantize() - x).max()
+        assert err <= qt.scale / 2 + 1e-7
+
+    def test_zero_tensor(self):
+        qt = quantize_tensor(np.zeros(4, dtype=np.float32))
+        np.testing.assert_array_equal(qt.dequantize(), 0)
+
+    def test_quantized_encoder_close_to_float(self, encoder, rng):
+        imgs = random_complex_images(rng, 4, 16)
+        zf = encoder.encode(imgs)
+        qenc = QuantizedEncoder(encoder)
+        zq = qenc.encode(imgs)
+        rel = np.linalg.norm(zq - zf) / np.linalg.norm(zf)
+        assert rel < 0.1  # int8 inference error envelope
+
+    def test_quantized_weights_are_quarter_size(self, encoder):
+        qenc = QuantizedEncoder(encoder)
+        float_bytes = sum(
+            int(np.prod(p.shape)) * 4
+            for p in encoder.params()
+            if p.value.ndim > 1  # weights only (biases stay float)
+        )
+        assert qenc.nbytes_weights * 4 == float_bytes
+
+    def test_quantized_encoder_preserves_neighborhoods(self, encoder, rng):
+        """Nearest-neighbor ordering must survive quantization (what the
+        similarity search consumes)."""
+        imgs = random_complex_images(rng, 8, 16)
+        zf = encoder.encode(imgs)
+        zq = QuantizedEncoder(encoder).encode(imgs)
+        df = np.linalg.norm(zf - zf[0], axis=1)[1:]
+        dq = np.linalg.norm(zq - zq[0], axis=1)[1:]
+        assert np.corrcoef(df, dq)[0, 1] > 0.95

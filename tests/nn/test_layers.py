@@ -1,0 +1,163 @@
+"""Layer correctness: numerical gradient checks and reference convolutions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+
+def numerical_grad(f, x, eps=1e-4):
+    g = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gf = g.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        fp = f()
+        flat[i] = old - eps
+        fm = f()
+        flat[i] = old
+        gf[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+class TestConv2D:
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, 4)
+
+    def test_shape_same_padding(self, rng):
+        conv = Conv2D(2, 5, 3, seed=0)
+        out = conv.forward(rng.standard_normal((3, 2, 8, 8)).astype(np.float32))
+        assert out.shape == (3, 5, 8, 8)
+
+    def test_wrong_channels_rejected(self, rng):
+        conv = Conv2D(2, 5, 3)
+        with pytest.raises(ValueError):
+            conv.forward(rng.standard_normal((1, 3, 8, 8)).astype(np.float32))
+
+    def test_matches_scipy_correlate(self, rng):
+        """im2col conv must equal scipy's 2-D cross-correlation."""
+        conv = Conv2D(1, 1, 3, seed=1)
+        x = rng.standard_normal((1, 1, 10, 10)).astype(np.float32)
+        out = conv.forward(x)
+        want = signal.correlate2d(
+            x[0, 0], conv.weight.value[0, 0], mode="same", boundary="fill"
+        ) + conv.bias.value[0]
+        np.testing.assert_allclose(out[0, 0], want, rtol=1e-4, atol=1e-5)
+
+    def test_weight_gradcheck(self, rng):
+        conv = Conv2D(1, 2, 3, seed=2)
+        x = rng.standard_normal((2, 1, 5, 5)).astype(np.float64)
+
+        def loss():
+            return float((conv.forward(x) ** 2).sum()) / 2
+
+        num = numerical_grad(loss, conv.weight.value)
+        conv.weight.grad[...] = 0
+        out = conv.forward(x)
+        conv.backward(out)
+        np.testing.assert_allclose(conv.weight.grad, num, rtol=1e-3, atol=1e-4)
+
+    def test_input_gradcheck(self, rng):
+        conv = Conv2D(2, 3, 3, seed=3)
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float64)
+
+        def loss():
+            return float((conv.forward(x) ** 2).sum()) / 2
+
+        num = numerical_grad(loss, x)
+        out = conv.forward(x)
+        gx = conv.backward(out)
+        np.testing.assert_allclose(gx, num, rtol=1e-3, atol=1e-4)
+
+
+class TestReLUPoolFlatten:
+    def test_relu_zeroes_negatives(self, rng):
+        r = ReLU()
+        x = np.array([[-1.0, 2.0, -3.0, 4.0]], dtype=np.float32)
+        np.testing.assert_array_equal(r.forward(x), [[0, 2, 0, 4]])
+        np.testing.assert_array_equal(r.backward(np.ones_like(x)), [[0, 1, 0, 1]])
+
+    def test_maxpool_shape_and_values(self):
+        p = MaxPool2D()
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = p.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_odd_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2D().forward(rng.standard_normal((1, 1, 5, 4)).astype(np.float32))
+
+    def test_maxpool_gradcheck(self, rng):
+        p = MaxPool2D()
+        # well-separated values avoid ties, making the gradient smooth
+        x = rng.permutation(36).astype(np.float64).reshape(1, 1, 6, 6)
+
+        def loss():
+            return float((p.forward(x) ** 2).sum()) / 2
+
+        num = numerical_grad(loss, x)
+        out = p.forward(x)
+        gx = p.backward(out)
+        np.testing.assert_allclose(gx, num, rtol=1e-3, atol=1e-4)
+
+    def test_flatten_roundtrip(self, rng):
+        f = Flatten()
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out = f.forward(x)
+        assert out.shape == (2, 48)
+        np.testing.assert_array_equal(f.backward(out), x)
+
+
+class TestDense:
+    def test_forward_affine(self, rng):
+        d = Dense(4, 3, seed=0)
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            d.forward(x), x @ d.weight.value.T + d.bias.value, rtol=1e-6
+        )
+
+    def test_gradcheck(self, rng):
+        d = Dense(5, 2, seed=1)
+        x = rng.standard_normal((3, 5)).astype(np.float64)
+
+        def loss():
+            return float((d.forward(x) ** 2).sum()) / 2
+
+        num_w = numerical_grad(loss, d.weight.value)
+        d.weight.grad[...] = 0
+        out = d.forward(x)
+        gx = d.backward(out)
+        np.testing.assert_allclose(d.weight.grad, num_w, rtol=1e-3, atol=1e-4)
+        num_x = numerical_grad(loss, x)
+        np.testing.assert_allclose(gx, num_x, rtol=1e-3, atol=1e-4)
+
+
+class TestSequential:
+    def test_params_collected(self):
+        net = Sequential(Conv2D(1, 2, 3), ReLU(), Dense(8, 4))
+        assert len(net.params()) == 4  # two weights + two biases
+
+    def test_zero_grad(self, rng):
+        net = Sequential(Dense(4, 4, seed=0))
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        net.backward(net.forward(x))
+        assert np.abs(net.params()[0].grad).sum() > 0
+        net.zero_grad()
+        assert np.abs(net.params()[0].grad).sum() == 0
+
+    def test_end_to_end_gradcheck(self, rng):
+        net = Sequential(Conv2D(1, 2, 3, seed=0), ReLU(), MaxPool2D(), Flatten(), Dense(8, 3, seed=1))
+        x = rng.standard_normal((1, 1, 4, 4)).astype(np.float64)
+
+        def loss():
+            return float((net.forward(x) ** 2).sum()) / 2
+
+        num = numerical_grad(loss, x)
+        out = net.forward(x)
+        gx = net.backward(out)
+        np.testing.assert_allclose(gx, num, rtol=2e-3, atol=1e-4)

@@ -1,0 +1,91 @@
+"""CG machinery: linear CG convergence and the gradient-only NCG update."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers import NCGState, cg_linear
+
+
+def make_spd(rng, n=20, cond=50.0):
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigs = np.geomspace(1.0, cond, n)
+    return q @ np.diag(eigs) @ q.T
+
+
+class TestLinearCG:
+    def test_exact_convergence_in_n_steps(self, rng):
+        A = make_spd(rng, n=12)
+        x_true = rng.standard_normal(12)
+        b = A @ x_true
+        x, hist = cg_linear(lambda v: A @ v, b, np.zeros(12), n_iters=12)
+        assert np.linalg.norm(x - x_true) < 1e-6
+        assert hist[-1] < hist[0]
+
+    def test_residual_monotone_decrease(self, rng):
+        A = make_spd(rng, n=30, cond=100)
+        b = rng.standard_normal(30)
+        _, hist = cg_linear(lambda v: A @ v, b, np.zeros(30), n_iters=15)
+        # CG residuals are not strictly monotone, but error decreases overall
+        assert hist[-1] < 0.1 * hist[0]
+
+    def test_tol_early_exit(self, rng):
+        A = np.eye(5)
+        b = rng.standard_normal(5)
+        _, hist = cg_linear(lambda v: v, b, np.zeros(5), n_iters=50, tol=1e-12)
+        assert len(hist) <= 3  # identity converges in one step
+
+    def test_complex_operator(self, rng):
+        d = rng.uniform(1, 3, size=8)
+        apply_A = lambda v: d * v  # noqa: E731
+        b = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        x, _ = cg_linear(apply_A, b, np.zeros(8, dtype=complex), n_iters=20)
+        np.testing.assert_allclose(x, b / d, rtol=1e-8)
+
+
+class TestNCG:
+    def test_invalid_lipschitz(self, rng):
+        state = NCGState(lipschitz=0.0)
+        with pytest.raises(ValueError):
+            state.step(np.zeros(3), np.ones(3))
+
+    def test_first_step_is_scaled_steepest_descent(self, rng):
+        state = NCGState(lipschitz=4.0)
+        u = rng.standard_normal(10)
+        g = rng.standard_normal(10)
+        out = state.step(u, g)
+        np.testing.assert_allclose(out, u - g / 4.0)
+
+    def test_quadratic_convergence(self, rng):
+        """Minimize 1/2 x^T A x - b^T x with gradient-only NCG steps."""
+        A = make_spd(rng, n=15, cond=30)
+        b = rng.standard_normal(15)
+        x_true = np.linalg.solve(A, b)
+        lip = float(np.linalg.eigvalsh(A).max())
+        state = NCGState(lipschitz=lip)
+        x = np.zeros(15)
+        for _ in range(60):
+            x = state.step(x, A @ x - b)
+        assert np.linalg.norm(x - x_true) < 1e-4 * max(np.linalg.norm(x_true), 1.0)
+
+    def test_reset_clears_memory(self, rng):
+        state = NCGState(lipschitz=2.0)
+        u = rng.standard_normal(5)
+        g = rng.standard_normal(5)
+        state.step(u, g)
+        state.reset()
+        out = state.step(u, g)
+        np.testing.assert_allclose(out, u - g / 2.0)
+
+    def test_descends_on_convex_quadratic(self, rng):
+        A = make_spd(rng, n=10, cond=10)
+        b = rng.standard_normal(10)
+        f = lambda x: 0.5 * x @ A @ x - b @ x  # noqa: E731
+        state = NCGState(lipschitz=float(np.linalg.eigvalsh(A).max()))
+        x = np.zeros(10)
+        values = [f(x)]
+        for _ in range(20):
+            x = state.step(x, A @ x - b)
+            values.append(f(x))
+        assert values[-1] < values[0]

@@ -1,0 +1,54 @@
+"""Gradient/divergence adjointness — the identity ADMM relies on."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers import div3, grad3, grad_norm
+
+
+class TestShapes:
+    def test_grad_adds_component_axis(self, rng):
+        u = rng.standard_normal((4, 5, 6))
+        assert grad3(u).shape == (3, 4, 5, 6)
+
+    def test_div_removes_component_axis(self, rng):
+        p = rng.standard_normal((3, 4, 5, 6))
+        assert div3(p).shape == (4, 5, 6)
+
+    def test_div_validates_leading_axis(self, rng):
+        import pytest
+
+        with pytest.raises(ValueError):
+            div3(rng.standard_normal((2, 4, 4, 4)))
+
+
+class TestAdjointness:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_div_is_negative_adjoint_of_grad(self, seed):
+        rng = np.random.default_rng(seed)
+        u = rng.standard_normal((6, 5, 4)) + 1j * rng.standard_normal((6, 5, 4))
+        p = rng.standard_normal((3, 6, 5, 4)) + 1j * rng.standard_normal((3, 6, 5, 4))
+        lhs = np.vdot(p, grad3(u))
+        rhs = np.vdot(-div3(p), u)
+        assert abs(lhs - rhs) < 1e-10 * max(abs(lhs), 1.0)
+
+    def test_constant_field_has_zero_gradient(self):
+        u = np.full((4, 4, 4), 3.7)
+        assert np.allclose(grad3(u), 0.0)
+
+    def test_grad_norm_nonnegative(self, rng):
+        g = grad3(rng.standard_normal((4, 4, 4)))
+        assert (grad_norm(g) >= 0).all()
+
+    def test_laplacian_eigenvalue_bound(self, rng):
+        """lambda_max(grad^T grad) <= 12 — the bound LSP's step sizing uses."""
+        u = rng.standard_normal((8, 8, 8))
+        for _ in range(30):
+            v = -div3(grad3(u))
+            u = v / np.linalg.norm(v)
+        lam = np.vdot(u, -div3(grad3(u))).real
+        assert lam <= 12.0 + 1e-9

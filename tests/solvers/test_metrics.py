@@ -1,0 +1,80 @@
+"""Metric definitions (paper Eqs. 3-5) and edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers import accuracy, cosine_similarity, psnr, relative_error, rmse
+
+
+class TestRelativeError:
+    def test_identical_arrays_give_zero(self, rng):
+        a = rng.standard_normal((4, 4))
+        assert relative_error(a, a) == 0.0
+
+    def test_known_value(self):
+        a = np.array([3.0, 4.0])
+        b = np.array([3.0, 4.0]) * 1.1
+        assert relative_error(a, b) == pytest.approx(0.1)
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            relative_error(np.zeros(3), np.ones(3))
+
+    def test_accuracy_complements_error(self, rng):
+        a = rng.standard_normal((5, 5))
+        b = a + 0.05 * rng.standard_normal((5, 5))
+        assert accuracy(a, b) == pytest.approx(1.0 - relative_error(a, b))
+
+
+class TestCosineSimilarity:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(16)
+        b = rng.standard_normal(16)
+        assert -1.0 - 1e-9 <= cosine_similarity(a, b) <= 1.0 + 1e-9
+
+    def test_self_similarity_is_one(self, rng):
+        a = rng.standard_normal(10)
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+
+    def test_opposite_is_minus_one(self, rng):
+        a = rng.standard_normal(10)
+        assert cosine_similarity(a, -a) == pytest.approx(-1.0)
+
+    def test_zero_vector_gives_zero(self):
+        assert cosine_similarity(np.zeros(5), np.ones(5)) == 0.0
+
+    def test_scale_invariant(self, rng):
+        a = rng.standard_normal(8)
+        b = rng.standard_normal(8)
+        assert cosine_similarity(a, b) == pytest.approx(cosine_similarity(3 * a, 7 * b))
+
+    def test_complex_arrays(self, rng):
+        a = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+
+
+class TestPSNRAndRMSE:
+    def test_rmse_zero_for_identical(self, rng):
+        a = rng.standard_normal((3, 3))
+        assert rmse(a, a) == 0.0
+
+    def test_psnr_infinite_for_identical(self, rng):
+        a = rng.standard_normal((3, 3))
+        assert psnr(a, a) == float("inf")
+
+    def test_psnr_decreases_with_noise(self, rng):
+        a = rng.standard_normal((16, 16))
+        small = a + 0.01 * rng.standard_normal((16, 16))
+        big = a + 0.5 * rng.standard_normal((16, 16))
+        assert psnr(a, small) > psnr(a, big)
+
+    def test_psnr_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros(4), np.ones(4))
