@@ -48,9 +48,12 @@ class ClusterModel:
         n_gpus: int = 1,
         spec: NodeSpec = POLARIS,
         with_memory_node: bool = True,
+        n_index_shards: int = 1,
     ) -> None:
         if n_gpus < 1:
             raise ValueError(f"n_gpus must be >= 1, got {n_gpus}")
+        if n_index_shards < 1:
+            raise ValueError(f"n_index_shards must be >= 1, got {n_index_shards}")
         self.timeline = timeline
         self.spec = spec
         self.n_gpus = n_gpus
@@ -78,10 +81,23 @@ class ClusterModel:
         ]
         self.memory_nic: Resource | None = None
         self.memory_index: Resource | None = None
+        self.memory_index_shards: list[Resource] = []
         if with_memory_node:
             # single injection NIC: the shared bottleneck Figures 15-16 probe
             self.memory_nic = timeline.resource("memnode/nic", capacity=1)
-            self.memory_index = timeline.resource("memnode/index", capacity=4)
+            # the index database sharded over independent service engines
+            # (one engine when unsharded — the paper's single memory node);
+            # shard 0 keeps the historical resource name
+            self.memory_index_shards = [
+                timeline.resource(
+                    "memnode/index" if s == 0 else f"memnode/index/{s}", capacity=4
+                )
+                for s in range(n_index_shards)
+            ]
+            self.memory_index = self.memory_index_shards[0]
+
+    def index_shard(self, shard: int) -> Resource:
+        return self.memory_index_shards[shard]
 
     def nic_of(self, gpu: GPUHandle) -> Resource:
         return self.node_nics[gpu.node]

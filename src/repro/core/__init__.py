@@ -1,11 +1,21 @@
-"""mLR core: memoization engine, caches, coalescer, offload planner,
-multi-GPU scaling, and the trace-driven performance simulation."""
+"""mLR core: memoization engine, caches, coalescer, the sharded
+multi-worker memoization service (:class:`MemoShardRouter` +
+:class:`DistributedMemoizedExecutor`), offload planner, multi-GPU scaling,
+and the trace-driven performance simulation."""
 
 from .coalescer import CoalesceStats, KeyCoalescer
 from .config import MemoConfig, MLRConfig
+from .distributed import DistributedMemoizedExecutor, WorkerState
 from .keying import CNNKeyEncoder, PoolKeyEncoder, chunk_to_image, chunk_to_stack, pool3d
 from .memo_cache import CacheHit, CacheStats, GlobalMemoCache, PrivateMemoCache
 from .memo_db import MemoDatabase, MemoDBStats, QueryOutcome
+from .memo_shard import (
+    MemoShard,
+    MemoShardRouter,
+    ShardInsert,
+    ShardQuery,
+    shard_of_location,
+)
 from .memo_engine import (
     CASE_CACHE,
     CASE_DB,
@@ -51,6 +61,13 @@ __all__ = [
     "MemoDatabase",
     "MemoDBStats",
     "QueryOutcome",
+    "MemoShard",
+    "MemoShardRouter",
+    "ShardInsert",
+    "ShardQuery",
+    "shard_of_location",
+    "DistributedMemoizedExecutor",
+    "WorkerState",
     "CASE_CACHE",
     "CASE_DB",
     "CASE_DIRECT",

@@ -25,6 +25,15 @@ class CoalesceStats:
     def mean_batch(self) -> float:
         return self.keys / self.messages if self.messages else 0.0
 
+    def merge(self, other: "CoalesceStats") -> "CoalesceStats":
+        """Accumulate another coalescer's counters (e.g. per-worker stats
+        into a fleet-wide aggregate)."""
+        self.keys += other.keys
+        self.messages += other.messages
+        self.bytes_sent += other.bytes_sent
+        self.batch_sizes.extend(other.batch_sizes)
+        return self
+
 
 class KeyCoalescer:
     """Accumulate key payloads; emit batches at the payload threshold."""

@@ -69,11 +69,24 @@ class MemoConfig:
 
 @dataclass
 class MLRConfig:
-    """Top-level mLR configuration: ADMM + memoization + chunking."""
+    """Top-level mLR configuration: ADMM + memoization + chunking.
+
+    n_workers / n_shards:
+        Simulated GPU workers and memoization-database shards (paper
+        Sections 4.3 and 5.2).  ``1 x 1`` (the default) runs the
+        single-worker :class:`~repro.core.memo_engine.MemoizedExecutor`;
+        anything larger runs the sharded
+        :class:`~repro.core.distributed.DistributedMemoizedExecutor`, which
+        is numerically identical for the paper-default private cache.
+    """
 
     chunk_size: int = 16
     memo: MemoConfig = field(default_factory=MemoConfig)
+    n_workers: int = 1
+    n_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.n_workers < 1 or self.n_shards < 1:
+            raise ValueError("n_workers and n_shards must be >= 1")

@@ -1,0 +1,362 @@
+"""Distributed memoized execution: W simulated GPU workers x N database shards.
+
+The paper's scalable deployment (Sections 4.3 and 5.2, Figure 14) spreads
+chunk locations over GPUs and funnels all memoization traffic through the
+memory node as *batched* key messages.  :class:`DistributedMemoizedExecutor`
+reproduces that execution shape functionally:
+
+- chunk locations are assigned to ``n_workers`` simulated GPU workers with
+  :func:`repro.core.scaling.distribute_chunks` (contiguous blocks, the
+  rechunking-friendly layout the scalability figures assume),
+- each worker owns a **private memoization cache** and a
+  :class:`~repro.core.coalescer.KeyCoalescer`; keys that miss the cache are
+  buffered and leave the worker as coalesced messages,
+- every emitted message is routed shard-wise by a
+  :class:`~repro.core.memo_shard.MemoShardRouter` and serviced through the
+  batched ``query_batch`` / ``insert_batch`` database API,
+- misses are computed and their insertions dispatched as one batched
+  message per sweep (insertion is asynchronous in the paper — nothing in
+  the sweep depends on it),
+- every event carries its ``worker`` and ``shard``, so the trace replays on
+  the DES (:func:`repro.core.perfsim.simulate_iteration` with matching
+  ``n_gpus`` / ``n_shards``) with the exact worker/shard locality of the
+  numeric run.
+
+Each op sweep runs in two phases: (A) per worker, encode keys, resolve
+private-cache hits, and stream the remainder through the coalescer to the
+shards; (B) in chunk order, serve hits (affine scale-corrected reuse) and
+compute misses.  Because memoization reuse is scoped to a single chunk
+location (Section 4.1) and a location is owned by exactly one worker and
+one shard, deferring queries to message boundaries changes no outcome:
+``n_workers=1, n_shards=1`` is numerically identical to
+:class:`~repro.core.memo_engine.MemoizedExecutor` — chunk for chunk, case
+for case.  (The one caveat is ``cache="global"``: a shared cache is visible
+across locations *within* a sweep, so batching can defer same-sweep
+cross-location hits; the paper-default private cache is exact.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .coalescer import CoalesceStats, KeyCoalescer
+from .config import MemoConfig
+from .memo_cache import GlobalMemoCache, PrivateMemoCache
+from .memo_engine import (
+    CASE_CACHE,
+    CASE_DB,
+    CASE_DIRECT,
+    CASE_MISS,
+    MemoizedExecutor,
+)
+from .memo_shard import MemoShardRouter, ShardInsert, ShardQuery
+from .scaling import GPUAssignment, distribute_chunks
+
+__all__ = ["WorkerState", "DistributedMemoizedExecutor"]
+
+
+@dataclass
+class WorkerState:
+    """One simulated GPU worker: its private cache per op and its coalescer."""
+
+    worker_id: int
+    coalescer: KeyCoalescer
+    caches: dict = field(default_factory=dict)  # op -> cache | None
+    #: queries buffered behind the coalescer, awaiting the next message
+    pending: list = field(default_factory=list)  # [(slot dict, ShardQuery)]
+
+
+class _Slot:
+    """Resolution record of one chunk within a sweep (phase A -> phase B)."""
+
+    __slots__ = ("case", "key", "meta", "hit", "outcome", "serves")
+
+    def __init__(self) -> None:
+        self.case = None
+        self.key = None
+        self.meta = None
+        self.hit = None  # CacheHit on a cache hit
+        self.outcome = None  # QueryOutcome once the shard answered
+        self.serves = 0
+
+
+class DistributedMemoizedExecutor(MemoizedExecutor):
+    """Multi-worker, sharded-database memoized executor.
+
+    Drop-in for :class:`MemoizedExecutor` (same constructor plus
+    ``n_workers`` / ``n_shards``); the aggregate statistics *accessors* —
+    :meth:`coalesce_stats`, :meth:`cache_stats`, :meth:`db_stats`,
+    :meth:`db_entries` — keep the same meaning, with per-worker and
+    per-shard breakdowns added.  Note that all key traffic flows through
+    the per-worker coalescers: the inherited ``coalescer`` attribute is
+    inert here, so read :meth:`coalesce_stats` /
+    :meth:`per_worker_coalesce_stats`, never ``self.coalescer.stats``.
+    """
+
+    def __init__(
+        self,
+        ops,
+        config: MemoConfig | None = None,
+        chunk_size: int | None = None,
+        encoder=None,
+        n_locations: int | None = None,
+        n_workers: int = 1,
+        n_shards: int = 1,
+    ) -> None:
+        if n_workers < 1 or n_shards < 1:
+            raise ValueError("n_workers and n_shards must be >= 1")
+        super().__init__(
+            ops,
+            config=config,
+            chunk_size=chunk_size,
+            encoder=encoder,
+            n_locations=n_locations,
+        )
+        self.n_workers = n_workers
+        self.n_shards = n_shards
+        self._build_distributed_state()
+
+    def _build_distributed_state(self) -> None:
+        cfg = self.config
+        # the shard service owns every database partition and the workers own
+        # every cache: null the base-class _OpState caches (they would sit
+        # permanently empty and read as silently-zero stats); _OpState.dbs
+        # stays empty too, and the stats accessors read the router instead
+        for state in self._state.values():
+            state.cache = None
+        self.router = MemoShardRouter(self.n_shards, self._db_factory())
+        self.workers = [
+            WorkerState(worker_id=w, coalescer=KeyCoalescer())
+            for w in range(self.n_workers)
+        ]
+        self._assignments: dict[tuple[str, int], GPUAssignment] = {}
+        for op in cfg.memo_ops:
+            for worker in self.workers:
+                worker.caches[op] = self._make_worker_cache(op)
+
+    def _make_worker_cache(self, op: str):
+        cfg = self.config
+        if cfg.cache == "private":
+            return PrivateMemoCache(cfg.tau)
+        if cfg.cache == "global":
+            # per-worker capacity matches the worker's location share so the
+            # fleet's total cache memory equals the single-worker baseline
+            n = self.n_locations_for(op)
+            share = -(-n // self.n_workers)
+            return GlobalMemoCache(cfg.tau, capacity=max(1, share))
+        return None
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._build_distributed_state()
+
+    # -- worker / shard plumbing ---------------------------------------------------------
+
+    def assignment_for(self, op: str, n_chunks: int) -> GPUAssignment:
+        key = (op, n_chunks)
+        assign = self._assignments.get(key)
+        if assign is None:
+            assign = distribute_chunks(n_chunks, self.n_workers)
+            self._assignments[key] = assign
+        return assign
+
+    def flush_coalescers(self) -> None:
+        for worker in self.workers:
+            if worker.coalescer.flush() is not None:
+                self._dispatch_queries(worker)
+        self.coalescer.flush()  # unused by this class; kept consistent
+
+    def _dispatch_queries(self, worker: WorkerState) -> None:
+        """Send the worker's buffered message: route it shard-wise and store
+        each outcome on its slot."""
+        if not worker.pending:
+            return
+        queries = [q for _slot, q in worker.pending]
+        outcomes = self.router.query_batch(queries)
+        for (slot, _q), outcome in zip(worker.pending, outcomes):
+            slot.outcome = outcome
+        worker.pending = []
+
+    # -- the sweep -----------------------------------------------------------------------
+
+    def _sweep(self, op: str, chunks: list, inputs: list, compute) -> list:
+        """Run one full-array op sweep over its chunks; returns per-chunk
+        outputs in chunk order."""
+        cfg = self.config
+        n = len(chunks)
+        self.op_counts[op] += n
+        memoized_op = self.enabled and op in self._state
+        in_warmup = self.outer_iteration < cfg.warmup_iterations
+        slots = [_Slot() for _ in range(n)]
+        assign = self.assignment_for(op, n)
+        state = self._state.get(op)
+
+        # -- phase A: per worker, cache probe + coalesced shard queries ------------
+        if memoized_op and not in_warmup:
+            for worker_id, owned in enumerate(assign.per_gpu):
+                worker = self.workers[worker_id]
+                for ci in owned:
+                    slot = slots[ci]
+                    input_chunk = inputs[ci]
+                    slot.meta = self._chunk_meta(input_chunk)
+                    slot.key = self.encoder.encode(input_chunk)
+                    self._remember_key(op, chunks[ci].index, slot.key)
+                    slot.serves = state.consecutive_serves.get(chunks[ci].index, 0)
+                    must_refresh = slot.serves >= cfg.max_consecutive_reuse
+                    if must_refresh:
+                        slot.case = CASE_MISS
+                        continue
+                    cache = worker.caches.get(op)
+                    if cache is not None:
+                        hit = cache.lookup(
+                            chunks[ci].index, slot.key, self.outer_iteration
+                        )
+                        if hit is not None:
+                            slot.case = CASE_CACHE
+                            slot.hit = hit
+                            continue
+                    # miss locally: the key joins the worker's next message
+                    worker.pending.append(
+                        (slot, ShardQuery(op=op, location=chunks[ci].index, key=slot.key))
+                    )
+                    if worker.coalescer.offer((op, chunks[ci].index)) is not None:
+                        self._dispatch_queries(worker)
+                # end of the worker's sweep: emit the tail message
+                if worker.coalescer.flush() is not None:
+                    self._dispatch_queries(worker)
+
+        # -- phase B: serve hits, compute misses, batch insertions ------------------
+        outputs: list = [None] * n
+        inserts: list[ShardInsert] = []
+        for ci in range(n):
+            chunk = chunks[ci]
+            slot = slots[ci]
+            worker_id = assign.owner_of(ci)
+            shard_id = self.router.shard_of(chunk.index)
+            input_chunk = inputs[ci]
+            if not memoized_op or in_warmup:
+                out = compute(chunk, input_chunk)
+                if memoized_op:
+                    # warmup still populates the database so later iterations hit
+                    key = self.encoder.encode(input_chunk)
+                    meta = self._chunk_meta(input_chunk)
+                    inserts.append(
+                        ShardInsert(op=op, location=chunk.index, key=key, value=out, meta=meta)
+                    )
+                    self._remember_key(op, chunk.index, key)
+                self._record(op, chunk.index, CASE_DIRECT, -2.0, 0, 0,
+                             worker=worker_id, shard=shard_id)
+                outputs[ci] = out
+                continue
+
+            cache = self.workers[worker_id].caches.get(op)
+            if slot.case == CASE_CACHE:
+                outputs[ci] = self._serve_cache_hit(
+                    op, state, chunk, input_chunk, slot.key, slot.hit, slot.meta,
+                    slot.serves, worker=worker_id, shard=shard_id,
+                )
+                continue
+
+            outcome = slot.outcome
+            if outcome is not None and outcome.hit:
+                outputs[ci] = self._serve_db_hit(
+                    op, state, chunk, input_chunk, slot.key, outcome, slot.meta,
+                    slot.serves, cache, worker=worker_id, shard=shard_id,
+                )
+                continue
+
+            # miss (or forced refresh): original computation + batched insertion
+            out = compute(chunk, input_chunk)
+            outputs[ci] = self._finish_miss(
+                op, state, chunk, slot.key, out, slot.meta, outcome, cache,
+                store=lambda: inserts.append(
+                    ShardInsert(op=op, location=chunk.index, key=slot.key,
+                                value=out, meta=slot.meta)
+                ),
+                worker=worker_id, shard=shard_id,
+            )
+
+        if inserts:
+            self.router.insert_batch(inserts)
+        return outputs
+
+    # -- the four memoized full-array operations ----------------------------------------
+
+    def fu1d(self, u: np.ndarray) -> np.ndarray:
+        chunks = list(self._chunks(u.shape[0]))
+        parts = self._sweep(
+            "Fu1D", chunks, [u[c.slice] for c in chunks],
+            lambda c, x: self.ops.fu1d(x),
+        )
+        return np.concatenate(parts, axis=0)
+
+    def fu1d_adj(self, u1: np.ndarray) -> np.ndarray:
+        chunks = list(self._chunks(u1.shape[0]))
+        parts = self._sweep(
+            "Fu1D*", chunks, [u1[c.slice] for c in chunks],
+            lambda c, x: self.ops.fu1d_adj(x),
+        )
+        return np.concatenate(parts, axis=0)
+
+    def fu2d(self, u1: np.ndarray, subtract: np.ndarray | None = None) -> np.ndarray:
+        # memoize the linear transform only; the fused kernel's dhat
+        # subtraction is re-applied outside the memoized region (see
+        # MemoizedExecutor._run_fu2d)
+        chunks = list(self._chunks(u1.shape[1]))
+        parts = self._sweep(
+            "Fu2D", chunks, [u1[:, c.slice, :] for c in chunks],
+            lambda c, x: self.ops.fu2d(x, rows=c.slice),
+        )
+        if subtract is not None:
+            parts = [p - subtract[:, c.slice, :] for c, p in zip(chunks, parts)]
+        return np.concatenate(parts, axis=1)
+
+    def fu2d_adj(self, r: np.ndarray) -> np.ndarray:
+        chunks = list(self._chunks(r.shape[1]))
+        parts = self._sweep(
+            "Fu2D*", chunks, [r[:, c.slice, :] for c in chunks],
+            lambda c, x: self.ops.fu2d_adj(x, rows=c.slice),
+        )
+        return np.concatenate(parts, axis=1)
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def db_stats(self, op: str):
+        return self.router.stats(op)
+
+    def db_entries(self, op: str) -> int:
+        return self.router.entries(op)
+
+    def per_shard_db_stats(self, op: str | None = None):
+        """Figure 14 companion: per-shard aggregated database statistics."""
+        return self.router.per_shard_stats(op)
+
+    def cache_stats(self, op: str):
+        """Aggregated cache statistics across all workers (same accessor as
+        the single-worker executor)."""
+        from .memo_cache import CacheStats
+
+        agg = CacheStats()
+        for worker in self.workers:
+            cache = worker.caches.get(op)
+            if cache is None:
+                return None
+            agg.merge(cache.stats)
+        return agg
+
+    def coalesce_stats(self) -> CoalesceStats:
+        """Fleet-wide key-message statistics, aggregated over all workers
+        (the inherited ``coalescer`` attribute carries no traffic here)."""
+        agg = CoalesceStats()
+        for worker in self.workers:
+            agg.merge(worker.coalescer.stats)
+        return agg
+
+    def per_worker_coalesce_stats(self) -> list[CoalesceStats]:
+        """Figure 11 companion: each worker's key-message statistics."""
+        return [worker.coalescer.stats for worker in self.workers]
+
+    def worker_events(self, worker: int) -> list:
+        return [ev for ev in self.events if ev.worker == worker]

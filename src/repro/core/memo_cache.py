@@ -53,6 +53,18 @@ class CacheStats:
             (it, h / max(n, 1)) for it, (h, n) in sorted(self.per_iteration.items())
         ]
 
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Accumulate another cache's counters (e.g. per-worker caches into
+        a fleet-wide aggregate)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.comparisons += other.comparisons
+        for it, (h, n) in other.per_iteration.items():
+            bucket = self.per_iteration.setdefault(it, [0, 0])
+            bucket[0] += h
+            bucket[1] += n
+        return self
+
 
 class PrivateMemoCache:
     """One single-entry FIFO cache per chunk location (the mLR design).

@@ -35,10 +35,24 @@ class MemoDBStats:
     inserts: int = 0
     bytes_inserted: int = 0
     bytes_fetched: int = 0
+    #: number of batched messages served via query_batch/insert_batch
+    query_batches: int = 0
+    insert_batches: int = 0
 
     @property
     def hit_rate(self) -> float:
         return self.hits / self.queries if self.queries else 0.0
+
+    def merge(self, other: "MemoDBStats") -> "MemoDBStats":
+        """Accumulate another partition's counters into this one."""
+        self.queries += other.queries
+        self.hits += other.hits
+        self.inserts += other.inserts
+        self.bytes_inserted += other.bytes_inserted
+        self.bytes_fetched += other.bytes_fetched
+        self.query_batches += other.query_batches
+        self.insert_batches += other.insert_batches
+        return self
 
 
 @dataclass(frozen=True)
@@ -157,3 +171,25 @@ class MemoDatabase:
 
     def _stored_key(self, wanted: int) -> np.ndarray | None:
         return self._keys.get(wanted)
+
+    # -- batched service API (paper Section 4.3.3) ---------------------------------------
+
+    def query_batch(self, keys) -> list["QueryOutcome"]:
+        """DB.Get for one coalesced key message.
+
+        The memory node receives a 4 KB message holding many keys and
+        services them as one batched index lookup; outcomes are returned in
+        key order.
+        """
+        outcomes = [self.query(k) for k in keys]
+        if outcomes:
+            self.stats.query_batches += 1
+        return outcomes
+
+    def insert_batch(self, items) -> list[int]:
+        """DB.Put for a batch of ``(key, value, meta)`` triples; returns the
+        assigned ids in item order."""
+        ids = [self.insert(k, v, meta=m) for k, v, m in items]
+        if ids:
+            self.stats.insert_batches += 1
+        return ids

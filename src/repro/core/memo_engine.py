@@ -15,6 +15,11 @@ For every chunk it runs the paper's Figure 6 workflow:
 Every decision is appended to ``events`` — the trace the trace-driven
 performance simulation (:mod:`repro.core.perfsim`) replays at paper scale,
 and the raw material for Figures 4, 10 and 12.
+
+The multi-worker, sharded-database variant of this executor lives in
+:mod:`repro.core.distributed` (:class:`DistributedMemoizedExecutor`); it
+subclasses this engine and is numerically identical at ``1 worker x 1
+shard``.
 """
 
 from __future__ import annotations
@@ -24,7 +29,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..solvers.executor import DirectExecutor
-from ..solvers.metrics import cosine_similarity
 from .coalescer import KeyCoalescer
 from .config import MemoConfig
 from .keying import CNNKeyEncoder, PoolKeyEncoder
@@ -42,7 +46,12 @@ CASE_DIRECT = "direct"  # memoization bypassed (warmup / non-memoized op)
 
 @dataclass(frozen=True)
 class MemoEvent:
-    """One chunk-level memoization decision."""
+    """One chunk-level memoization decision.
+
+    ``worker`` is the simulated GPU worker that executed the chunk and
+    ``shard`` the database shard that owns the chunk location; both are 0
+    for the single-worker :class:`MemoizedExecutor`.
+    """
 
     outer: int
     inner: int
@@ -52,6 +61,8 @@ class MemoEvent:
     similarity: float
     key_bytes: int
     value_bytes: int
+    worker: int = 0
+    shard: int = 0
 
 
 @dataclass
@@ -100,19 +111,39 @@ class MemoizedExecutor(DirectExecutor):
             raise ValueError(
                 "encoder='cnn' requires passing a trained CNNKeyEncoder instance"
             )
-        h = ops.geometry.det_shape[0]
-        size = chunk_size if chunk_size is not None else h
-        self._n_locations = (
-            n_locations if n_locations is not None else -(-h // size)
-        )
+        self._n_locations_override = n_locations
         self._state: dict[str, _OpState] = {
-            op: self._make_state() for op in self.config.memo_ops
+            op: self._make_state(op) for op in self.config.memo_ops
         }
         self.coalescer = KeyCoalescer()
         self.events: list[MemoEvent] = []
         self.enabled = True
 
-    def _make_state(self) -> _OpState:
+    def n_locations_for(self, op: str) -> int:
+        """Chunk-location count of one operation's sweep.
+
+        ``Fu1D``/``Fu1D*`` partition along the volume x-axis
+        (``vol_shape[0]``); ``Fu2D``/``Fu2D*`` along the detector
+        row-frequency axis (``det_shape[0]``).  The two differ whenever the
+        volume height is not the detector height, so location counts (and
+        everything sized from them — global-cache capacity, worker
+        assignments) must be computed per op.
+        """
+        g = self.ops.geometry
+        if self._n_locations_override is not None:
+            return self._n_locations_override
+        n = g.vol_shape[0] if op in ("Fu1D", "Fu1D*") else g.det_shape[0]
+        size = self.chunk_size if self.chunk_size is not None else n
+        return -(-n // size)
+
+    def reset_state(self) -> None:
+        """Drop all memoization state (databases, caches, histories) — e.g.
+        after installing a new key encoder with a different dimensionality."""
+        self._state = {op: self._make_state(op) for op in self.config.memo_ops}
+
+    def _db_factory(self):
+        """Partition factory (``dim -> MemoDatabase``) carrying this
+        executor's tau / index configuration."""
         cfg = self.config
 
         def make_db(dim: int) -> MemoDatabase:
@@ -124,10 +155,15 @@ class MemoizedExecutor(DirectExecutor):
                 train_min=cfg.index_train_min,
             )
 
+        return make_db
+
+    def _make_state(self, op: str) -> _OpState:
+        cfg = self.config
+        make_db = self._db_factory()
         if cfg.cache == "private":
             cache = PrivateMemoCache(cfg.tau)
         elif cfg.cache == "global":
-            cache = GlobalMemoCache(cfg.tau, capacity=self._n_locations)
+            cache = GlobalMemoCache(cfg.tau, capacity=self.n_locations_for(op))
         else:
             cache = None
         return _OpState(make_db=make_db, cache=cache)
@@ -183,7 +219,6 @@ class MemoizedExecutor(DirectExecutor):
         state = self._state[op]
         key = self.encoder.encode(input_chunk)
         self._remember_key(op, chunk.index, key)
-        key_bytes = key.nbytes
 
         # Bounded staleness: force a periodic recompute so one stored value
         # cannot serve a location's gradient indefinitely (see MemoConfig).
@@ -194,10 +229,9 @@ class MemoizedExecutor(DirectExecutor):
         if state.cache is not None and not must_refresh:
             hit = state.cache.lookup(chunk.index, key, self.outer_iteration)
             if hit is not None:
-                state.consecutive_serves[chunk.index] = serves + 1
-                value = self._reconstruct(op, chunk, input_chunk, hit.value, hit.meta, meta)
-                self._record(op, chunk.index, CASE_CACHE, 1.0, key_bytes, value.nbytes)
-                return value
+                return self._serve_cache_hit(
+                    op, state, chunk, input_chunk, key, hit, meta, serves
+                )
 
         # (3) remote memoization database (keys travel via the coalescer)
         db = state.db_for(chunk.index, key.shape[0])
@@ -206,27 +240,62 @@ class MemoizedExecutor(DirectExecutor):
             self.coalescer.offer((op, chunk.index))
             outcome = db.query(key)
             if outcome.hit:
-                state.consecutive_serves[chunk.index] = serves + 1
-                value = self._reconstruct(
-                    op, chunk, input_chunk, outcome.value, outcome.stored_meta, meta
+                return self._serve_db_hit(
+                    op, state, chunk, input_chunk, key, outcome, meta, serves,
+                    state.cache,
                 )
-                if state.cache is not None:
-                    state.cache.insert(
-                        chunk.index, key, outcome.value, meta=outcome.stored_meta
-                    )
-                self._record(
-                    op, chunk.index, CASE_DB, outcome.similarity, key_bytes, value.nbytes
-                )
-                return value
 
         # (4) miss: original computation + asynchronous insertion
         out = compute()
+        return self._finish_miss(
+            op, state, chunk, key, out, meta, outcome, state.cache,
+            store=lambda: db.insert(key, out, meta=meta),
+        )
+
+    # -- the three per-chunk resolutions (shared with the distributed engine,
+    # so the 1 worker x 1 shard bit-identity is structural, not incidental) --
+
+    def _serve_cache_hit(
+        self, op, state, chunk, input_chunk, key, hit, query_meta, serves,
+        worker=0, shard=0,
+    ):
+        """Local-cache hit: bump the serve streak, reconstruct, record."""
+        state.consecutive_serves[chunk.index] = serves + 1
+        value = self._reconstruct(op, chunk, input_chunk, hit.value, hit.meta, query_meta)
+        self._record(op, chunk.index, CASE_CACHE, 1.0, key.nbytes, value.nbytes,
+                     worker=worker, shard=shard)
+        return value
+
+    def _serve_db_hit(
+        self, op, state, chunk, input_chunk, key, outcome, query_meta, serves,
+        cache, worker=0, shard=0,
+    ):
+        """Database hit: bump the streak, reconstruct, backfill the local
+        cache with the raw stored value, record."""
+        state.consecutive_serves[chunk.index] = serves + 1
+        value = self._reconstruct(
+            op, chunk, input_chunk, outcome.value, outcome.stored_meta, query_meta
+        )
+        if cache is not None:
+            cache.insert(chunk.index, key, outcome.value, meta=outcome.stored_meta)
+        self._record(op, chunk.index, CASE_DB, outcome.similarity, key.nbytes,
+                     value.nbytes, worker=worker, shard=shard)
+        return value
+
+    def _finish_miss(
+        self, op, state, chunk, key, out, query_meta, outcome, cache, store,
+        worker=0, shard=0,
+    ):
+        """Miss (or forced refresh): reset the streak, persist the fresh
+        value via ``store`` (direct insert or batched message), refresh the
+        local cache, record."""
         state.consecutive_serves[chunk.index] = 0
-        db.insert(key, out, meta=meta)
-        if state.cache is not None:
-            state.cache.insert(chunk.index, key, out, meta=meta)
+        store()
+        if cache is not None:
+            cache.insert(chunk.index, key, out, meta=query_meta)
         sim = outcome.similarity if outcome is not None else -2.0
-        self._record(op, chunk.index, CASE_MISS, sim, key_bytes, out.nbytes)
+        self._record(op, chunk.index, CASE_MISS, sim, key.nbytes, out.nbytes,
+                     worker=worker, shard=shard)
         return out
 
     def _reconstruct(
@@ -265,7 +334,7 @@ class MemoizedExecutor(DirectExecutor):
         if self.config.track_similarity_census:
             self._state[op].key_history.setdefault(location, []).append(key.copy())
 
-    def _record(self, op, chunk_idx, case, sim, kb, vb) -> None:
+    def _record(self, op, chunk_idx, case, sim, kb, vb, worker=0, shard=0) -> None:
         self.events.append(
             MemoEvent(
                 outer=self.outer_iteration,
@@ -276,8 +345,52 @@ class MemoizedExecutor(DirectExecutor):
                 similarity=sim,
                 key_bytes=kb,
                 value_bytes=vb,
+                worker=worker,
+                shard=shard,
             )
         )
+
+    def coalesce_stats(self):
+        """Key-message statistics (Figure 11).  The accessor — not the raw
+        ``coalescer`` attribute — is the stable surface: the distributed
+        executor aggregates per-worker coalescers behind it."""
+        return self.coalescer.stats
+
+    # -- sweep boundaries ---------------------------------------------------------------
+
+    def flush_coalescers(self) -> None:
+        """Force-emit any buffered key message.
+
+        Called at the end of every full-array op sweep and on
+        ``begin_inner``: a sweep's tail batch must not leak into the next
+        sweep's message accounting (Figure 11's ``messages`` / ``mean_batch``
+        inputs), and no key may stay pending across an inner iteration.
+        """
+        self.coalescer.flush()
+
+    def begin_inner(self, iteration: int) -> None:
+        self.flush_coalescers()
+        super().begin_inner(iteration)
+
+    def fu1d(self, u):
+        out = super().fu1d(u)
+        self.flush_coalescers()
+        return out
+
+    def fu1d_adj(self, u1):
+        out = super().fu1d_adj(u1)
+        self.flush_coalescers()
+        return out
+
+    def fu2d(self, u1, subtract=None):
+        out = super().fu2d(u1, subtract=subtract)
+        self.flush_coalescers()
+        return out
+
+    def fu2d_adj(self, r):
+        out = super().fu2d_adj(r)
+        self.flush_coalescers()
+        return out
 
     # -- chunk kernels intercepted -----------------------------------------------------
 
@@ -322,11 +435,7 @@ class MemoizedExecutor(DirectExecutor):
 
         agg = MemoDBStats()
         for db in self._state[op].dbs.values():
-            agg.queries += db.stats.queries
-            agg.hits += db.stats.hits
-            agg.inserts += db.stats.inserts
-            agg.bytes_inserted += db.stats.bytes_inserted
-            agg.bytes_fetched += db.stats.bytes_fetched
+            agg.merge(db.stats)
         return agg
 
     def db_entries(self, op: str) -> int:
@@ -334,18 +443,31 @@ class MemoizedExecutor(DirectExecutor):
 
     def similarity_census(self, op: str, tau: float | None = None) -> dict[int, list[int]]:
         """Figure 4: per location, for each iteration's key, how many *prior*
-        keys at the same location are tau-similar."""
+        keys at the same location are tau-similar.
+
+        One normalized-matrix product per location replaces the O(n^2)
+        pairwise :func:`cosine_similarity` loop — same counts, orders of
+        magnitude faster on long runs.
+        """
         tau = tau if tau is not None else self.config.tau
+        block = 512  # bounds transient memory at block x history, not history^2
         out: dict[int, list[int]] = {}
         for location, keys in self._state[op].key_history.items():
-            counts = []
-            for i, key in enumerate(keys):
-                counts.append(
-                    sum(
-                        1
-                        for prev in keys[:i]
-                        if cosine_similarity(key, prev) > tau
-                    )
+            if not keys:
+                out[location] = []
+                continue
+            mat = np.stack([np.asarray(k).ravel() for k in keys])
+            norms = np.linalg.norm(mat, axis=1)
+            # zero keys have similarity 0 to everything (cosine_similarity's
+            # convention), which a zeroed row reproduces exactly
+            unit = mat / np.where(norms == 0.0, 1.0, norms)[:, None]
+            counts: list[int] = []
+            for i0 in range(0, len(keys), block):
+                i1 = min(i0 + block, len(keys))
+                sims = (np.conj(unit[i0:i1]) @ unit[:i1].T).real
+                counts.extend(
+                    int(np.count_nonzero(sims[r, : i0 + r] > tau))
+                    for r in range(i1 - i0)
                 )
             out[location] = counts
         return out

@@ -1,0 +1,232 @@
+"""Sharded memoization service (paper Sections 4.3, 5.2).
+
+At beamline scale a single memory-node database becomes the contention
+point every compute node funnels through (Figures 14-16).  mLR's answer is
+to *shard* the database over service engines: each chunk location is owned
+by exactly one shard, key messages are routed shard-wise, and each shard
+services its own batched index lookups independently.
+
+This module provides that service layer for the functional (numeric) side
+of the reproduction:
+
+- :func:`shard_of_location` — the one consistent location -> shard mapping,
+  shared with the performance model (:mod:`repro.core.perfsim`) so the DES
+  routes paper-scale query traffic exactly like the numeric run,
+- :class:`MemoShard` — one shard: the per ``(op, location)``
+  :class:`~repro.core.memo_db.MemoDatabase` partitions it owns (each
+  partition bundles its own ANN index and :class:`~repro.kvstore.KVStore`),
+  served through the batched ``query_batch`` / ``insert_batch`` API,
+- :class:`MemoShardRouter` — the client-side router: groups a coalesced key
+  batch by owning shard, dispatches the per-shard sub-batches, reassembles
+  outcomes in request order, and aggregates statistics across shards.
+
+Reuse stays scoped to a chunk location (Section 4.1), so sharding never
+changes *what* is memoized — only which service engine answers.  A single
+shard therefore reproduces the unsharded database bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .memo_db import MemoDatabase, MemoDBStats
+
+__all__ = ["shard_of_location", "ShardQuery", "ShardInsert", "MemoShard", "MemoShardRouter"]
+
+
+def shard_of_location(location: int, n_shards: int) -> int:
+    """Consistent location -> shard routing.
+
+    Round-robin (modulo) placement: adjacent chunk locations land on
+    different shards, which balances per-sweep query traffic even when a
+    worker owns a contiguous block of locations.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return int(location) % n_shards
+
+
+def _scatter_gather(items: list, key_of, service) -> list:
+    """Group ``items`` by ``key_of``, service each group as one batch, and
+    reassemble the per-item results in the original request order — the one
+    routing pattern every batched hop (client -> shard -> partition) uses."""
+    results: list = [None] * len(items)
+    groups: dict = {}
+    for i, item in enumerate(items):
+        groups.setdefault(key_of(item), []).append(i)
+    for key, idxs in groups.items():
+        sub = service(key, [items[i] for i in idxs])
+        for i, res in zip(idxs, sub):
+            results[i] = res
+    return results
+
+
+@dataclass(frozen=True)
+class ShardQuery:
+    """One key lookup travelling in a coalesced message."""
+
+    op: str
+    location: int
+    key: np.ndarray
+
+
+@dataclass(frozen=True)
+class ShardInsert:
+    """One (key, value) insertion bound for a shard."""
+
+    op: str
+    location: int
+    key: np.ndarray
+    value: np.ndarray
+    meta: object = None
+
+
+class MemoShard:
+    """One database shard: the ``(op, location)`` partitions it owns.
+
+    Each partition is a full :class:`MemoDatabase` (ANN index + value
+    store), created lazily at first insert/query, exactly as the unsharded
+    engine does — so shard membership is pure routing, never semantics.
+    """
+
+    def __init__(self, shard_id: int, make_db) -> None:
+        self.shard_id = shard_id
+        self._make_db = make_db
+        self._dbs: dict[tuple[str, int], MemoDatabase] = {}
+        #: batched messages this shard serviced (one per sub-batch received)
+        self.query_messages = 0
+        self.insert_messages = 0
+
+    def db_for(self, op: str, location: int, dim: int) -> MemoDatabase:
+        db = self._dbs.get((op, location))
+        if db is None:
+            db = self._make_db(dim)
+            self._dbs[(op, location)] = db
+        return db
+
+    # -- batched service -----------------------------------------------------------
+
+    def query_batch(self, queries: list[ShardQuery]) -> list:
+        """Service one shard-bound sub-batch; outcomes in request order.
+
+        The sub-batch is regrouped by owning ``(op, location)`` partition
+        and each group goes through :meth:`MemoDatabase.query_batch` — the
+        per-partition batched index lookup the memory node performs.
+        """
+        outcomes = _scatter_gather(
+            queries,
+            lambda q: (q.op, q.location),
+            lambda key, group: self.db_for(
+                key[0], key[1], group[0].key.shape[0]
+            ).query_batch([q.key for q in group]),
+        )
+        if queries:
+            self.query_messages += 1
+        return outcomes
+
+    def insert_batch(self, inserts: list[ShardInsert]) -> list[int]:
+        ids = _scatter_gather(
+            inserts,
+            lambda ins: (ins.op, ins.location),
+            lambda key, group: self.db_for(
+                key[0], key[1], group[0].key.shape[0]
+            ).insert_batch([(ins.key, ins.value, ins.meta) for ins in group]),
+        )
+        if inserts:
+            self.insert_messages += 1
+        return ids
+
+    # -- statistics ----------------------------------------------------------------
+
+    def stats(self, op: str | None = None) -> MemoDBStats:
+        """Aggregated counters over this shard's partitions (optionally one
+        op's).  ``query_batches`` / ``insert_batches`` count the batched
+        per-partition calls; the shard's ``query_messages`` /
+        ``insert_messages`` attributes count the sub-batch messages it
+        received."""
+        agg = MemoDBStats()
+        for (o, _loc), db in self._dbs.items():
+            if op is None or o == op:
+                agg.merge(db.stats)
+        return agg
+
+    def entries(self, op: str | None = None) -> int:
+        return sum(
+            len(db) for (o, _loc), db in self._dbs.items() if op is None or o == op
+        )
+
+    def locations(self, op: str | None = None) -> list[int]:
+        return sorted(
+            loc for (o, loc) in self._dbs if op is None or o == op
+        )
+
+    def __len__(self) -> int:
+        return self.entries()
+
+
+class MemoShardRouter:
+    """Client-side router over ``n_shards`` database shards.
+
+    ``make_db`` is the partition factory (``dim -> MemoDatabase``); every
+    shard shares it, so all partitions carry identical tau / index
+    configuration.
+    """
+
+    def __init__(self, n_shards: int, make_db) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self.shards = [MemoShard(s, make_db) for s in range(n_shards)]
+
+    def shard_of(self, location: int) -> int:
+        return shard_of_location(location, self.n_shards)
+
+    def shard_for(self, location: int) -> MemoShard:
+        return self.shards[self.shard_of(location)]
+
+    def db_for(self, op: str, location: int, dim: int) -> MemoDatabase:
+        return self.shard_for(location).db_for(op, location, dim)
+
+    # -- batched routing -----------------------------------------------------------
+
+    def query_batch(self, queries: list[ShardQuery]) -> list:
+        """Route one coalesced key batch shard-wise.
+
+        The batch is split into per-shard sub-batches (one message per shard,
+        as the coalescer emits them on the wire), each shard services its
+        sub-batch, and the outcomes are reassembled in the original request
+        order.
+        """
+        return _scatter_gather(
+            queries,
+            lambda q: self.shard_of(q.location),
+            lambda shard_id, group: self.shards[shard_id].query_batch(group),
+        )
+
+    def insert_batch(self, inserts: list[ShardInsert]) -> list[int]:
+        """Route a batch of insertions shard-wise; ids in request order."""
+        return _scatter_gather(
+            inserts,
+            lambda ins: self.shard_of(ins.location),
+            lambda shard_id, group: self.shards[shard_id].insert_batch(group),
+        )
+
+    # -- statistics ----------------------------------------------------------------
+
+    def stats(self, op: str | None = None) -> MemoDBStats:
+        """Aggregate over all shards."""
+        agg = MemoDBStats()
+        for shard in self.shards:
+            agg.merge(shard.stats(op))
+        return agg
+
+    def per_shard_stats(self, op: str | None = None) -> list[MemoDBStats]:
+        return [shard.stats(op) for shard in self.shards]
+
+    def entries(self, op: str | None = None) -> int:
+        return sum(shard.entries(op) for shard in self.shards)
+
+    def per_shard_entries(self, op: str | None = None) -> list[int]:
+        return [shard.entries(op) for shard in self.shards]

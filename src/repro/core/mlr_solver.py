@@ -68,12 +68,24 @@ class MLRSolver:
         self.config = config or MLRConfig()
         self.admm_config = admm or ADMMConfig()
         self.ops = ops if ops is not None else LaminoOperators(geometry)
-        self.executor = MemoizedExecutor(
-            self.ops,
-            config=self.config.memo,
-            chunk_size=self.config.chunk_size,
-            encoder=encoder,
-        )
+        if self.config.n_workers > 1 or self.config.n_shards > 1:
+            from .distributed import DistributedMemoizedExecutor
+
+            self.executor = DistributedMemoizedExecutor(
+                self.ops,
+                config=self.config.memo,
+                chunk_size=self.config.chunk_size,
+                encoder=encoder,
+                n_workers=self.config.n_workers,
+                n_shards=self.config.n_shards,
+            )
+        else:
+            self.executor = MemoizedExecutor(
+                self.ops,
+                config=self.config.memo,
+                chunk_size=self.config.chunk_size,
+                encoder=encoder,
+            )
         self.solver = ADMMSolver(self.ops, self.admm_config, executor=self.executor)
 
     # -- optional CNN warmup -----------------------------------------------------------
@@ -123,9 +135,7 @@ class MLRSolver:
         key_encoder = CNNKeyEncoder(encoder, quantized=True)
         self.executor.encoder = key_encoder
         # rebuild per-op databases for the new key dimensionality
-        self.executor._state = {
-            op: self.executor._make_state() for op in self.config.memo.memo_ops
-        }
+        self.executor.reset_state()
         return key_encoder
 
     # -- reconstruction -----------------------------------------------------------------

@@ -24,6 +24,7 @@ from ..cluster.costmodel import CostModel, ProblemDims
 from ..cluster.des import Timeline
 from ..cluster.topology import ClusterModel
 from .memo_engine import CASE_CACHE, CASE_DB, CASE_MISS, MemoEvent
+from .memo_shard import shard_of_location
 from .scaling import distribute_chunks
 
 __all__ = [
@@ -80,15 +81,44 @@ class IterationPerf:
         ) / (self.cluster.memory_nic.capacity * self.lsp_time)
 
 
-def _trace_lookup(trace: list[MemoEvent] | None, n_paper_chunks: int):
+def _trace_lookup(
+    trace: list[MemoEvent] | None, n_paper_chunks: int, by_location: bool = False
+):
     """Map (inner, op, paper-chunk) -> memoization case from a sim trace.
 
     The sim-scale run has fewer chunk locations than the paper-scale replay;
     paper chunk ``j`` inherits the decision of the sim chunk at the same
     relative position.
+
+    With ``by_location=True`` the mapping scales chunk *positions* instead of
+    round-robin interleaving: paper chunk ``j`` inherits sim location
+    ``j * n_sim // n_paper``.  Because both scales distribute contiguous
+    location blocks over workers, this preserves the worker and shard
+    locality a :class:`~repro.core.distributed.DistributedMemoizedExecutor`
+    trace carries — the mode the sharded scaling experiment replays.
     """
     if trace is None:
         return None
+    if by_location:
+        by_loc: dict[tuple[int, str], dict[int, str]] = {}
+        # location counts are per op (Fu1D sweeps the volume axis, Fu2D the
+        # detector rows), so the position scaling must be per group too
+        n_sim_by: dict[tuple[int, str], int] = {}
+        for ev in trace:
+            key = (ev.inner, ev.op)
+            by_loc.setdefault(key, {})[ev.chunk] = ev.case
+            n_sim_by[key] = max(n_sim_by.get(key, 0), ev.chunk + 1)
+
+        def lookup(inner: int, op: str, chunk: int) -> str:
+            cases = by_loc.get((inner, op))
+            if not cases:
+                return CASE_MISS
+            n_sim = n_sim_by[(inner, op)]
+            sim_chunk = chunk * n_sim // max(1, n_paper_chunks)
+            return cases.get(sim_chunk, CASE_MISS)
+
+        return lookup
+
     by_key: dict[tuple[int, str], list[str]] = {}
     for ev in trace:
         by_key.setdefault((ev.inner, ev.op), []).append(ev.case)
@@ -114,20 +144,32 @@ def simulate_iteration(
     coalesce: bool = True,
     db_keys: int = 100_000,
     local_cache: bool = True,
+    n_shards: int = 1,
+    trace_by_location: bool = False,
 ) -> IterationPerf:
-    """Schedule one outer ADMM iteration's LSP on the modeled platform."""
+    """Schedule one outer ADMM iteration's LSP on the modeled platform.
+
+    ``n_shards`` shards the memory node's index database over independent
+    service engines: each coalesced message is split into per-shard
+    sub-batches using the same consistent location -> shard routing the
+    numeric :class:`~repro.core.distributed.DistributedMemoizedExecutor`
+    uses, each shard searches only its ~1/N share of the keys, and the
+    sub-batches are serviced concurrently — the Figure 14 workers x shards
+    scaling surface.
+    """
     if variant not in _VARIANT_OPS:
         raise ValueError(f"variant must be one of {sorted(_VARIANT_OPS)}")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
     cost = cost or CostModel()
     tl = Timeline()
-    cluster = ClusterModel(tl, n_gpus=n_gpus, spec=cost.node)
+    cluster = ClusterModel(tl, n_gpus=n_gpus, spec=cost.node, n_index_shards=n_shards)
     assign = distribute_chunks(dims.n_chunks, n_gpus)
-    lookup = _trace_lookup(trace, dims.n_chunks)
+    lookup = _trace_lookup(trace, dims.n_chunks, by_location=trace_by_location)
     keys_per_msg = cost.keys_per_coalesced_message() if coalesce else 1
 
     op_phase_start: dict[str, float] = {}
     barrier = None
-    query_names: list[str] = []
     for inner in range(n_inner):
         for op in _VARIANT_OPS[variant]:
             phase_t0 = tl.makespan
@@ -149,22 +191,33 @@ def simulate_iteration(
                     f"qsend/{op}", cluster.nic_of(gpu), cost.net_time(nbytes),
                     deps=[t for t, _ in batch],
                 )
-                svc = tl.add(
-                    f"qsvc/{op}",
-                    cluster.memory_index,
-                    cost.index_query_time(db_keys, batch=len(batch)),
-                    deps=[send],
-                )
-                resp = tl.add(
-                    f"qresp/{op}", cluster.memory_nic, cost.net_time(nbytes), deps=[svc]
-                )
-                for enc_task, done in batch:
-                    q = tl.add(
-                        f"query/{op}", None, 0.0, deps=[resp],
-                        release=enc_task.end,
+                # the memory node routes the message's keys to their owning
+                # index shards; sub-batches are serviced concurrently, each
+                # searching only its share of the key population
+                groups: dict[int, list] = {}
+                for entry in batch:
+                    shard = shard_of_location(entry[1], n_shards)
+                    groups.setdefault(shard, []).append(entry)
+                shard_keys = max(1, db_keys // n_shards)
+                for shard, group in sorted(groups.items()):
+                    svc = tl.add(
+                        f"qsvc/{op}",
+                        cluster.index_shard(shard),
+                        cost.index_query_time(shard_keys, batch=len(group)),
+                        deps=[send],
                     )
-                    query_names.append(q.name)
-                    done.append(q)
+                    gbytes = max(len(group) * cost.key_bytes, cost.key_bytes)
+                    resp = tl.add(
+                        f"qresp/{op}", cluster.memory_nic, cost.net_time(gbytes),
+                        deps=[svc],
+                    )
+                    for enc_task, _chunk in group:
+                        # zero-width marker task: its (end - release) is the
+                        # per-query latency collected from tl.tasks below
+                        tl.add(
+                            f"query/{op}", None, 0.0, deps=[resp],
+                            release=enc_task.end,
+                        )
                 pending_batch[gpu_idx] = []
 
             for chunk in range(dims.n_chunks):
@@ -188,8 +241,7 @@ def simulate_iteration(
                         )
                         last_tasks.append(cmp_t)
                         continue
-                    done: list = []
-                    pending_batch[gpu_idx].append((enc, done))
+                    pending_batch[gpu_idx].append((enc, chunk))
                     if len(pending_batch[gpu_idx]) >= keys_per_msg:
                         flush_batch(gpu_idx)
                     if case == CASE_DB:

@@ -20,15 +20,24 @@ class GPUAssignment:
 
     per_gpu: tuple[tuple[int, ...], ...]
 
+    def __post_init__(self) -> None:
+        # chunk -> gpu map, precomputed once: owner_of is on the per-chunk
+        # hot path of both the executor and the DES replay.
+        owners = {}
+        for gpu, chunks in enumerate(self.per_gpu):
+            for chunk in chunks:
+                owners[chunk] = gpu
+        object.__setattr__(self, "_owners", owners)
+
     @property
     def n_gpus(self) -> int:
         return len(self.per_gpu)
 
     def owner_of(self, chunk: int) -> int:
-        for gpu, chunks in enumerate(self.per_gpu):
-            if chunk in chunks:
-                return gpu
-        raise KeyError(chunk)
+        gpu = self._owners.get(chunk)
+        if gpu is None:
+            raise KeyError(chunk)
+        return gpu
 
     @property
     def max_load(self) -> int:

@@ -49,6 +49,7 @@ __all__ = [
     "fig12_cache_hitrate",
     "fig13_offload",
     "fig14_scaling",
+    "fig14_sharded",
     "fig15_bandwidth",
     "fig16_latency_cdf",
     "tab01_accuracy",
@@ -520,6 +521,135 @@ def fig14_scaling(
         overall=overall,
         nic_utilization=util,
         latencies=lats,
+    )
+
+
+@dataclass
+class ShardedScalingResult:
+    """Figure 14 companion: the workers x shards scaling surface.
+
+    The numeric run is executed once with the distributed executor (private
+    caches make the numerics independent of the worker/shard counts); its
+    per-worker and per-shard statistics are reported directly, and its
+    worker-tagged steady-state trace is replayed on the DES across the
+    (workers, shards) grid.
+    """
+
+    n_workers: int
+    n_shards: int
+    shard_hit_rates: list[float]
+    shard_queries: list[int]
+    shard_entries: list[int]
+    worker_keys: list[int]
+    worker_messages: list[int]
+    worker_mean_batch: list[float]
+    case_counts: dict[str, int]
+    grid_workers: list[int]
+    grid_shards: list[int]
+    lsp_times: dict[tuple[int, int], float]
+    query_p50: dict[tuple[int, int], float]
+
+    def speedup(self, workers: int, shards: int) -> float:
+        base = self.lsp_times[(self.grid_workers[0], self.grid_shards[0])]
+        return base / self.lsp_times[(workers, shards)]
+
+    def report(self) -> str:
+        rows = [
+            [s, self.shard_queries[s], self.shard_hit_rates[s], self.shard_entries[s]]
+            for s in range(self.n_shards)
+        ]
+        t = report.table(
+            ["shard", "queries", "hit rate", "entries"],
+            rows,
+            f"Sharded memoization service ({self.n_workers} workers x "
+            f"{self.n_shards} shards, numeric run)",
+        )
+        rows2 = [
+            [w, self.worker_keys[w], self.worker_messages[w], self.worker_mean_batch[w]]
+            for w in range(self.n_workers)
+        ]
+        t += "\n\n" + report.table(
+            ["worker", "keys", "messages", "mean batch"],
+            rows2,
+            "Per-worker key coalescing",
+        )
+        rows3 = [
+            [w] + [self.lsp_times[(w, s)] for s in self.grid_shards]
+            for w in self.grid_workers
+        ]
+        t += "\n\n" + report.table(
+            ["workers \\ shards"] + [str(s) for s in self.grid_shards],
+            rows3,
+            "Figure 14 (sharded): LSP seconds over the workers x shards grid",
+        )
+        return t
+
+
+def fig14_sharded(
+    spec: DatasetSpec = SMALL,
+    n_workers: int = 4,
+    n_shards: int = 2,
+    grid_workers: tuple[int, ...] = (1, 2, 4, 8, 16),
+    grid_shards: tuple[int, ...] = (1, 2, 4),
+    sim_outer: int = 12,
+    db_keys: int = 4_000_000,
+    quick: bool = True,
+) -> ShardedScalingResult:
+    """The distributed-memoization scaling study (paper Sections 4.3/5.2).
+
+    Runs the real (scaled-down) reconstruction on a
+    :class:`~repro.core.distributed.DistributedMemoizedExecutor` with
+    ``n_workers x n_shards``, then replays its worker-tagged steady trace on
+    the DES over the ``grid_workers x grid_shards`` surface.  ``db_keys`` is
+    the modeled beamline-scale key population — large enough that index
+    search time is visible next to the wire time, which is what sharding
+    attacks.
+    """
+    if quick:
+        sim_outer = min(sim_outer, 8)
+    geometry, truth, data = build(spec)
+    ops = LaminoOperators(geometry)
+    cfg = MLRConfig(
+        chunk_size=spec.sim_chunk,
+        memo=_memo_config(),
+        n_workers=n_workers,
+        n_shards=n_shards,
+    )
+    solver = MLRSolver(geometry, cfg, admm=_admm_config(sim_outer), ops=ops)
+    result = solver.reconstruct(data)
+    ex = solver.executor
+
+    shard_stats = ex.per_shard_db_stats()
+    coalesce = ex.per_worker_coalesce_stats()
+    trace = _steady_trace(result.events, sim_outer - 1)
+
+    lsp_times: dict[tuple[int, int], float] = {}
+    p50: dict[tuple[int, int], float] = {}
+    for w in grid_workers:
+        for s in grid_shards:
+            perf = simulate_iteration(
+                spec.dims, n_gpus=w, variant="canc_fused", n_inner=4,
+                trace=trace, db_keys=db_keys, n_shards=s,
+                trace_by_location=True,
+            )
+            lsp_times[(w, s)] = perf.lsp_time
+            lat = sorted(perf.query_latencies)
+            p50[(w, s)] = lat[len(lat) // 2] if lat else 0.0
+
+    return ShardedScalingResult(
+        n_workers=n_workers,
+        n_shards=n_shards,
+        shard_hit_rates=[st.hit_rate for st in shard_stats],
+        shard_queries=[st.queries for st in shard_stats],
+        shard_entries=ex.router.per_shard_entries(),
+        worker_keys=[c.keys for c in coalesce],
+        worker_messages=[c.messages for c in coalesce],
+        worker_mean_batch=[c.mean_batch for c in coalesce],
+        case_counts=dict(result.case_counts),
+        grid_workers=list(grid_workers),
+        grid_shards=list(grid_shards),
+        lsp_times=lsp_times,
+        query_p50=p50,
     )
 
 

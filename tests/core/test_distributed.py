@@ -1,0 +1,188 @@
+"""Distributed memoized executor: equivalence, sharding, per-worker stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistributedMemoizedExecutor,
+    MemoConfig,
+    MemoizedExecutor,
+    MLRConfig,
+    MLRSolver,
+    shard_of_location,
+)
+from repro.lamino import LaminoGeometry, LaminoOperators, brain_like, simulate_data
+from repro.solvers import ADMMConfig, ADMMSolver
+
+
+@pytest.fixture(scope="module")
+def problem():
+    n = 16
+    g = LaminoGeometry((n, n, n), n_angles=12, det_shape=(n, n), tilt_deg=61.0)
+    ops = LaminoOperators(g)
+    truth = brain_like(g.vol_shape, seed=7)
+    d = simulate_data(truth, g, noise_level=0.03, seed=1)
+    return g, ops, truth, d
+
+
+def memo_cfg(**over):
+    base = dict(
+        tau=0.92, warmup_iterations=1, index_train_min=4, index_clusters=2,
+        index_nprobe=2,
+    )
+    base.update(over)
+    return MemoConfig(**base)
+
+
+ADMM = ADMMConfig(n_outer=6, n_inner=3, step_max_rel=4.0)
+
+
+@pytest.fixture(scope="module")
+def reference(problem):
+    """The single-worker MemoizedExecutor run everything is compared to."""
+    g, ops, truth, d = problem
+    ex = MemoizedExecutor(ops, config=memo_cfg(), chunk_size=4)
+    res = ADMMSolver(ops, ADMM, executor=ex).run(d)
+    return ex, res
+
+
+class TestEquivalence:
+    def test_single_worker_single_shard_identical(self, problem, reference):
+        """Acceptance criterion: 1 worker x 1 shard reproduces the
+        single-worker executor bit for bit — reconstruction and cases."""
+        g, ops, truth, d = problem
+        ref_ex, ref = reference
+        ex = DistributedMemoizedExecutor(
+            ops, config=memo_cfg(), chunk_size=4, n_workers=1, n_shards=1
+        )
+        res = ADMMSolver(ops, ADMM, executor=ex).run(d)
+        np.testing.assert_array_equal(ref.u, res.u)
+        assert ex.case_counts() == ref_ex.case_counts()
+
+    @pytest.mark.parametrize("n_workers,n_shards", [(4, 2), (3, 3), (2, 4)])
+    def test_worker_shard_counts_do_not_change_numerics(
+        self, problem, reference, n_workers, n_shards
+    ):
+        """Private caches scope reuse to a location, and a location is owned
+        by one worker and one shard — so the fleet shape is pure routing."""
+        g, ops, truth, d = problem
+        ref_ex, ref = reference
+        ex = DistributedMemoizedExecutor(
+            ops, config=memo_cfg(), chunk_size=4,
+            n_workers=n_workers, n_shards=n_shards,
+        )
+        res = ADMMSolver(ops, ADMM, executor=ex).run(d)
+        np.testing.assert_array_equal(ref.u, res.u)
+        assert ex.case_counts() == ref_ex.case_counts()
+
+    def test_aggregated_stats_match_single_worker(self, problem, reference):
+        g, ops, truth, d = problem
+        ref_ex, _ = reference
+        ex = DistributedMemoizedExecutor(
+            ops, config=memo_cfg(), chunk_size=4, n_workers=4, n_shards=2
+        )
+        ADMMSolver(ops, ADMM, executor=ex).run(d)
+        for op in ("Fu1D", "Fu2D", "Fu2D*", "Fu1D*"):
+            ref_db = ref_ex.db_stats(op)
+            db = ex.db_stats(op)
+            assert (db.queries, db.hits, db.inserts) == (
+                ref_db.queries, ref_db.hits, ref_db.inserts
+            )
+            assert ex.db_entries(op) == ref_ex.db_entries(op)
+            ref_cache = ref_ex.cache_stats(op)
+            cache = ex.cache_stats(op)
+            assert (cache.hits, cache.misses) == (ref_cache.hits, ref_cache.misses)
+
+    def test_mlr_solver_config_selects_distributed(self, problem):
+        g, ops, truth, d = problem
+        solver = MLRSolver(
+            g,
+            MLRConfig(chunk_size=4, memo=memo_cfg(), n_workers=4, n_shards=2),
+            admm=ADMM,
+            ops=ops,
+        )
+        assert isinstance(solver.executor, DistributedMemoizedExecutor)
+        res = solver.reconstruct(d)
+        assert res.memoized_fraction > 0.2
+
+    def test_invalid_counts_rejected(self, problem):
+        g, ops, truth, d = problem
+        with pytest.raises(ValueError):
+            DistributedMemoizedExecutor(ops, config=memo_cfg(), n_workers=0)
+        with pytest.raises(ValueError):
+            MLRConfig(n_shards=0)
+
+
+class TestWorkersAndShards:
+    @pytest.fixture(scope="class")
+    def run(self, problem):
+        g, ops, truth, d = problem
+        ex = DistributedMemoizedExecutor(
+            ops, config=memo_cfg(), chunk_size=4, n_workers=4, n_shards=2
+        )
+        ADMMSolver(ops, ADMM, executor=ex).run(d)
+        return ex
+
+    def test_events_tag_owning_worker(self, run):
+        for ev in run.events:
+            assign = run.assignment_for(ev.op, run.n_locations_for(ev.op))
+            assert ev.worker == assign.owner_of(ev.chunk)
+
+    def test_events_tag_owning_shard(self, run):
+        for ev in run.events:
+            assert ev.shard == shard_of_location(ev.chunk, run.n_shards)
+
+    def test_every_worker_executed_and_coalesced(self, run):
+        workers = {ev.worker for ev in run.events}
+        assert workers == set(range(4))
+        for stats in run.per_worker_coalesce_stats():
+            assert stats.keys > 0
+            assert stats.messages > 0
+            assert stats.keys == sum(stats.batch_sizes)
+
+    def test_coalescers_drained_after_run(self, run):
+        assert all(w.coalescer.pending == 0 for w in run.workers)
+        assert all(not w.pending for w in run.workers)
+
+    def test_shard_traffic_partitions_cleanly(self, run):
+        per = run.per_shard_db_stats()
+        agg = run.router.stats()
+        assert sum(s.queries for s in per) == agg.queries
+        assert sum(s.inserts for s in per) == agg.inserts
+        assert all(s.queries > 0 for s in per)
+
+    def test_shard_locations_respect_routing(self, run):
+        for shard in run.router.shards:
+            for loc in shard.locations():
+                assert shard_of_location(loc, run.n_shards) == shard.shard_id
+
+    def test_batched_db_api_is_the_real_call_path(self, run):
+        """Real runs must exercise MemoDatabase.query_batch/insert_batch —
+        the batched message service, not per-key fallbacks."""
+        agg = run.router.stats()
+        assert agg.query_batches > 0
+        assert agg.insert_batches > 0
+
+    def test_aggregated_coalesce_stats_cover_all_workers(self, run):
+        agg = run.coalesce_stats()
+        per = run.per_worker_coalesce_stats()
+        assert agg.keys == sum(s.keys for s in per) > 0
+        assert agg.messages == sum(s.messages for s in per) > 0
+        assert agg.keys == sum(agg.batch_sizes)
+
+    def test_per_worker_events_partition_the_trace(self, run):
+        total = sum(len(run.worker_events(w)) for w in range(run.n_workers))
+        assert total == len(run.events)
+
+    def test_reset_state_clears_service(self, run, problem):
+        g, ops, truth, d = problem
+        ex = DistributedMemoizedExecutor(
+            ops, config=memo_cfg(), chunk_size=4, n_workers=2, n_shards=2
+        )
+        ADMMSolver(ops, ADMM, executor=ex).run(d)
+        assert ex.router.entries() > 0
+        ex.reset_state()
+        assert ex.router.entries() == 0
+        assert all(w.coalescer.pending == 0 for w in ex.workers)

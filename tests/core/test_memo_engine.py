@@ -160,6 +160,198 @@ class TestAffineReuse:
         assert np.linalg.norm(out - want) < 1e-3 * np.linalg.norm(want)
 
 
+class TestCoalescerFlush:
+    def test_no_pending_keys_after_each_sweep(self, problem):
+        """Regression: the tail batch of every op sweep must be force-emitted
+        — a leaked tail skews the Figure 11 message statistics."""
+        g, ops, truth, d = problem
+        ex = MemoizedExecutor(ops, config=memo_cfg(warmup_iterations=0), chunk_size=4)
+        ex.begin_outer(1)
+        rng = np.random.default_rng(0)
+        u = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        for sweep in (ex.fu1d, ex.fu1d_adj):
+            sweep(u)
+            assert ex.coalescer.pending == 0
+        r = (rng.standard_normal(g.data_shape) + 0j).astype(np.complex64)
+        ex.fu2d_adj(r)
+        assert ex.coalescer.pending == 0
+
+    def test_begin_inner_flushes(self, problem):
+        g, ops, truth, d = problem
+        ex = MemoizedExecutor(ops, config=memo_cfg(), chunk_size=4)
+        ex.coalescer.offer(("Fu1D", 0))
+        assert ex.coalescer.pending == 1
+        ex.begin_inner(0)
+        assert ex.coalescer.pending == 0
+        assert ex.coalescer.stats.messages == 1
+
+    def test_message_count_for_non_multiple_key_stream(self, problem):
+        """7 keys at 3 keys/message must yield exactly 3 messages (2 full +
+        1 tail), with every key accounted for."""
+        g, ops, truth, d = problem
+        ex = MemoizedExecutor(ops, config=memo_cfg(), chunk_size=4)
+        ex.coalescer = type(ex.coalescer)(key_bytes=100, payload_bytes=300)
+        for i in range(7):
+            ex.coalescer.offer(("Fu1D", i))
+        ex.flush_coalescers()
+        stats = ex.coalescer.stats
+        assert stats.keys == 7
+        assert stats.messages == 3
+        assert stats.batch_sizes == [3, 3, 1]
+        assert stats.mean_batch == pytest.approx(7 / 3)
+        assert ex.coalescer.pending == 0
+
+    def test_full_run_leaves_nothing_pending_and_counts_every_key(self, problem):
+        g, ops, truth, d = problem
+        ex = MemoizedExecutor(ops, config=memo_cfg(), chunk_size=4)
+        ADMMSolver(ops, ADMM, executor=ex).run(d)
+        stats = ex.coalescer.stats
+        assert ex.coalescer.pending == 0
+        assert stats.keys > 0
+        assert stats.keys == sum(stats.batch_sizes)
+        # every offered key reached the database as a query
+        total_queries = sum(
+            ex.db_stats(op).queries for op in ("Fu1D", "Fu2D", "Fu2D*", "Fu1D*")
+        )
+        assert stats.keys == total_queries
+
+
+class TestPerOpLocationCounts:
+    def test_fu1d_counts_follow_volume_axis(self):
+        """Regression: Fu1D/Fu1D* chunk along the volume x-axis, not the
+        detector rows — the counts diverge when the heights differ."""
+        g = LaminoGeometry((24, 16, 16), n_angles=12, det_shape=(16, 16), tilt_deg=61.0)
+        ops = LaminoOperators(g)
+        ex = MemoizedExecutor(ops, config=memo_cfg(), chunk_size=4)
+        assert ex.n_locations_for("Fu1D") == 6
+        assert ex.n_locations_for("Fu1D*") == 6
+        assert ex.n_locations_for("Fu2D") == 4
+        assert ex.n_locations_for("Fu2D*") == 4
+
+    def test_global_cache_capacity_sized_per_op(self):
+        g = LaminoGeometry((24, 16, 16), n_angles=12, det_shape=(16, 16), tilt_deg=61.0)
+        ops = LaminoOperators(g)
+        ex = MemoizedExecutor(ops, config=memo_cfg(cache="global"), chunk_size=4)
+        assert ex._state["Fu1D"].cache.capacity == 6
+        assert ex._state["Fu2D"].cache.capacity == 4
+
+    def test_explicit_override_wins(self):
+        g = LaminoGeometry((24, 16, 16), n_angles=12, det_shape=(16, 16), tilt_deg=61.0)
+        ops = LaminoOperators(g)
+        ex = MemoizedExecutor(ops, config=memo_cfg(), chunk_size=4, n_locations=9)
+        assert ex.n_locations_for("Fu1D") == 9
+        assert ex.n_locations_for("Fu2D") == 9
+
+    def test_ragged_volume_runs_end_to_end(self):
+        """A volume taller than the detector exercises both axis lengths."""
+        g = LaminoGeometry((24, 16, 16), n_angles=12, det_shape=(16, 16), tilt_deg=61.0)
+        ops = LaminoOperators(g)
+        truth = brain_like(g.vol_shape, seed=3)
+        d = simulate_data(truth, g, noise_level=0.03, seed=1)
+        ex = MemoizedExecutor(ops, config=memo_cfg(), chunk_size=4)
+        ADMMSolver(ops, ADMMConfig(n_outer=3, n_inner=2, step_max_rel=4.0), executor=ex).run(d)
+        fu1d_locs = {ev.chunk for ev in ex.events if ev.op == "Fu1D"}
+        fu2d_locs = {ev.chunk for ev in ex.events if ev.op == "Fu2D"}
+        assert fu1d_locs == set(range(6))
+        assert fu2d_locs == set(range(4))
+
+
+class TestReconstructEdgeCases:
+    def _executor(self, ops, **over):
+        cfg = memo_cfg(warmup_iterations=0, max_consecutive_reuse=100, **over)
+        ex = MemoizedExecutor(ops, config=cfg, chunk_size=4)
+        ex.begin_outer(1)
+        return ex
+
+    def test_zero_ac_stored_chunk_serves_dc_exactly(self, problem):
+        """Stored pair with ac_a == 0 (a pure constant chunk): the AC scale
+        factor degenerates to 0 and the served value must be exactly
+        dc_q * basis — the DC-only reconstruction."""
+        g, ops, truth, d = problem
+        from repro.lamino.chunking import Chunk
+
+        ex = self._executor(ops)
+        chunk = Chunk(index=0, axis=0, lo=0, hi=4)
+        dc_a, dc_q = 0.7 - 0.2j, -0.3 + 0.5j
+        ones = np.ones((4, 16, 16), dtype=np.complex64)
+        stored_value = (np.complex64(dc_a) * ops.fu1d(ones)).astype(np.complex64)
+        query = np.full((4, 16, 16), dc_q, dtype=np.complex64)
+        served = ex._reconstruct(
+            "Fu1D", chunk, query, stored_value, (0.0, dc_a), ex._chunk_meta(query)
+        )
+        true = ops.fu1d(query)
+        assert np.linalg.norm(served - true) < 1e-3 * np.linalg.norm(true)
+
+    def test_scale_correction_off_returns_raw_copy(self, problem):
+        g, ops, truth, d = problem
+        from repro.lamino.chunking import Chunk
+
+        ex = self._executor(ops, scale_correction=False)
+        chunk = Chunk(index=0, axis=0, lo=0, hi=4)
+        rng = np.random.default_rng(5)
+        x = (rng.standard_normal((4, 16, 16)) + 1j * rng.standard_normal((4, 16, 16))).astype(np.complex64)
+        stored = ex._run_fu1d(chunk, x)
+        served = ex._run_fu1d(chunk, (2.0 * x).astype(np.complex64))
+        assert ex.events[-1].case in ("db_hit", "cache_hit")
+        # raw reuse: the stored value verbatim, not a rescaled estimate
+        np.testing.assert_array_equal(served, stored)
+        served[0, 0, 0] = 99.0  # must be a copy, not an alias of the cache
+        again = ex._run_fu1d(chunk, (2.0 * x).astype(np.complex64))
+        assert again[0, 0, 0] != 99.0
+
+    def test_served_value_preserves_dtype(self, problem):
+        g, ops, truth, d = problem
+        from repro.lamino.chunking import Chunk
+
+        ex = self._executor(ops)
+        chunk = Chunk(index=1, axis=0, lo=4, hi=8)
+        rng = np.random.default_rng(6)
+        x = (rng.standard_normal((4, 16, 16)) + 1j * rng.standard_normal((4, 16, 16))).astype(np.complex64)
+        ex._run_fu1d(chunk, x)
+        served = ex._run_fu1d(chunk, (1.5 * x).astype(np.complex64))
+        assert ex.events[-1].case in ("db_hit", "cache_hit")
+        assert served.dtype == np.complex64
+
+    def test_none_meta_returns_copy(self, problem):
+        """A stored value without reuse metadata falls back to raw reuse."""
+        g, ops, truth, d = problem
+        from repro.lamino.chunking import Chunk
+
+        ex = self._executor(ops)
+        chunk = Chunk(index=0, axis=0, lo=0, hi=4)
+        value = np.arange(8, dtype=np.complex64)
+        out = ex._reconstruct("Fu1D", chunk, value, value, None, (1.0, 0j))
+        np.testing.assert_array_equal(out, value)
+        assert out is not value
+
+
+class TestSimilarityCensusVectorized:
+    def test_matches_bruteforce_pairwise_loop(self, problem):
+        from repro.solvers.metrics import cosine_similarity
+
+        g, ops, truth, d = problem
+        cfg = memo_cfg(track_similarity_census=True, warmup_iterations=100)
+        ex = MemoizedExecutor(ops, config=cfg, chunk_size=4)
+        ADMMSolver(ops, ADMM, executor=ex).run(d)
+        for tau in (0.5, 0.9, 0.99):
+            census = ex.similarity_census("Fu2D", tau=tau)
+            for location, keys in ex._state["Fu2D"].key_history.items():
+                brute = [
+                    sum(1 for prev in keys[:i] if cosine_similarity(k, prev) > tau)
+                    for i, k in enumerate(keys)
+                ]
+                assert census[location] == brute
+
+    def test_zero_keys_count_nothing(self, problem):
+        g, ops, truth, d = problem
+        cfg = memo_cfg(track_similarity_census=True)
+        ex = MemoizedExecutor(ops, config=cfg, chunk_size=4)
+        zero = np.zeros(8, dtype=np.float32)
+        ex._state["Fu2D"].key_history[0] = [zero, zero, zero]
+        census = ex.similarity_census("Fu2D", tau=0.5)
+        assert census[0] == [0, 0, 0]
+
+
 class TestConfigValidation:
     @pytest.mark.parametrize(
         "kwargs",

@@ -1,0 +1,158 @@
+"""Sharded memoization service: routing, batched API, aggregated stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MemoDatabase,
+    MemoShardRouter,
+    ShardInsert,
+    ShardQuery,
+    shard_of_location,
+)
+
+
+def make_db(dim: int) -> MemoDatabase:
+    return MemoDatabase(dim=dim, tau=0.9, index_clusters=2, index_nprobe=2, train_min=4)
+
+
+def key(seed: int, dim: int = 8) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(dim).astype(np.float32)
+
+
+class TestRouting:
+    def test_consistent_and_balanced(self):
+        owners = [shard_of_location(loc, 4) for loc in range(64)]
+        assert owners == [shard_of_location(loc, 4) for loc in range(64)]
+        for s in range(4):
+            assert owners.count(s) == 16
+
+    def test_single_shard_owns_everything(self):
+        assert all(shard_of_location(loc, 1) == 0 for loc in range(100))
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_of_location(3, 0)
+        with pytest.raises(ValueError):
+            MemoShardRouter(0, make_db)
+
+    def test_router_matches_function(self):
+        router = MemoShardRouter(3, make_db)
+        for loc in range(20):
+            assert router.shard_of(loc) == shard_of_location(loc, 3)
+            assert router.shard_for(loc) is router.shards[router.shard_of(loc)]
+
+
+class TestBatchedService:
+    def test_insert_then_query_roundtrip(self):
+        router = MemoShardRouter(2, make_db)
+        k = key(0)
+        v = np.arange(6, dtype=np.complex64)
+        router.insert_batch([ShardInsert("Fu2D", 3, k, v, meta=(1.0, 0j))])
+        [outcome] = router.query_batch([ShardQuery("Fu2D", 3, k)])
+        assert outcome.hit
+        np.testing.assert_array_equal(outcome.value, v)
+        assert outcome.stored_meta == (1.0, 0j)
+
+    def test_outcomes_keep_request_order_across_shards(self):
+        router = MemoShardRouter(3, make_db)
+        locs = [0, 1, 2, 3, 4, 5]
+        inserts = [
+            ShardInsert("Fu1D", loc, key(loc), np.full(4, loc, dtype=np.complex64))
+            for loc in locs
+        ]
+        router.insert_batch(inserts)
+        outcomes = router.query_batch(
+            [ShardQuery("Fu1D", loc, key(loc)) for loc in reversed(locs)]
+        )
+        for loc, outcome in zip(reversed(locs), outcomes):
+            assert outcome.hit
+            np.testing.assert_array_equal(
+                outcome.value, np.full(4, loc, dtype=np.complex64)
+            )
+
+    def test_locations_partition_by_shard(self):
+        router = MemoShardRouter(2, make_db)
+        router.insert_batch(
+            [ShardInsert("Fu1D", loc, key(loc), np.zeros(2, np.complex64)) for loc in range(6)]
+        )
+        assert router.shards[0].locations("Fu1D") == [0, 2, 4]
+        assert router.shards[1].locations("Fu1D") == [1, 3, 5]
+
+    def test_ops_partition_independently(self):
+        """The same location under two ops is two independent partitions."""
+        router = MemoShardRouter(2, make_db)
+        va = np.full(3, 1, dtype=np.complex64)
+        vb = np.full(3, 2, dtype=np.complex64)
+        router.insert_batch([ShardInsert("Fu1D", 0, key(1), va)])
+        router.insert_batch([ShardInsert("Fu2D", 0, key(1), vb)])
+        [qa] = router.query_batch([ShardQuery("Fu1D", 0, key(1))])
+        [qb] = router.query_batch([ShardQuery("Fu2D", 0, key(1))])
+        np.testing.assert_array_equal(qa.value, va)
+        np.testing.assert_array_equal(qb.value, vb)
+
+    def test_query_miss_below_tau(self):
+        router = MemoShardRouter(2, make_db)
+        router.insert_batch([ShardInsert("Fu1D", 0, key(1), np.zeros(2, np.complex64))])
+        [outcome] = router.query_batch([ShardQuery("Fu1D", 0, -key(1))])
+        assert not outcome.hit
+
+
+class TestStats:
+    def test_aggregation_across_shards(self):
+        router = MemoShardRouter(3, make_db)
+        router.insert_batch(
+            [ShardInsert("Fu1D", loc, key(loc), np.zeros(4, np.complex64)) for loc in range(9)]
+        )
+        router.query_batch([ShardQuery("Fu1D", loc, key(loc)) for loc in range(9)])
+        agg = router.stats()
+        assert agg.inserts == 9
+        assert agg.queries == 9
+        assert agg.hits == 9
+        per = router.per_shard_stats()
+        assert sum(s.queries for s in per) == agg.queries
+        assert sum(s.inserts for s in per) == agg.inserts
+        assert router.entries() == 9
+        assert router.per_shard_entries() == [3, 3, 3]
+
+    def test_shard_message_counters(self):
+        router = MemoShardRouter(2, make_db)
+        router.insert_batch(
+            [ShardInsert("Fu1D", loc, key(loc), np.zeros(4, np.complex64)) for loc in range(4)]
+        )
+        router.query_batch([ShardQuery("Fu1D", loc, key(loc)) for loc in range(4)])
+        # one batch hit both shards: one sub-message each
+        assert [s.insert_messages for s in router.shards] == [1, 1]
+        assert [s.query_messages for s in router.shards] == [1, 1]
+        # each sub-message spans 2 single-location partitions -> 4 batched
+        # per-partition calls in total
+        assert router.stats().query_batches == 4
+        assert router.stats().insert_batches == 4
+
+
+class TestMemoDatabaseBatchAPI:
+    def test_query_batch_matches_sequential_queries(self):
+        db_a, db_b = make_db(8), make_db(8)
+        keys = [key(i) for i in range(6)]
+        vals = [np.full(3, i, dtype=np.complex64) for i in range(6)]
+        db_a.insert_batch(list(zip(keys, vals, [None] * 6)))
+        for k, v in zip(keys, vals):
+            db_b.insert(k, v)
+        batched = db_a.query_batch(keys)
+        sequential = [db_b.query(k) for k in keys]
+        for got, want in zip(batched, sequential):
+            assert got.hit == want.hit
+            assert got.similarity == pytest.approx(want.similarity)
+            np.testing.assert_array_equal(got.value, want.value)
+        assert db_a.stats.query_batches == 1
+        assert db_a.stats.insert_batches == 1
+        assert db_b.stats.query_batches == 0
+
+    def test_empty_batches_are_noops(self):
+        db = make_db(4)
+        assert db.query_batch([]) == []
+        assert db.insert_batch([]) == []
+        assert db.stats.query_batches == 0
+        assert db.stats.insert_batches == 0

@@ -130,3 +130,98 @@ class TestMultiGPU:
         perf = simulate_iteration(DIMS, trace=synthetic_trace())
         assert len(perf.query_latencies) > 0
         assert all(v >= 0 for v in perf.query_latencies)
+
+
+class TestShardedMemoryNode:
+    TRACE = staticmethod(lambda: synthetic_trace(("miss", "db_hit", "db_hit", "cache_hit")))
+
+    def test_single_shard_identical_to_default(self):
+        base = simulate_iteration(DIMS, n_gpus=8, trace=self.TRACE(), db_keys=10**6)
+        one = simulate_iteration(
+            DIMS, n_gpus=8, trace=self.TRACE(), db_keys=10**6, n_shards=1
+        )
+        assert one.lsp_time == base.lsp_time
+        assert len(one.query_latencies) == len(base.query_latencies)
+
+    def test_sharding_never_slows_the_iteration(self):
+        for g in (4, 16):
+            t1 = simulate_iteration(
+                DIMS, n_gpus=g, trace=self.TRACE(), db_keys=10**8, n_shards=1
+            ).lsp_time
+            t4 = simulate_iteration(
+                DIMS, n_gpus=g, trace=self.TRACE(), db_keys=10**8, n_shards=4
+            ).lsp_time
+            assert t4 <= t1 * 1.001
+
+    def test_shard_resources_materialized_and_used(self):
+        perf = simulate_iteration(
+            DIMS, n_gpus=8, trace=self.TRACE(), db_keys=10**6, n_shards=4
+        )
+        names = set(perf.timeline.resources)
+        assert {"memnode/index", "memnode/index/1", "memnode/index/2",
+                "memnode/index/3"} <= names
+        for name in ("memnode/index", "memnode/index/1"):
+            assert perf.timeline.resources[name].busy_time > 0
+
+    def test_all_queries_answered_regardless_of_shards(self):
+        base = simulate_iteration(DIMS, n_gpus=8, trace=self.TRACE(), db_keys=10**6)
+        sharded = simulate_iteration(
+            DIMS, n_gpus=8, trace=self.TRACE(), db_keys=10**6, n_shards=3
+        )
+        assert len(sharded.query_latencies) == len(base.query_latencies)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_iteration(DIMS, n_shards=0)
+
+
+class TestTraceByLocation:
+    def test_location_mapping_preserves_block_structure(self):
+        """An all-miss lower half / all-hit upper half sim trace must map to
+        the same split at paper scale (round-robin would interleave it)."""
+        trace = []
+        for inner in range(2):
+            for op in ("Fu1D", "Fu2D"):
+                for c in range(8):
+                    case = "miss" if c < 4 else "db_hit"
+                    trace.append(MemoEvent(0, inner, op, c, case, 0.9, 4096, 2**20))
+        from repro.core.perfsim import _trace_lookup
+
+        lookup = _trace_lookup(trace, 64, by_location=True)
+        for paper_chunk in range(32):
+            assert lookup(0, "Fu1D", paper_chunk) == "miss"
+        for paper_chunk in range(32, 64):
+            assert lookup(0, "Fu1D", paper_chunk) == "db_hit"
+
+    def test_ragged_ops_scale_by_their_own_location_count(self):
+        """Regression: location counts are per op (Fu1D sweeps the volume
+        axis, Fu2D the detector rows).  An op with fewer sim locations must
+        still cover the whole paper chunk range instead of falling off the
+        end into CASE_MISS."""
+        from repro.core.perfsim import _trace_lookup
+
+        trace = []
+        for c in range(6):  # Fu1D: 6 locations, all hits
+            trace.append(MemoEvent(0, 0, "Fu1D", c, "db_hit", 0.9, 4096, 2**20))
+        for c in range(4):  # Fu2D: 4 locations, all hits
+            trace.append(MemoEvent(0, 0, "Fu2D", c, "db_hit", 0.9, 4096, 2**20))
+        lookup = _trace_lookup(trace, 64, by_location=True)
+        for paper_chunk in range(64):
+            assert lookup(0, "Fu1D", paper_chunk) == "db_hit"
+            assert lookup(0, "Fu2D", paper_chunk) == "db_hit"
+
+    def test_unknown_op_defaults_to_miss(self):
+        from repro.core.perfsim import _trace_lookup
+
+        lookup = _trace_lookup(
+            [MemoEvent(0, 0, "Fu1D", 0, "db_hit", 0.9, 4096, 2**20)], 64,
+            by_location=True,
+        )
+        assert lookup(3, "Fu2D*", 0) == "miss"
+
+    def test_runs_end_to_end(self):
+        perf = simulate_iteration(
+            DIMS, n_gpus=4, trace=synthetic_trace(), db_keys=10**6,
+            n_shards=2, trace_by_location=True,
+        )
+        assert perf.lsp_time > 0

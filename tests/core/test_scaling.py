@@ -1,0 +1,40 @@
+"""Chunk distribution: the precomputed owner map and block layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GPUAssignment, distribute_chunks
+
+
+class TestOwnerMap:
+    @pytest.mark.parametrize("n_chunks,n_gpus", [(1, 1), (8, 2), (10, 3), (64, 16), (5, 8)])
+    def test_owner_matches_membership(self, n_chunks, n_gpus):
+        a = distribute_chunks(n_chunks, n_gpus)
+        for gpu, chunks in enumerate(a.per_gpu):
+            for chunk in chunks:
+                assert a.owner_of(chunk) == gpu
+
+    def test_every_chunk_owned_exactly_once(self):
+        a = distribute_chunks(13, 4)
+        owners = [a.owner_of(c) for c in range(13)]
+        assert len(owners) == 13
+        assert sorted(set(owners)) == list(range(4))
+
+    def test_unknown_chunk_raises(self):
+        a = distribute_chunks(4, 2)
+        with pytest.raises(KeyError):
+            a.owner_of(4)
+        with pytest.raises(KeyError):
+            a.owner_of(-1)
+
+    def test_manual_assignment_builds_map(self):
+        a = GPUAssignment(per_gpu=((2, 5), (0,), (1, 3, 4)))
+        assert a.owner_of(5) == 0
+        assert a.owner_of(0) == 1
+        assert a.owner_of(4) == 2
+
+    def test_blocks_are_contiguous(self):
+        a = distribute_chunks(10, 3)
+        flat = [c for chunks in a.per_gpu for c in chunks]
+        assert flat == list(range(10))

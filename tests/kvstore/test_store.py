@@ -92,6 +92,61 @@ class TestEviction:
             assert kv.nbytes <= 16
 
 
+class TestOverwriteAccounting:
+    """nbytes must equal the exact sum of live values through overwrites,
+    including overwrites that trigger eviction under a capacity bound."""
+
+    @staticmethod
+    def _live_bytes(kv: KVStore) -> int:
+        return sum(len(kv.get(k)) for k in kv.keys())
+
+    def test_overwrite_grow_forces_eviction_and_stays_consistent(self):
+        kv = KVStore(capacity_bytes=10, eviction="fifo")
+        kv.put("a", b"1234")
+        kv.put("b", b"1234")
+        # growing "a" to 9 bytes must drop the old "a" (4) and evict "b"
+        kv.put("a", b"123456789")
+        assert "b" not in kv and "a" in kv
+        assert kv.nbytes == 9 == self._live_bytes(kv)
+        assert kv.stats.evictions == 1
+
+    def test_overwrite_shrink_releases_bytes(self):
+        kv = KVStore(capacity_bytes=10)
+        kv.put("a", b"12345678")
+        kv.put("a", b"12")
+        assert kv.nbytes == 2 == self._live_bytes(kv)
+        # the freed space is genuinely reusable without eviction
+        kv.put("b", b"12345678")
+        assert kv.stats.evictions == 0
+        assert kv.nbytes == 10 == self._live_bytes(kv)
+
+    def test_overwrite_same_size_is_neutral(self):
+        kv = KVStore(capacity_bytes=8)
+        kv.put("a", b"1234")
+        kv.put("b", b"1234")
+        kv.put("a", b"abcd")
+        assert "b" in kv and kv.get("a") == b"abcd"
+        assert kv.nbytes == 8 == self._live_bytes(kv)
+        assert kv.stats.evictions == 0
+
+    def test_overwrite_never_self_evicts_fresh_value(self):
+        """Overwriting the only key with a capacity-sized value must not
+        evict anything (the old bytes are released first)."""
+        kv = KVStore(capacity_bytes=8)
+        kv.put("a", b"12345678")
+        kv.put("a", b"abcdefgh")
+        assert kv.get("a") == b"abcdefgh"
+        assert kv.nbytes == 8 == self._live_bytes(kv)
+        assert kv.stats.evictions == 0
+
+    def test_delete_after_overwrite_accounting(self):
+        kv = KVStore(capacity_bytes=20)
+        kv.put("a", b"123")
+        kv.put("a", b"1234567")
+        assert kv.delete("a") is True
+        assert kv.nbytes == 0 and len(kv) == 0
+
+
 class TestStats:
     def test_hit_rate(self):
         kv = KVStore()
