@@ -114,11 +114,17 @@ class HNSWIndex:
             for n in neighbors:
                 self._edges[n][lv].append(idx)
                 self.n_edge_updates += 1
-                if len(self._edges[n][lv]) > 2 * self.m:  # prune: keep closest
+                if len(self._edges[n][lv]) > 2 * self.m:
+                    # prune to the 2m degree cap (the reference M_max0), not
+                    # below it: cutting straight down to m strips so many
+                    # back-edges that near-duplicate pairs can end up
+                    # mutually linked but unreachable from the entry point,
+                    # breaking self-query recall no matter how large
+                    # ef_search is
                     d = [(self._dist(self._vecs[n], o), o) for o in self._edges[n][lv]]
                     d.sort()
-                    self._edges[n][lv] = [o for _, o in d[: self.m]]
-                    self.n_edge_updates += self.m
+                    self._edges[n][lv] = [o for _, o in d[: 2 * self.m]]
+                    self.n_edge_updates += 1
             entry = found[0][1]
         if level > self._levels[self._entry]:
             self._entry = idx

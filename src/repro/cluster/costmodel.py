@@ -119,6 +119,27 @@ class CostModel:
     def ssd_read_time(self, nbytes: float) -> float:
         return self.node.ssd.read_time(nbytes)
 
+    # -- streaming pipeline stages -------------------------------------------------------
+
+    def chunk_read_time(self, dims: ProblemDims) -> float:
+        """Reader stage: SSD load of one chunk slab (spill-backed ingest)."""
+        return self.node.ssd.read_time(dims.chunk_bytes)
+
+    def chunk_write_time(self, dims: ProblemDims) -> float:
+        """Writer stage: SSD store of one output slab."""
+        return self.node.ssd.write_time(dims.chunk_bytes)
+
+    def chunk_compute_time(
+        self,
+        dims: ProblemDims,
+        ops: tuple[str, ...] = ("Fu1D", "Fu2D", "Fu2D*", "Fu1D*"),
+    ) -> float:
+        """Compute stage: one chunk through the cancelled sweep's FFT ops
+        plus forward and adjoint PCIe staging."""
+        return sum(self.fft_time(op, dims) for op in ops) + 2 * (
+            self.h2d_time(dims) + self.d2h_time(dims)
+        )
+
     # -- CPU work ------------------------------------------------------------------------
 
     def encode_time(self, dims: ProblemDims) -> float:

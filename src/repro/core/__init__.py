@@ -4,7 +4,7 @@ multi-worker memoization service (:class:`MemoShardRouter` +
 and the trace-driven performance simulation."""
 
 from .coalescer import CoalesceStats, KeyCoalescer
-from .config import MemoConfig, MLRConfig
+from .config import MemoConfig, MLRConfig, PipelineConfig
 from .distributed import DistributedMemoizedExecutor, WorkerState
 from .keying import CNNKeyEncoder, PoolKeyEncoder, chunk_to_image, chunk_to_stack, pool3d
 from .memo_cache import CacheHit, CacheStats, GlobalMemoCache, PrivateMemoCache
@@ -36,10 +36,12 @@ from .offload import (
 )
 from .perfsim import (
     IterationPerf,
+    PipelinePerf,
     coalesce_comparison,
     memo_case_breakdown,
     phase_times,
     simulate_iteration,
+    simulate_pipeline,
     total_runtime,
 )
 from .scaling import GPUAssignment, distribute_chunks
@@ -49,6 +51,7 @@ __all__ = [
     "KeyCoalescer",
     "MemoConfig",
     "MLRConfig",
+    "PipelineConfig",
     "CNNKeyEncoder",
     "PoolKeyEncoder",
     "chunk_to_image",
@@ -84,10 +87,12 @@ __all__ = [
     "greedy_offload",
     "lru_offload",
     "IterationPerf",
+    "PipelinePerf",
     "coalesce_comparison",
     "memo_case_breakdown",
     "phase_times",
     "simulate_iteration",
+    "simulate_pipeline",
     "total_runtime",
     "GPUAssignment",
     "distribute_chunks",

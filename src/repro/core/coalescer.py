@@ -69,6 +69,16 @@ class KeyCoalescer:
         self.stats.batch_sizes.append(len(batch))
         return batch
 
+    def discard(self) -> int:
+        """Drop buffered keys without emitting a message (an aborted sweep
+        must not leak its keys into the next sweep's statistics); returns
+        the number discarded.  The offered-key count is rolled back so
+        ``stats.keys`` keeps meaning *keys sent*."""
+        n = len(self._pending)
+        self._pending = []
+        self.stats.keys -= n
+        return n
+
     @property
     def pending(self) -> int:
         return len(self._pending)

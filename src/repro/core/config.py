@@ -4,7 +4,40 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["MemoConfig", "MLRConfig"]
+__all__ = ["MemoConfig", "MLRConfig", "PipelineConfig"]
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs of the streaming execution mode (:mod:`repro.pipeline`).
+
+    Defined here so the config layer stays free of the pipeline subsystem
+    (which wraps core executors, not the other way around); it is
+    re-exported as :class:`repro.pipeline.PipelineConfig`.
+
+    queue_depth:
+        Capacity of each inter-stage queue (input slabs the reader may run
+        ahead, output slabs the writer may lag).  Depth 1 is strict
+        double-buffering; larger depths absorb burstier stage-time
+        variation at the cost of resident slabs.
+    ingest_queue_depth:
+        Block capacity of a :class:`~repro.pipeline.ingest.StreamingIngest`
+        source (backpressure on the instrument/producer side).
+
+    (SSD prefetch lookahead is a property of the chunk *source* — pass
+    ``prefetch_depth`` to :class:`~repro.pipeline.reader.SpillSource`.)
+    """
+
+    queue_depth: int = 2
+    ingest_queue_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.ingest_queue_depth < 1:
+            raise ValueError(
+                f"ingest_queue_depth must be >= 1, got {self.ingest_queue_depth}"
+            )
 
 
 @dataclass
@@ -78,12 +111,19 @@ class MLRConfig:
         anything larger runs the sharded
         :class:`~repro.core.distributed.DistributedMemoizedExecutor`, which
         is numerically identical for the paper-default private cache.
+    pipeline:
+        ``None`` (the default) executes op sweeps monolithically; a
+        :class:`~repro.pipeline.PipelineConfig` wraps the executor in the
+        streaming :class:`~repro.pipeline.PipelinedExecutor` — overlapped
+        read -> memoized compute -> write with bounded queues, bit-identical
+        to the monolithic path.
     """
 
     chunk_size: int = 16
     memo: MemoConfig = field(default_factory=MemoConfig)
     n_workers: int = 1
     n_shards: int = 1
+    pipeline: PipelineConfig | None = None
 
     def __post_init__(self) -> None:
         if self.chunk_size < 1:

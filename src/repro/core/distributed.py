@@ -41,16 +41,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..solvers.executor import SWEEP_KERNELS
 from .coalescer import CoalesceStats, KeyCoalescer
 from .config import MemoConfig
 from .memo_cache import GlobalMemoCache, PrivateMemoCache
-from .memo_engine import (
-    CASE_CACHE,
-    CASE_DB,
-    CASE_DIRECT,
-    CASE_MISS,
-    MemoizedExecutor,
-)
+from .memo_engine import CASE_CACHE, CASE_DIRECT, CASE_MISS, MemoizedExecutor
 from .memo_shard import MemoShardRouter, ShardInsert, ShardQuery
 from .scaling import GPUAssignment, distribute_chunks
 
@@ -181,145 +176,169 @@ class DistributedMemoizedExecutor(MemoizedExecutor):
 
     # -- the sweep -----------------------------------------------------------------------
 
-    def _sweep(self, op: str, chunks: list, inputs: list, compute) -> list:
-        """Run one full-array op sweep over its chunks; returns per-chunk
-        outputs in chunk order."""
+    def _raw_compute(self, op: str):
+        """The unmemoized chunk computation of one sweep-scheduled op —
+        the raw :class:`DirectExecutor` kernels from the shared
+        ``SWEEP_KERNELS`` table, bound past this class's memoizing
+        ``_run_*`` overrides."""
+        name = SWEEP_KERNELS.get(op)
+        if name is None:
+            raise ValueError(f"{op!r} is not sweep-scheduled")
+        kernel = getattr(super(MemoizedExecutor, self), name)
+        if op == "Fu2D":
+            return lambda c, x: kernel(c, x, None)
+        return kernel
+
+    def sweep_stream(self, op, items, n_chunks=None):
+        """Streaming multi-worker sweep: consume ``(chunk, payload)`` in
+        chunk order, yield ``(chunk, output)`` worker block by worker block.
+
+        Work is organized exactly like the batched sweep the full-array ops
+        run: per worker, phase A (encode, private-cache probe, coalesced
+        shard queries) over the worker's contiguous chunk block, then phase
+        B (serve hits, compute misses) for that block.  Because chunk
+        locations are worker-disjoint and insertions are deferred to the end
+        of the whole sweep, streaming worker-by-worker is bit-identical to
+        running all of phase A before all of phase B — outputs just become
+        available as each worker's block completes, which is what lets the
+        pipeline's writer stage overlap them with the next block's compute.
+
+        ``n_chunks`` (the sweep size) is required: the worker assignment
+        must be fixed before the first item is consumed.
+        """
+        if op not in SWEEP_KERNELS:
+            # detector-plane ops are never sweep-scheduled: stream them
+            # chunk-at-a-time like the base executor
+            yield from super().sweep_stream(op, items, n_chunks=n_chunks)
+            return
+        if n_chunks is None:
+            raise ValueError("the distributed sweep needs n_chunks up front")
+        completed = False
+        try:
+            yield from self._stream_sweep(op, items, n_chunks)
+            completed = True
+        finally:
+            if not completed:
+                # a dead sweep (pipeline stage failure, abandoned generator)
+                # must not leak its buffered queries or coalesced keys into
+                # the next sweep's messages and statistics
+                for worker in self.workers:
+                    worker.pending = []
+                    worker.coalescer.discard()
+
+    def _stream_sweep(self, op, items, n_chunks):
         cfg = self.config
-        n = len(chunks)
-        self.op_counts[op] += n
         memoized_op = self.enabled and op in self._state
         in_warmup = self.outer_iteration < cfg.warmup_iterations
-        slots = [_Slot() for _ in range(n)]
-        assign = self.assignment_for(op, n)
+        assign = self.assignment_for(op, n_chunks)
         state = self._state.get(op)
+        compute = self._raw_compute(op)
+        inserts: list[ShardInsert] = []
+        it = iter(items)
 
-        # -- phase A: per worker, cache probe + coalesced shard queries ------------
-        if memoized_op and not in_warmup:
-            for worker_id, owned in enumerate(assign.per_gpu):
-                worker = self.workers[worker_id]
-                for ci in owned:
-                    slot = slots[ci]
-                    input_chunk = inputs[ci]
-                    slot.meta = self._chunk_meta(input_chunk)
-                    slot.key = self.encoder.encode(input_chunk)
-                    self._remember_key(op, chunks[ci].index, slot.key)
-                    slot.serves = state.consecutive_serves.get(chunks[ci].index, 0)
-                    must_refresh = slot.serves >= cfg.max_consecutive_reuse
-                    if must_refresh:
-                        slot.case = CASE_MISS
-                        continue
-                    cache = worker.caches.get(op)
-                    if cache is not None:
-                        hit = cache.lookup(
-                            chunks[ci].index, slot.key, self.outer_iteration
-                        )
-                        if hit is not None:
-                            slot.case = CASE_CACHE
-                            slot.hit = hit
-                            continue
-                    # miss locally: the key joins the worker's next message
-                    worker.pending.append(
-                        (slot, ShardQuery(op=op, location=chunks[ci].index, key=slot.key))
+        for worker_id, owned in enumerate(assign.per_gpu):
+            worker = self.workers[worker_id]
+            block: list = []  # (chunk, input, subtract | None, slot)
+
+            # -- phase A: cache probe + coalesced shard queries for this block ------
+            for ci in owned:
+                try:
+                    chunk, payload = next(it)
+                except StopIteration:
+                    raise ValueError(
+                        f"sweep_stream({op!r}): stream ended after chunk "
+                        f"{ci - 1}, expected {n_chunks} chunks"
+                    ) from None
+                if chunk.index != ci:
+                    raise ValueError(
+                        f"sweep_stream({op!r}): expected chunk {ci}, got "
+                        f"{chunk.index} — items must arrive in chunk order"
                     )
-                    if worker.coalescer.offer((op, chunks[ci].index)) is not None:
-                        self._dispatch_queries(worker)
-                # end of the worker's sweep: emit the tail message
+                # counted per consumed chunk (like the base executor), so a
+                # sweep abandoned mid-stream does not inflate the statistics
+                self.op_counts[op] += 1
+                x, sub = payload if op == "Fu2D" else (payload, None)
+                slot = _Slot()
+                block.append((chunk, x, sub, slot))
+                if not memoized_op or in_warmup:
+                    continue
+                slot.meta = self._chunk_meta(x)
+                slot.key = self.encoder.encode(x)
+                self._remember_key(op, chunk.index, slot.key)
+                slot.serves = state.consecutive_serves.get(chunk.index, 0)
+                if slot.serves >= cfg.max_consecutive_reuse:
+                    slot.case = CASE_MISS
+                    continue
+                cache = worker.caches.get(op)
+                if cache is not None:
+                    hit = cache.lookup(chunk.index, slot.key, self.outer_iteration)
+                    if hit is not None:
+                        slot.case = CASE_CACHE
+                        slot.hit = hit
+                        continue
+                # miss locally: the key joins the worker's next message
+                worker.pending.append(
+                    (slot, ShardQuery(op=op, location=chunk.index, key=slot.key))
+                )
+                if worker.coalescer.offer((op, chunk.index)) is not None:
+                    self._dispatch_queries(worker)
+            # end of the worker's block: emit the tail message
+            if memoized_op and not in_warmup:
                 if worker.coalescer.flush() is not None:
                     self._dispatch_queries(worker)
 
-        # -- phase B: serve hits, compute misses, batch insertions ------------------
-        outputs: list = [None] * n
-        inserts: list[ShardInsert] = []
-        for ci in range(n):
-            chunk = chunks[ci]
-            slot = slots[ci]
-            worker_id = assign.owner_of(ci)
-            shard_id = self.router.shard_of(chunk.index)
-            input_chunk = inputs[ci]
-            if not memoized_op or in_warmup:
-                out = compute(chunk, input_chunk)
-                if memoized_op:
-                    # warmup still populates the database so later iterations hit
-                    key = self.encoder.encode(input_chunk)
-                    meta = self._chunk_meta(input_chunk)
-                    inserts.append(
-                        ShardInsert(op=op, location=chunk.index, key=key, value=out, meta=meta)
+            # -- phase B: serve hits, compute misses, batch insertions --------------
+            for chunk, x, sub, slot in block:
+                shard_id = self.router.shard_of(chunk.index)
+                if not memoized_op or in_warmup:
+                    out = compute(chunk, x)
+                    if memoized_op:
+                        # warmup still populates the database so later iterations hit
+                        key = self.encoder.encode(x)
+                        meta = self._chunk_meta(x)
+                        inserts.append(
+                            ShardInsert(op=op, location=chunk.index, key=key,
+                                        value=out, meta=meta)
+                        )
+                        self._remember_key(op, chunk.index, key)
+                    self._record(op, chunk.index, CASE_DIRECT, -2.0, 0, 0,
+                                 worker=worker_id, shard=shard_id)
+                elif slot.case == CASE_CACHE:
+                    out = self._serve_cache_hit(
+                        op, state, chunk, x, slot.key, slot.hit, slot.meta,
+                        slot.serves, worker=worker_id, shard=shard_id,
                     )
-                    self._remember_key(op, chunk.index, key)
-                self._record(op, chunk.index, CASE_DIRECT, -2.0, 0, 0,
-                             worker=worker_id, shard=shard_id)
-                outputs[ci] = out
-                continue
+                elif slot.outcome is not None and slot.outcome.hit:
+                    out = self._serve_db_hit(
+                        op, state, chunk, x, slot.key, slot.outcome, slot.meta,
+                        slot.serves, worker.caches.get(op),
+                        worker=worker_id, shard=shard_id,
+                    )
+                else:
+                    # miss (or forced refresh): original computation + batched insertion
+                    fresh = compute(chunk, x)
+                    out = self._finish_miss(
+                        op, state, chunk, slot.key, fresh, slot.meta, slot.outcome,
+                        worker.caches.get(op),
+                        store=lambda loc=chunk.index, k=slot.key, v=fresh, m=slot.meta:
+                            inserts.append(
+                                ShardInsert(op=op, location=loc, key=k, value=v, meta=m)
+                            ),
+                        worker=worker_id, shard=shard_id,
+                    )
+                yield chunk, out if sub is None else out - sub
 
-            cache = self.workers[worker_id].caches.get(op)
-            if slot.case == CASE_CACHE:
-                outputs[ci] = self._serve_cache_hit(
-                    op, state, chunk, input_chunk, slot.key, slot.hit, slot.meta,
-                    slot.serves, worker=worker_id, shard=shard_id,
-                )
-                continue
-
-            outcome = slot.outcome
-            if outcome is not None and outcome.hit:
-                outputs[ci] = self._serve_db_hit(
-                    op, state, chunk, input_chunk, slot.key, outcome, slot.meta,
-                    slot.serves, cache, worker=worker_id, shard=shard_id,
-                )
-                continue
-
-            # miss (or forced refresh): original computation + batched insertion
-            out = compute(chunk, input_chunk)
-            outputs[ci] = self._finish_miss(
-                op, state, chunk, slot.key, out, slot.meta, outcome, cache,
-                store=lambda: inserts.append(
-                    ShardInsert(op=op, location=chunk.index, key=slot.key,
-                                value=out, meta=slot.meta)
-                ),
-                worker=worker_id, shard=shard_id,
+        for extra in it:
+            raise ValueError(
+                f"sweep_stream({op!r}): got chunk {extra[0].index} beyond the "
+                f"declared {n_chunks} chunks"
             )
-
         if inserts:
             self.router.insert_batch(inserts)
-        return outputs
 
-    # -- the four memoized full-array operations ----------------------------------------
-
-    def fu1d(self, u: np.ndarray) -> np.ndarray:
-        chunks = list(self._chunks(u.shape[0]))
-        parts = self._sweep(
-            "Fu1D", chunks, [u[c.slice] for c in chunks],
-            lambda c, x: self.ops.fu1d(x),
-        )
-        return np.concatenate(parts, axis=0)
-
-    def fu1d_adj(self, u1: np.ndarray) -> np.ndarray:
-        chunks = list(self._chunks(u1.shape[0]))
-        parts = self._sweep(
-            "Fu1D*", chunks, [u1[c.slice] for c in chunks],
-            lambda c, x: self.ops.fu1d_adj(x),
-        )
-        return np.concatenate(parts, axis=0)
-
-    def fu2d(self, u1: np.ndarray, subtract: np.ndarray | None = None) -> np.ndarray:
-        # memoize the linear transform only; the fused kernel's dhat
-        # subtraction is re-applied outside the memoized region (see
-        # MemoizedExecutor._run_fu2d)
-        chunks = list(self._chunks(u1.shape[1]))
-        parts = self._sweep(
-            "Fu2D", chunks, [u1[:, c.slice, :] for c in chunks],
-            lambda c, x: self.ops.fu2d(x, rows=c.slice),
-        )
-        if subtract is not None:
-            parts = [p - subtract[:, c.slice, :] for c, p in zip(chunks, parts)]
-        return np.concatenate(parts, axis=1)
-
-    def fu2d_adj(self, r: np.ndarray) -> np.ndarray:
-        chunks = list(self._chunks(r.shape[1]))
-        parts = self._sweep(
-            "Fu2D*", chunks, [r[:, c.slice, :] for c in chunks],
-            lambda c, x: self.ops.fu2d_adj(x, rows=c.slice),
-        )
-        return np.concatenate(parts, axis=1)
+    # (the full-array operations are inherited: DirectExecutor's drivers
+    # feed this class's sweep_stream, which handles batching, sharding and
+    # the fused Fu2D subtraction per chunk)
 
     # -- statistics ----------------------------------------------------------------------
 

@@ -31,7 +31,7 @@ import numpy as np
 from ..solvers.executor import DirectExecutor
 from .coalescer import KeyCoalescer
 from .config import MemoConfig
-from .keying import CNNKeyEncoder, PoolKeyEncoder
+from .keying import PoolKeyEncoder
 from .memo_cache import GlobalMemoCache, PrivateMemoCache
 from .memo_db import MemoDatabase
 
@@ -372,25 +372,23 @@ class MemoizedExecutor(DirectExecutor):
         self.flush_coalescers()
         super().begin_inner(iteration)
 
-    def fu1d(self, u):
-        out = super().fu1d(u)
-        self.flush_coalescers()
-        return out
-
-    def fu1d_adj(self, u1):
-        out = super().fu1d_adj(u1)
-        self.flush_coalescers()
-        return out
-
-    def fu2d(self, u1, subtract=None):
-        out = super().fu2d(u1, subtract=subtract)
-        self.flush_coalescers()
-        return out
-
-    def fu2d_adj(self, r):
-        out = super().fu2d_adj(r)
-        self.flush_coalescers()
-        return out
+    def sweep_stream(self, op, items, n_chunks=None):
+        """Streaming sweep with an end-of-sweep coalescer flush (a sweep's
+        tail batch must not leak into the next sweep's message accounting).
+        The full-array ops are inherited drivers over this seam, so the
+        flush covers the monolithic and pipelined paths alike.  An
+        abandoned sweep discards its buffered keys instead — a dead sweep
+        must not pollute the next sweep's message statistics."""
+        completed = False
+        try:
+            yield from super().sweep_stream(op, items, n_chunks=n_chunks)
+            completed = True
+        finally:
+            if op in self._state:
+                if completed:
+                    self.flush_coalescers()
+                else:
+                    self.coalescer.discard()
 
     # -- chunk kernels intercepted -----------------------------------------------------
 

@@ -86,6 +86,10 @@ class MLRSolver:
                 chunk_size=self.config.chunk_size,
                 encoder=encoder,
             )
+        if self.config.pipeline is not None:
+            from ..pipeline import PipelinedExecutor
+
+            self.executor = PipelinedExecutor(self.executor, self.config.pipeline)
         self.solver = ADMMSolver(self.ops, self.admm_config, executor=self.executor)
 
     # -- optional CNN warmup -----------------------------------------------------------
@@ -142,6 +146,67 @@ class MLRSolver:
 
     def reconstruct(self, d: np.ndarray, u0: np.ndarray | None = None) -> MLRResult:
         admm_result: ADMMResult = self.solver.run(d, u0=u0)
+        return MLRResult(
+            u=admm_result.u,
+            history=admm_result.history,
+            events=list(self.executor.events),
+            case_counts=self.executor.case_counts(),
+            op_counts=admm_result.op_counts,
+        )
+
+    # -- streaming ingest ---------------------------------------------------------------
+
+    def make_ingest(self, queue_depth: int | None = None):
+        """A :class:`~repro.pipeline.StreamingIngest` matched to this
+        solver's geometry and chunk grid."""
+        from ..pipeline import StreamingIngest
+
+        if queue_depth is None:
+            pipeline = self.config.pipeline
+            queue_depth = pipeline.ingest_queue_depth if pipeline is not None else 4
+        return StreamingIngest(
+            self.geometry.data_shape,
+            chunk_size=self.config.chunk_size,
+            queue_depth=queue_depth,
+        )
+
+    def reconstruct_streaming(self, ingest, u0: np.ndarray | None = None) -> MLRResult:
+        """Reconstruct from an incrementally arriving scan.
+
+        ``ingest`` is a :class:`~repro.pipeline.StreamingIngest` (see
+        :meth:`make_ingest`) being fed by an acquisition thread.  The
+        ``F2D`` preprocessing sweep (``dhat = F2D d``, Algorithm 2 line 2)
+        is driven directly off the stream — early angle chunks are
+        transformed while later ones are still arriving — and the ADMM
+        iterations start as soon as the scan completes.  The result is
+        bit-identical to :meth:`reconstruct` on the fully assembled data.
+        """
+        d = np.empty(self.geometry.data_shape,
+                     dtype=getattr(ingest, "dtype", np.complex64))
+
+        def assemble(items):
+            for chunk, slab in items:
+                d[chunk.slice] = slab
+                yield chunk, slab
+
+        try:
+            dhat = None
+            if self.admm_config.cancellation:
+                dhat = np.empty_like(d)
+                sweep = self.executor.sweep_stream(
+                    "F2D", assemble(iter(ingest)), ingest.n_chunks
+                )
+                for chunk, dhat_c in sweep:
+                    dhat[chunk.slice] = dhat_c
+            else:
+                for _ in assemble(iter(ingest)):
+                    pass
+            admm_result: ADMMResult = self.solver.run(d, u0=u0, dhat=dhat)
+        except BaseException:
+            # tear the stream down so a producer blocked in push() sees
+            # QueueClosed instead of deadlocking on a vanished consumer
+            ingest.abort()
+            raise
         return MLRResult(
             u=admm_result.u,
             history=admm_result.history,

@@ -13,12 +13,12 @@ benchmarks run the fuller settings recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..cluster.costmodel import CostModel, ProblemDims
-from ..core.config import MemoConfig, MLRConfig
+from ..cluster.costmodel import CostModel
+from ..core.config import MemoConfig, MLRConfig, PipelineConfig
 from ..core.memo_engine import MemoEvent, MemoizedExecutor
 from ..core.mlr_solver import MLRSolver
 from ..core.offload import (
@@ -28,9 +28,11 @@ from ..core.offload import (
     lru_offload,
 )
 from ..core.perfsim import (
+    PipelinePerf,
     coalesce_comparison,
     memo_case_breakdown,
     simulate_iteration,
+    simulate_pipeline,
 )
 from ..lamino.operators import LaminoOperators
 from ..memio.variables import admm_variables
@@ -54,6 +56,7 @@ __all__ = [
     "fig16_latency_cdf",
     "tab01_accuracy",
     "fig17_convergence",
+    "fig18_pipeline_overlap",
 ]
 
 _DEFAULT_ADMM = dict(alpha=1e-3, rho=0.5, n_inner=4, step_max_rel=4.0)
@@ -706,6 +709,141 @@ def tab01_accuracy(
         accs.append(accuracy(ref.u.real, res.u.real))
         memos.append(res.memoized_fraction)
     return AccuracyResult(taus=list(taus), accuracies=accs, memo_fractions=memos)
+
+
+# ---------------------------------------------------------------------------
+# Figure 18 — streaming pipeline overlap
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PipelineOverlapResult:
+    """Serial vs pipelined execution: functional bit-identity at simulation
+    scale plus the overlapped-phase makespan surface at paper scale."""
+
+    queue_depths: list[int]
+    worker_counts: list[int]
+    perfs: dict[tuple[int, int], PipelinePerf]  # (queue_depth, workers) -> perf
+    io_time: float  # modeled per-chunk read + write seconds
+    bitwise_identical: bool
+    streaming_identical: bool
+    pipeline_items: int
+    read_backpressure: int  # producer blocks observed by the functional run
+    case_counts: dict[str, int]
+
+    @property
+    def serial_time(self) -> float:
+        return next(iter(self.perfs.values())).serial_time
+
+    def speedup(self, queue_depth: int, workers: int) -> float:
+        return self.perfs[(queue_depth, workers)].speedup
+
+    def report(self) -> str:
+        rows = []
+        for (q, w), perf in sorted(self.perfs.items()):
+            rows.append(
+                [q, w, perf.pipelined_time, perf.speedup, perf.speedup_bound,
+                 perf.fill_drain_time]
+            )
+        t = report.table(
+            ["queue depth", "workers", "pipelined (s)", "speedup", "bound",
+             "fill/drain (s)"],
+            rows,
+            f"Figure 18: pipelined sweep makespan (serial = "
+            f"{self.serial_time:.3f} s, per-chunk I/O = {self.io_time * 1e3:.2f} ms)",
+        )
+        t += (
+            f"\nfunctional run: pipelined == serial bit-for-bit: "
+            f"{self.bitwise_identical}; streaming ingest == batch: "
+            f"{self.streaming_identical}; {self.pipeline_items} chunk-ops "
+            f"pipelined, {self.read_backpressure} reader backpressure stalls"
+        )
+        return t
+
+
+def fig18_pipeline_overlap(
+    spec: DatasetSpec = SMALL,
+    queue_depths: tuple[int, ...] = (1, 2, 4),
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    sim_outer: int = 6,
+    quick: bool = True,
+) -> PipelineOverlapResult:
+    """The streaming-pipeline study (overlapped read -> memoized compute ->
+    write; :mod:`repro.pipeline`).
+
+    The *functional* half runs the real solver twice — monolithic and
+    ``pipeline=`` mode — and checks bit-identity, plus a streaming-ingest
+    run where projections arrive block by block from a producer thread.
+    The *modeled* half schedules one paper-scale sweep on the DES across
+    the (queue depth, compute workers) grid, with SSD chunk reads/writes
+    as the outer stages.
+    """
+    if quick:
+        sim_outer = min(sim_outer, 4)
+
+    # -- functional: serial vs pipelined vs streaming, bit for bit --------------
+    geometry, truth, data = build(spec)
+    ops = LaminoOperators(geometry)
+
+    def make_solver(pipeline: PipelineConfig | None) -> MLRSolver:
+        cfg = MLRConfig(
+            chunk_size=spec.sim_chunk, memo=_memo_config(), pipeline=pipeline
+        )
+        return MLRSolver(geometry, cfg, admm=_admm_config(sim_outer), ops=ops)
+
+    serial_result = make_solver(None).reconstruct(data)
+    piped_solver = make_solver(PipelineConfig(queue_depth=2))
+    piped_result = piped_solver.reconstruct(data)
+    stats = piped_solver.executor.pipeline_stats()
+
+    streaming_solver = make_solver(None)
+    ingest = streaming_solver.make_ingest()
+
+    from ..pipeline import QueueClosed
+
+    def produce() -> None:
+        block = max(1, spec.sim_chunk - 1)  # deliberately chunk-misaligned
+        try:
+            with ingest:
+                for lo in range(0, geometry.data_shape[0], block):
+                    ingest.push(data[lo:lo + block])
+        except QueueClosed:
+            pass  # the consumer died and tore the stream down
+
+    import threading
+
+    feeder = threading.Thread(target=produce)
+    feeder.start()
+    try:
+        streaming_result = streaming_solver.reconstruct_streaming(ingest)
+    finally:
+        feeder.join()
+
+    # -- modeled: the overlapped-phase surface at paper scale -------------------
+    cost = CostModel()
+    dims = spec.dims
+    read = cost.chunk_read_time(dims)
+    write = cost.chunk_write_time(dims)
+    compute = cost.chunk_compute_time(dims)
+    perfs = {
+        (q, w): simulate_pipeline(
+            dims.n_chunks, read, compute, write, queue_depth=q, n_workers=w
+        )
+        for q in queue_depths
+        for w in worker_counts
+    }
+
+    return PipelineOverlapResult(
+        queue_depths=list(queue_depths),
+        worker_counts=list(worker_counts),
+        perfs=perfs,
+        io_time=read + write,
+        bitwise_identical=bool(np.array_equal(serial_result.u, piped_result.u)),
+        streaming_identical=bool(np.array_equal(serial_result.u, streaming_result.u)),
+        pipeline_items=stats.items,
+        read_backpressure=stats.read_queue.producer_blocks,
+        case_counts=dict(piped_result.case_counts),
+    )
 
 
 @dataclass

@@ -1,6 +1,6 @@
 """Laminography substrate: geometry, USFFT operators, phantoms, chunking."""
 
-from .chunking import Chunk, chunk_ranges, iter_chunks, num_chunks, reassemble
+from .chunking import Chunk, check_tiling, chunk_ranges, iter_chunks, num_chunks, reassemble
 from .geometry import LaminoGeometry
 from .operators import MEMOIZABLE_OPS, OP_NAMES, LaminoOperators
 from .phantoms import brain_like, ic_layers, make_phantom, pcb, slab_envelope
@@ -18,6 +18,7 @@ from .usfft import (
 
 __all__ = [
     "Chunk",
+    "check_tiling",
     "chunk_ranges",
     "iter_chunks",
     "num_chunks",

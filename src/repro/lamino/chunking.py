@@ -14,7 +14,7 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["Chunk", "chunk_ranges", "iter_chunks", "num_chunks", "reassemble"]
+__all__ = ["Chunk", "check_tiling", "chunk_ranges", "iter_chunks", "num_chunks", "reassemble"]
 
 
 @dataclass(frozen=True)
@@ -71,13 +71,41 @@ def iter_chunks(n: int, size: int, axis: int = 0) -> Iterator[Chunk]:
         yield Chunk(index=i, axis=axis, lo=lo, hi=hi)
 
 
+def check_tiling(spans, length: int) -> None:
+    """Validate that ``(lo, hi)`` spans tile ``[0, length)`` exactly.
+
+    Gaps, overlaps and duplicates all raise — a duplicate-plus-gap
+    combination can match the total covered length while leaving
+    uninitialized memory, so a plain covered-length check is not enough.
+    """
+    pos = 0
+    for lo, hi in sorted(spans):
+        if lo != pos:
+            raise ValueError(
+                "chunks do not tile the partition axis exactly "
+                f"(gap or overlap at {lo}, expected {pos})"
+            )
+        pos = hi
+    if pos != length:
+        raise ValueError(f"chunks cover [0, {pos}) of a length-{length} axis")
+
+
 def reassemble(chunks: list[tuple[Chunk, np.ndarray]], shape: tuple[int, ...], dtype) -> np.ndarray:
-    """Rebuild a full array from ``(chunk, value)`` pairs."""
+    """Rebuild a full array from ``(chunk, value)`` pairs.
+
+    Pairs may arrive in any order (a pipelined writer may see worker blocks
+    early), but together they must tile the partition axis exactly
+    (:func:`check_tiling`).
+    """
+    if not chunks:
+        raise ValueError("reassemble needs at least one (chunk, value) pair")
+    axis = chunks[0][0].axis
     out = np.empty(shape, dtype=dtype)
-    covered = 0
     for chunk, value in chunks:
+        if chunk.axis != axis:
+            raise ValueError(
+                f"mixed partition axes: got {chunk.axis}, expected {axis}"
+            )
         chunk.put(out, value)
-        covered += chunk.size
-    if covered != shape[chunks[0][0].axis]:
-        raise ValueError("chunks do not cover the partition axis exactly")
+    check_tiling(((c.lo, c.hi) for c, _ in chunks), shape[axis])
     return out

@@ -1,0 +1,31 @@
+"""Streaming pipelined reconstruction: overlapped read -> compute -> write.
+
+The subsystem that hides I/O behind the memoized solver: bounded queues
+with backpressure (:mod:`.queues`), prefetching chunk sources
+(:mod:`.reader`), slab sinks (:mod:`.writer`), the staged orchestrator
+(:mod:`.pipeline`), the incremental projection source (:mod:`.ingest`),
+and the drop-in :class:`PipelinedExecutor` the solver's ``pipeline=``
+mode installs (:mod:`.executor`).
+"""
+
+from .executor import PipelinedExecutor
+from .ingest import StreamingIngest
+from .pipeline import ChunkPipeline, PipelineConfig, PipelineStats
+from .queues import BoundedQueue, QueueClosed, QueueStats
+from .reader import ArraySource, SpillSource
+from .writer import SlabAssembler, SpillSlabWriter
+
+__all__ = [
+    "PipelinedExecutor",
+    "StreamingIngest",
+    "ChunkPipeline",
+    "PipelineConfig",
+    "PipelineStats",
+    "BoundedQueue",
+    "QueueClosed",
+    "QueueStats",
+    "ArraySource",
+    "SpillSource",
+    "SlabAssembler",
+    "SpillSlabWriter",
+]

@@ -1,0 +1,96 @@
+"""Reader stage: chunk sources with double-buffered prefetch.
+
+The reader is the pipeline's producer: it materializes one input slab per
+chunk and pushes ``(chunk, payload)`` items into the bounded inter-stage
+queue.  Two backings are provided:
+
+- :class:`ArraySource` — slabs of an in-memory array (views; zero-copy),
+  optionally composed with a payload function for ops whose chunk payload
+  carries extra arguments (the fused ``Fu2D`` subtract slab);
+- :class:`SpillSource` — slabs persisted in a
+  :class:`~repro.memio.backing.SpillManager`.  It keeps ``prefetch_depth``
+  loads in flight ahead of the cursor (double-buffered at the default
+  depth 1), so the SSD read of chunk ``i+1`` overlaps the compute of chunk
+  ``i`` — the exact mechanics tomocupy-style conveyor readers use to hide
+  ingest I/O behind GPU work.
+
+A source is any iterable of ``(chunk, payload)`` pairs in ascending chunk
+order; the compute stage consumes them through the executor's
+``sweep_stream``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..lamino.chunking import Chunk, iter_chunks
+from ..memio.backing import SpillManager
+
+__all__ = ["ArraySource", "SpillSource"]
+
+
+class ArraySource:
+    """Chunk slabs of an in-memory array along one axis."""
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        chunk_size: int,
+        axis: int = 0,
+        payload: Callable[[Chunk], object] | None = None,
+    ) -> None:
+        self.array = array
+        self.axis = axis
+        self.chunks = list(iter_chunks(array.shape[axis], chunk_size, axis=axis))
+        self._payload = payload
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    def __iter__(self) -> Iterator[tuple[Chunk, object]]:
+        for chunk in self.chunks:
+            if self._payload is not None:
+                yield chunk, self._payload(chunk)
+            else:
+                yield chunk, chunk.take(self.array)
+
+
+class SpillSource:
+    """Prefetching chunk loader over a :class:`SpillManager`.
+
+    Slabs must have been spilled under ``f"{prefix}{chunk.index}"``.  While
+    chunk ``i`` is being served, the loads of chunks ``i+1 .. i+depth`` are
+    already in flight on the manager's worker threads.
+    """
+
+    def __init__(
+        self,
+        manager: SpillManager,
+        chunks: Sequence[Chunk],
+        prefix: str,
+        prefetch_depth: int = 1,
+    ) -> None:
+        if prefetch_depth < 0:
+            raise ValueError(f"prefetch_depth must be >= 0, got {prefetch_depth}")
+        self.manager = manager
+        self.chunks = list(chunks)
+        self.prefix = prefix
+        self.prefetch_depth = prefetch_depth
+
+    def name_of(self, chunk: Chunk) -> str:
+        return f"{self.prefix}{chunk.index}"
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    def __iter__(self) -> Iterator[tuple[Chunk, np.ndarray]]:
+        n = len(self.chunks)
+        for j in range(min(self.prefetch_depth, n)):
+            self.manager.prefetch(self.name_of(self.chunks[j]))
+        for i, chunk in enumerate(self.chunks):
+            ahead = i + self.prefetch_depth
+            if self.prefetch_depth > 0 and ahead < n:
+                self.manager.prefetch(self.name_of(self.chunks[ahead]))
+            yield chunk, self.manager.fetch(self.name_of(chunk))

@@ -8,7 +8,6 @@ from repro.cluster import (
     ClusterModel,
     CostModel,
     LinkSpec,
-    POLARIS,
     ProblemDims,
     SSDSpec,
     Timeline,

@@ -38,8 +38,6 @@ class TestSchedule:
     def test_matches_solver_phase_trace(self):
         """The canonical access map must agree with what the real solver
         actually touches per phase (honest instrumentation)."""
-        import numpy as np
-
         from repro.lamino import LaminoGeometry, LaminoOperators, simulate_data, brain_like
         from repro.memio import PhaseTrace
         from repro.solvers import ADMMConfig, ADMMSolver

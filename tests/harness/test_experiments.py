@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.harness import experiments as E
 from repro.harness.datasets import DATASETS, DatasetSpec, build
@@ -86,6 +85,18 @@ class TestExperimentsSmoke:
         assert len(r.loss_without) == 5
         assert len(r.loss_with) == 5
         assert r.loss_without[-1] < r.loss_without[0]
+
+    def test_fig18(self):
+        r = E.fig18_pipeline_overlap(
+            TINY, queue_depths=(1, 2), worker_counts=(1, 2), sim_outer=3, quick=True
+        )
+        assert r.bitwise_identical
+        assert r.streaming_identical
+        assert r.io_time > 0
+        for perf in r.perfs.values():
+            assert perf.pipelined_time < perf.serial_time
+            assert perf.speedup <= perf.speedup_bound * (1 + 1e-9)
+        assert "Figure 18" in r.report()
 
 
 class TestReportHelpers:

@@ -25,11 +25,14 @@ class TestChunkRanges:
     def test_num_chunks_matches(self, n, size):
         assert num_chunks(n, size) == len(chunk_ranges(n, size))
 
-    def test_invalid_inputs(self):
+    @pytest.mark.parametrize("n,size", [(10, 0), (10, -1), (0, 4), (-5, 4), (0, 0), (-1, -1)])
+    def test_invalid_inputs(self, n, size):
         with pytest.raises(ValueError):
-            chunk_ranges(10, 0)
+            chunk_ranges(n, size)
         with pytest.raises(ValueError):
-            chunk_ranges(0, 4)
+            num_chunks(n, size)
+        with pytest.raises(ValueError):
+            list(iter_chunks(n, size))
 
 
 class TestChunk:
@@ -66,3 +69,55 @@ class TestReassemble:
         pairs = [(c, c.take(a)) for c in list(iter_chunks(7, 3))[:-1]]
         with pytest.raises(ValueError):
             reassemble(pairs, a.shape, a.dtype)
+
+    def test_out_of_order_chunks(self):
+        a = np.random.default_rng(1).random((10, 4))
+        pairs = [(c, c.take(a)) for c in iter_chunks(10, 3)]
+        pairs.reverse()
+        np.testing.assert_array_equal(reassemble(pairs, a.shape, a.dtype), a)
+
+    def test_single_chunk_identity(self):
+        a = np.random.default_rng(2).random((5, 2))
+        [chunk] = iter_chunks(5, 5)
+        out = reassemble([(chunk, a)], a.shape, a.dtype)
+        np.testing.assert_array_equal(out, a)
+
+    def test_dtype_preserved(self):
+        a = np.random.default_rng(3).random((6, 2)).astype(np.float32)
+        pairs = [(c, (c.take(a) + 1j * c.take(a)).astype(np.complex64)) for c in iter_chunks(6, 2)]
+        out = reassemble(pairs, a.shape, np.complex64)
+        assert out.dtype == np.complex64
+        np.testing.assert_array_equal(out.real, a)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            reassemble([], (4, 2), np.float64)
+
+    def test_duplicate_chunk_raises(self):
+        """A duplicate plus a gap can match the covered length while leaving
+        uninitialized memory — must raise, not return garbage."""
+        a = np.zeros((8, 2))
+        chunks = list(iter_chunks(8, 4))
+        pairs = [(chunks[0], a[:4]), (chunks[0], a[:4])]
+        with pytest.raises(ValueError):
+            reassemble(pairs, a.shape, a.dtype)
+
+    def test_mixed_axes_raise(self):
+        from repro.lamino import Chunk
+
+        pairs = [
+            (Chunk(0, 0, 0, 2), np.zeros((2, 4))),
+            (Chunk(1, 1, 2, 4), np.zeros((4, 2))),
+        ]
+        with pytest.raises(ValueError):
+            reassemble(pairs, (4, 4), np.float64)
+
+    def test_overlap_raises(self):
+        from repro.lamino import Chunk
+
+        pairs = [
+            (Chunk(0, 0, 0, 3), np.zeros((3, 2))),
+            (Chunk(1, 0, 2, 4), np.zeros((2, 2))),
+        ]
+        with pytest.raises(ValueError):
+            reassemble(pairs, (4, 2), np.float64)

@@ -132,3 +132,124 @@ class TestSpillManager:
             sm.fetch("v")
             assert sm.stats.bytes_written == a.nbytes
             assert sm.stats.bytes_read == a.nbytes
+
+
+class TestSpillManagerConcurrency:
+    """Safety properties the streaming pipeline leans on."""
+
+    def test_double_close_is_idempotent(self, rng, tmp_path):
+        sm = SpillManager(str(tmp_path))
+        sm.spill("x", rng.standard_normal(8))
+        sm.close()
+        sm.close()  # must not raise
+
+    def test_close_with_inflight_prefetch(self, rng):
+        sm = SpillManager()  # owned temp dir, removed on close
+        sm.spill("big", rng.standard_normal(200_000))
+        sm.prefetch("big")
+        sm.close()  # waits out the load; no error, no leaked dir
+        sm.close()
+
+    def test_prefetch_after_close_is_noop(self, rng, tmp_path):
+        sm = SpillManager(str(tmp_path))
+        sm.spill("x", rng.standard_normal(8))
+        sm.close()
+        sm.prefetch("x")  # must not raise, must not submit
+        assert sm.stats.prefetches == 0
+
+    def test_spill_after_close_raises(self, rng, tmp_path):
+        sm = SpillManager(str(tmp_path))
+        sm.close()
+        with pytest.raises(RuntimeError):
+            sm.spill("x", rng.standard_normal(8))
+
+    def test_concurrent_prefetch_single_submission(self, rng, tmp_path):
+        import threading
+
+        with SpillManager(str(tmp_path)) as sm:
+            sm.spill("x", rng.standard_normal(50_000))
+            barrier = threading.Barrier(8)
+
+            def hammer():
+                barrier.wait()
+                sm.prefetch("x")
+
+            threads = [threading.Thread(target=hammer) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # one in-flight load, counted once
+            assert sm.stats.prefetches == 1
+            out = sm.fetch("x")
+            assert out.shape == (50_000,)
+
+    def test_close_waits_for_inflight_spills(self, rng):
+        """close() racing spill() must neither crash the writer nor leak
+        the owned temp directory: either the spill loses (RuntimeError from
+        the closed check) or its file is registered and cleaned up."""
+        import os
+        import threading
+
+        for trial in range(4):
+            sm = SpillManager()
+            directory = sm._dir
+            barrier = threading.Barrier(2)
+            errors = []
+
+            def writer():
+                barrier.wait()
+                for i in range(20):
+                    try:
+                        sm.spill(f"w{i}", rng.standard_normal(20_000))
+                    except RuntimeError:
+                        return  # lost the race to close(): the legal outcome
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+
+            t = threading.Thread(target=writer)
+            t.start()
+            barrier.wait()
+            sm.close()
+            t.join(timeout=10)
+            assert not t.is_alive()
+            assert errors == []
+            assert not os.path.exists(directory)
+
+    def test_respill_with_inflight_prefetch(self, rng, tmp_path):
+        """Re-spilling a name retires the in-flight load of the old bytes;
+        the next fetch sees the new data, never a torn file."""
+        with SpillManager(str(tmp_path)) as sm:
+            old = rng.standard_normal(100_000)
+            new = rng.standard_normal(100_000)
+            sm.spill("x", old)
+            for _ in range(5):
+                sm.prefetch("x")
+                sm.spill("x", new)
+                np.testing.assert_array_equal(sm.fetch("x"), new)
+                sm.spill("x", old)
+                np.testing.assert_array_equal(sm.fetch("x"), old)
+
+    def test_concurrent_spill_fetch_stats(self, rng, tmp_path):
+        import threading
+
+        with SpillManager(str(tmp_path)) as sm:
+            arrays = {f"v{i}": rng.standard_normal(1000) for i in range(8)}
+
+            def worker(name, arr):
+                sm.spill(name, arr)
+                sm.prefetch(name)
+                np.testing.assert_array_equal(sm.fetch(name), arr)
+
+            threads = [
+                threading.Thread(target=worker, args=(n, a))
+                for n, a in arrays.items()
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sm.stats.spills == 8
+            assert sm.stats.loads == 8
+            assert sm.stats.bytes_read == sum(a.nbytes for a in arrays.values())

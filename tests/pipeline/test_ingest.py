@@ -1,0 +1,106 @@
+"""Streaming ingest: chunk re-alignment, backpressure, failure modes."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.pipeline import QueueClosed, StreamingIngest
+
+
+def drain(ingest):
+    return list(ingest)
+
+
+class TestStreamingIngest:
+    def test_realigns_blocks_to_chunks(self, rng):
+        data = rng.standard_normal((12, 4, 4)).astype(np.complex64)
+        ingest = StreamingIngest((12, 4, 4), chunk_size=4, queue_depth=12)
+        with ingest:
+            for lo, hi in ((0, 5), (5, 6), (6, 12)):  # deliberately misaligned
+                ingest.push(data[lo:hi])
+        got = drain(ingest)
+        assert [c.index for c, _ in got] == [0, 1, 2]
+        np.testing.assert_array_equal(
+            np.concatenate([s for _, s in got]), data
+        )
+        assert all(s.shape[0] == 4 for _, s in got)
+
+    def test_pushed_blocks_are_copied(self):
+        """A producer may overwrite its acquisition buffer right after
+        push(); queued slabs must not alias it."""
+        ingest = StreamingIngest((4, 2, 2), chunk_size=2, queue_depth=4)
+        buf = np.ones((2, 2, 2), dtype=np.complex64)
+        with ingest:
+            ingest.push(buf)
+            buf[:] = 2.0  # reuse the buffer for the "next frames"
+            ingest.push(buf)
+        got = drain(ingest)
+        np.testing.assert_array_equal(got[0][1], np.ones((2, 2, 2)))
+        np.testing.assert_array_equal(got[1][1], 2.0 * np.ones((2, 2, 2)))
+        assert not np.shares_memory(got[1][1], buf)
+
+    def test_casts_to_complex64(self):
+        ingest = StreamingIngest((4, 2, 2), chunk_size=2, queue_depth=4)
+        with ingest:
+            ingest.push(np.ones((4, 2, 2)))  # float64 in
+        got = drain(ingest)
+        assert all(s.dtype == np.complex64 for _, s in got)
+
+    def test_backpressure_blocks_producer(self, rng):
+        data = rng.standard_normal((8, 2, 2)).astype(np.complex64)
+        ingest = StreamingIngest((8, 2, 2), chunk_size=2, queue_depth=1)
+        state = {"pushed": 0}
+
+        def produce():
+            for i in range(8):
+                ingest.push(data[i:i + 1])
+                state["pushed"] += 1
+            ingest.finish()
+
+        t = threading.Thread(target=produce)
+        t.start()
+        t.join(timeout=0.2)
+        # the producer cannot finish: only ~queue_depth+1 chunks fit in flight
+        assert t.is_alive()
+        assert state["pushed"] < 8
+        got = drain(ingest)
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert len(got) == 4
+
+    def test_wrong_frame_shape_raises(self):
+        ingest = StreamingIngest((4, 2, 2), chunk_size=2)
+        with pytest.raises(ValueError):
+            ingest.push(np.zeros((2, 3, 2)))
+
+    def test_overrun_raises(self):
+        ingest = StreamingIngest((4, 2, 2), chunk_size=2)
+        ingest.push(np.zeros((4, 2, 2)))
+        with pytest.raises(ValueError):
+            ingest.push(np.zeros((1, 2, 2)))
+
+    def test_short_scan_finish_raises(self):
+        ingest = StreamingIngest((4, 2, 2), chunk_size=2)
+        ingest.push(np.zeros((2, 2, 2)))
+        with pytest.raises(ValueError):
+            ingest.finish()
+
+    def test_truncated_stream_raises_in_consumer(self):
+        ingest = StreamingIngest((4, 2, 2), chunk_size=2, queue_depth=4)
+        ingest.push(np.zeros((2, 2, 2)))
+        ingest.abort()
+        with pytest.raises(ValueError, match="ended after 1"):
+            drain(ingest)
+
+    def test_push_after_consumer_abandons(self):
+        ingest = StreamingIngest((4, 2, 2), chunk_size=2, queue_depth=1)
+        ingest._queue.close()  # consumer tore the stream down
+        with pytest.raises(QueueClosed):
+            ingest.push(np.zeros((2, 2, 2)))
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            StreamingIngest((4, 2), chunk_size=2)
