@@ -1,0 +1,6 @@
+"""Hot-path microbenchmarks: op sweeps, memo service throughput, end-to-end.
+
+Run ``python benchmarks/perf/run_all.py [--quick]`` (with ``PYTHONPATH=src``)
+to produce ``BENCH_perf.json`` — the machine-readable perf trajectory future
+PRs regress against.
+"""

@@ -1,0 +1,76 @@
+"""Quick-scale end-to-end ``MLRSolver`` run: optimized vs reference hot path.
+
+Both runs reconstruct the same projections with the same configuration; the
+baseline flips the source tree's preserved pre-vectorization switches —
+:func:`repro.lamino.usfft.reference_kernels` (numpy FFT, per-slice
+interpolation loops, per-call casts) and the serialized
+``db_value_mode="bytes"`` — while the optimized run uses the defaults.
+The reconstructions are checked to agree before the timings count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MemoConfig, MLRConfig
+from repro.core.mlr_solver import MLRSolver
+from repro.lamino import usfft as U
+from repro.lamino.geometry import LaminoGeometry
+from repro.lamino.operators import LaminoOperators
+from repro.lamino.phantoms import make_phantom
+from repro.solvers.admm import ADMMConfig
+
+from .harness import pair_entry, time_fn
+
+
+def _problem(quick: bool):
+    if quick:
+        geom = LaminoGeometry(vol_shape=(64, 16, 64), n_angles=32, det_shape=(16, 64))
+        n_outer = 4
+    else:
+        geom = LaminoGeometry(vol_shape=(96, 32, 96), n_angles=48, det_shape=(32, 96))
+        n_outer = 6
+    u = make_phantom("pcb", geom.vol_shape).astype(np.complex64)
+    ops = LaminoOperators(geom)
+    d = ops.forward(u).astype(np.complex64)
+    return geom, ops, d, n_outer
+
+
+def _solve(geom, ops, d, n_outer, value_mode: str):
+    # the operator plans are shared across runs (plan-and-execute: plan
+    # construction is per-geometry setup, not per-reconstruction work)
+    solver = MLRSolver(
+        geom,
+        MLRConfig(chunk_size=4, memo=MemoConfig(db_value_mode=value_mode)),
+        ADMMConfig(n_outer=n_outer, n_inner=2),
+        ops=ops,
+    )
+    return solver.reconstruct(d)
+
+
+def run(quick: bool = True, repeat: int = 3) -> dict:
+    geom, ops, d, n_outer = _problem(quick)
+
+    def optimized():
+        return _solve(geom, ops, d, n_outer, "array")
+
+    def baseline():
+        with U.reference_kernels():
+            return _solve(geom, ops, d, n_outer, "bytes")
+
+    # the two paths must agree on the reconstruction before timing counts
+    # (these calls also warm the shared plans for both paths)
+    u_opt, u_ref = optimized().u, baseline().u
+    rel = float(np.linalg.norm(u_opt - u_ref) / max(np.linalg.norm(u_ref), 1e-30))
+    assert rel < 1e-3, f"optimized/reference reconstructions diverged: rel={rel}"
+
+    entry = pair_entry(
+        time_fn(baseline, repeat=repeat, warmup=0),
+        time_fn(optimized, repeat=repeat, warmup=0),
+        vol_shape=list(geom.vol_shape),
+        n_angles=geom.n_angles,
+        det_shape=list(geom.det_shape),
+        n_outer=n_outer,
+        relative_difference=rel,
+    )
+    return {"mlr_solver_run": entry}

@@ -1,0 +1,80 @@
+"""Timing scaffolding shared by the perf microbenchmarks.
+
+Every benchmark times a (baseline, optimized) pair on identical inputs and
+reports best-of-N wall time plus the speedup.  The baseline is the honest
+pre-vectorization code path, which the source keeps runnable —
+:func:`repro.lamino.usfft.reference_kernels` for the kernels, scalar
+queries on a serialized-value database for the memo service — so the
+numbers are measured, never estimated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+
+__all__ = ["Timing", "time_fn", "pair_entry", "write_json", "RESULTS_DIR", "ROOT_JSON"]
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS_DIR = os.path.join(_HERE, "..", "results")
+ROOT_JSON = os.path.join(_HERE, "..", "..", "BENCH_perf.json")
+
+
+@dataclass
+class Timing:
+    best_s: float
+    mean_s: float
+    repeats: int
+
+    def as_dict(self) -> dict:
+        return {"best_s": self.best_s, "mean_s": self.mean_s, "repeats": self.repeats}
+
+
+def time_fn(fn, repeat: int = 5, warmup: int = 1) -> Timing:
+    """Best-of-``repeat`` wall time of ``fn()`` after ``warmup`` calls."""
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return Timing(best_s=min(times), mean_s=sum(times) / len(times), repeats=repeat)
+
+
+def pair_entry(baseline: Timing, optimized: Timing, **meta) -> dict:
+    """One benchmark record: both timings plus the best-of speedup."""
+    entry = {
+        "baseline": baseline.as_dict(),
+        "optimized": optimized.as_dict(),
+        "speedup": baseline.best_s / optimized.best_s if optimized.best_s > 0 else None,
+    }
+    entry.update(meta)
+    return entry
+
+
+def machine_info() -> dict:
+    import numpy
+    import scipy
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "cpus": os.cpu_count(),
+    }
+
+
+def write_json(payload: dict, paths=(ROOT_JSON,)) -> list[str]:
+    written = []
+    for path in paths:
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        written.append(os.path.abspath(path))
+    return written

@@ -1,0 +1,76 @@
+"""Run all hot-path microbenchmarks and write ``BENCH_perf.json``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_all.py [--quick]
+
+Writes the machine-readable results to the repository root
+(``BENCH_perf.json``) and to ``benchmarks/results/BENCH_perf.json`` (the CI
+artifact directory).  The ``acceptance`` block carries the two headline
+numbers this perf trajectory is gated on: the end-to-end ``MLRSolver.run``
+speedup and the batched memo-query speedup, both measured against the
+pre-vectorization baselines preserved in the source tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", ".."))  # make `benchmarks` importable
+
+from benchmarks.perf import bench_e2e, bench_memo, bench_usfft  # noqa: E402
+from benchmarks.perf.harness import RESULTS_DIR, ROOT_JSON, machine_info, write_json  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller problem sizes / fewer repeats (the CI configuration)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="extra path to write the JSON to (besides the default two)",
+    )
+    args = parser.parse_args(argv)
+    repeat = 3 if args.quick else 5
+
+    benchmarks: dict = {}
+    print("[perf] usfft op sweeps (optimized vs reference kernels)...")
+    benchmarks.update(bench_usfft.run(quick=args.quick, repeat=repeat))
+    print("[perf] memo service throughput (batched zero-copy vs scalar serialized)...")
+    benchmarks.update(bench_memo.run(quick=args.quick, repeat=repeat))
+    print("[perf] end-to-end MLRSolver.run (optimized vs reference hot path)...")
+    benchmarks.update(bench_e2e.run(quick=args.quick, repeat=2 if args.quick else 3))
+
+    payload = {
+        "schema": "mlr-bench-perf/1",
+        "generated_unix": int(time.time()),
+        "quick": bool(args.quick),
+        "machine": machine_info(),
+        "benchmarks": benchmarks,
+        "acceptance": {
+            "e2e_speedup": benchmarks["mlr_solver_run"]["speedup"],
+            "memo_query_batch_speedup": benchmarks["memo_query_batch"]["speedup"],
+        },
+    }
+    paths = [ROOT_JSON, os.path.join(RESULTS_DIR, "BENCH_perf.json")]
+    if args.output:
+        paths.append(args.output)
+    for path in write_json(payload, paths):
+        print(f"[perf] wrote {path}")
+    for name, entry in benchmarks.items():
+        print(
+            f"[perf] {name}: baseline {entry['baseline']['best_s']*1e3:8.2f} ms"
+            f" -> optimized {entry['optimized']['best_s']*1e3:8.2f} ms"
+            f"  ({entry['speedup']:.2f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .buffer import GrowableRows
+
 __all__ = ["FlatIndex"]
 
 
@@ -12,14 +14,19 @@ class FlatIndex:
 
     The distance-computation counter mirrors Faiss' ``ndis`` statistic and is
     what the private-vs-global cache comparison of the paper measures.
+
+    Vectors live in a growable contiguous matrix whose squared norms are
+    maintained at insert time, so a search is one GEMM against the stored
+    prefix — no per-query re-stacking of the collection.
     """
 
     def __init__(self, dim: int) -> None:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
         self.dim = dim
-        self._vecs: list[np.ndarray] = []
-        self._ids: list[int] = []
+        self._vecs = GrowableRows((dim,), np.float32)
+        self._norms2 = GrowableRows((), np.float32)
+        self._ids = GrowableRows((), np.int64)
         self.n_distance_computations = 0
 
     def __len__(self) -> int:
@@ -34,7 +41,8 @@ class FlatIndex:
         if len(ids) != len(vecs):
             raise ValueError("ids and vecs length mismatch")
         self._vecs.extend(vecs)
-        self._ids.extend(int(i) for i in ids)
+        self._norms2.extend(np.sum(vecs**2, axis=1))
+        self._ids.extend(ids.astype(np.int64))
 
     def search(self, queries: np.ndarray, k: int = 1):
         """Return ``(distances, ids)`` of the ``k`` nearest stored vectors.
@@ -46,18 +54,17 @@ class FlatIndex:
         nq = queries.shape[0]
         dists = np.full((nq, k), np.inf, dtype=np.float32)
         ids = np.full((nq, k), -1, dtype=np.int64)
-        if not self._ids:
+        if not len(self._ids):
             return dists, ids
-        mat = np.stack(self._vecs)
+        mat = self._vecs.view
         d2 = (
             np.sum(queries**2, axis=1)[:, None]
             - 2.0 * queries @ mat.T
-            + np.sum(mat**2, axis=1)[None, :]
+            + self._norms2.view[None, :]
         )
         self.n_distance_computations += d2.size
         kk = min(k, mat.shape[0])
         order = np.argsort(d2, axis=1)[:, :kk]
         dists[:, :kk] = np.sqrt(np.maximum(np.take_along_axis(d2, order, axis=1), 0.0))
-        id_arr = np.asarray(self._ids)
-        ids[:, :kk] = id_arr[order]
+        ids[:, :kk] = self._ids.view[order]
         return dists, ids

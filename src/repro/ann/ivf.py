@@ -8,12 +8,19 @@ partitions key space; each cluster owns an inverted list of vectors;
 queries scan the ``nprobe`` nearest clusters.  Inserts append to one list —
 O(1), no restructuring — which is the property mLR relies on, and which
 :mod:`repro.ann.hnsw` exists to contrast against.
+
+Inverted lists are growable contiguous buffers with squared norms
+maintained at insert time (:class:`~repro.ann.buffer.GrowableRows`), so the
+candidate scan of a query is pure vector arithmetic over contiguous memory
+— the per-query ``np.stack`` over a Python list (an O(list) copy per probe)
+is gone.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .buffer import GrowableRows
 from .kmeans import kmeans
 
 __all__ = ["IVFFlatIndex"]
@@ -33,8 +40,10 @@ class IVFFlatIndex:
         self.n_clusters = n_clusters
         self.nprobe = min(nprobe, n_clusters)
         self.centroids: np.ndarray | None = None
-        self._lists: list[list[np.ndarray]] = []
-        self._list_ids: list[list[int]] = []
+        self._cent_norms2: np.ndarray | None = None
+        self._lists: list[GrowableRows] = []
+        self._list_norms2: list[GrowableRows] = []
+        self._list_ids: list[GrowableRows] = []
         self._next_id = 0
         self.n_distance_computations = 0
 
@@ -57,8 +66,10 @@ class IVFFlatIndex:
         self.n_clusters = k
         self.nprobe = min(self.nprobe, k)
         self.centroids = centers.astype(np.float32)
-        self._lists = [[] for _ in range(k)]
-        self._list_ids = [[] for _ in range(k)]
+        self._cent_norms2 = np.sum(self.centroids**2, axis=1)
+        self._lists = [GrowableRows((self.dim,), np.float32) for _ in range(k)]
+        self._list_norms2 = [GrowableRows((), np.float32) for _ in range(k)]
+        self._list_ids = [GrowableRows((), np.int64) for _ in range(k)]
 
     # -- insertion ---------------------------------------------------------------------
 
@@ -72,9 +83,18 @@ class IVFFlatIndex:
         ids = np.asarray(ids, dtype=np.int64)
         self._next_id = max(self._next_id, int(ids.max()) + 1)
         cl = self._nearest_clusters(vecs, 1)[:, 0]
-        for v, i, c in zip(vecs, ids, cl):
-            self._lists[c].append(v)
-            self._list_ids[c].append(int(i))
+        norms2 = np.sum(vecs**2, axis=1)
+        if len(vecs) == 1:
+            c = int(cl[0])
+            self._lists[c].append(vecs[0])
+            self._list_norms2[c].append(norms2[0])
+            self._list_ids[c].append(ids[0])
+        else:
+            for c in np.unique(cl):
+                mask = cl == c  # mask indexing preserves input order in-cluster
+                self._lists[c].extend(vecs[mask])
+                self._list_norms2[c].extend(norms2[mask])
+                self._list_ids[c].extend(ids[mask])
         return ids
 
     # -- search -----------------------------------------------------------------------
@@ -83,7 +103,7 @@ class IVFFlatIndex:
         d = (
             np.sum(queries**2, axis=1)[:, None]
             - 2.0 * queries @ self.centroids.T
-            + np.sum(self.centroids**2, axis=1)[None, :]
+            + self._cent_norms2[None, :]
         )
         self.n_distance_computations += d.size
         return np.argsort(d, axis=1)[:, :n]
@@ -93,7 +113,11 @@ class IVFFlatIndex:
 
         Batching queries amortizes the centroid scan — the benefit the
         paper's key-coalescing optimization exploits ("batched lookup in the
-        index database").
+        index database") — and the candidate scan runs as **one** GEMM of
+        all queries against the union of their probed inverted lists, with
+        non-probed (query, candidate) pairs masked out.  The distance
+        counter still reflects only the probed pairs, mirroring Faiss'
+        ``ndis`` semantics.
         """
         if not self.is_trained:
             raise RuntimeError("index must be trained before searching")
@@ -102,21 +126,60 @@ class IVFFlatIndex:
         dists = np.full((nq, k), np.inf, dtype=np.float32)
         ids = np.full((nq, k), -1, dtype=np.int64)
         probes = self._nearest_clusters(queries, self.nprobe)
-        for qi in range(nq):
-            cand_vecs: list[np.ndarray] = []
-            cand_ids: list[int] = []
-            for c in probes[qi]:
-                cand_vecs.extend(self._lists[c])
-                cand_ids.extend(self._list_ids[c])
-            if not cand_ids:
-                continue
-            mat = np.stack(cand_vecs)
-            d2 = np.sum((mat - queries[qi]) ** 2, axis=1)
+        probed_union = [int(c) for c in np.unique(probes) if len(self._lists[c])]
+        if not probed_union:
+            return dists, ids
+        if nq == 1:
+            # lean single-query path (the scalar `MemoDatabase.query` shape):
+            # same candidates in the same (sorted-union) order, no masking
+            if len(probed_union) == 1:
+                c = probed_union[0]
+                cand = self._lists[c].view
+                cn2 = self._list_norms2[c].view
+                cand_ids = self._list_ids[c].view
+            else:
+                cand = np.concatenate([self._lists[c].view for c in probed_union])
+                cn2 = np.concatenate([self._list_norms2[c].view for c in probed_union])
+                cand_ids = np.concatenate(
+                    [self._list_ids[c].view for c in probed_union]
+                )
+            q = queries[0]
+            d2 = np.maximum(cn2 - 2.0 * (cand @ q) + np.sum(q**2), 0.0)
             self.n_distance_computations += d2.size
-            kk = min(k, len(cand_ids))
+            kk = min(k, d2.shape[0])
             order = np.argsort(d2)[:kk]
-            dists[qi, :kk] = np.sqrt(d2[order])
-            ids[qi, :kk] = np.asarray(cand_ids)[order]
+            dists[0, :kk] = np.sqrt(d2[order])
+            ids[0, :kk] = cand_ids[order]
+            return dists, ids
+        if len(probed_union) == 1:  # zero-copy views when one list serves all
+            c = probed_union[0]
+            cand = self._lists[c].view
+            cn2 = self._list_norms2[c].view
+            cand_ids = self._list_ids[c].view
+        else:
+            cand = np.concatenate([self._lists[c].view for c in probed_union])
+            cn2 = np.concatenate([self._list_norms2[c].view for c in probed_union])
+            cand_ids = np.concatenate([self._list_ids[c].view for c in probed_union])
+        cluster_of = np.repeat(
+            probed_union, [len(self._lists[c]) for c in probed_union]
+        )
+        probe_mask = np.zeros((nq, self.n_clusters), dtype=bool)
+        probe_mask[np.arange(nq)[:, None], probes] = True
+        mask = probe_mask[:, cluster_of]  # (nq, ncand): probed pairs only
+        d2 = np.maximum(
+            np.sum(queries**2, axis=1)[:, None]
+            - 2.0 * queries @ cand.T
+            + cn2[None, :],
+            0.0,
+        )
+        self.n_distance_computations += int(np.count_nonzero(mask))
+        d2 = np.where(mask, d2, np.inf)
+        kk = min(k, cand.shape[0])
+        order = np.argsort(d2, axis=1)[:, :kk]
+        best = np.take_along_axis(d2, order, axis=1)
+        found = np.isfinite(best)
+        dists[:, :kk] = np.where(found, np.sqrt(np.where(found, best, 0.0)), np.inf)
+        ids[:, :kk] = np.where(found, cand_ids[order], -1)
         return dists, ids
 
     # -- introspection ------------------------------------------------------------------

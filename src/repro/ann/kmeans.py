@@ -13,8 +13,15 @@ def _kmeanspp_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarra
     centers[0] = x[rng.integers(n)]
     d2 = np.sum((x - centers[0]) ** 2, axis=1)
     for i in range(1, k):
-        probs = d2 / max(d2.sum(), 1e-30)
-        centers[i] = x[rng.choice(n, p=probs)]
+        total = float(d2.sum())
+        if total > 1e-12:
+            probs = d2 / total
+            centers[i] = x[rng.choice(n, p=probs)]
+        else:
+            # every point coincides with a chosen center (duplicate-heavy
+            # data, e.g. repeated memoization keys): D^2 weighting is
+            # degenerate, fall back to a uniform draw
+            centers[i] = x[rng.integers(n)]
         d2 = np.minimum(d2, np.sum((x - centers[i]) ** 2, axis=1))
     return centers
 

@@ -57,6 +57,12 @@ class MemoConfig:
         ``"private"`` (paper default: one single-entry FIFO cache per chunk
         location), ``"global"`` (the baseline it is compared against), or
         ``None`` (no local cache — every lookup goes to the memo database).
+    db_value_mode:
+        Value representation of the memoization database: ``"array"``
+        (default — zero-copy in-memory ndarrays; hits skip the
+        encode/decode round-trip while byte statistics still report the
+        serialized frame size) or ``"bytes"`` (values stored serialized, the
+        wire format the spill/offload paths use).
     """
 
     tau: float = 0.92
@@ -68,6 +74,7 @@ class MemoConfig:
     index_clusters: int = 16
     index_nprobe: int = 4
     index_train_min: int = 32
+    db_value_mode: str = "array"
     memo_ops: tuple[str, ...] = ("Fu1D", "Fu2D", "Fu2D*", "Fu1D*")
     track_similarity_census: bool = False
     warmup_iterations: int = 1
@@ -94,6 +101,10 @@ class MemoConfig:
             raise ValueError(f"encoder must be 'pool' or 'cnn', got {self.encoder!r}")
         if self.cache not in ("private", "global", None):
             raise ValueError(f"cache must be 'private', 'global' or None")
+        if self.db_value_mode not in ("array", "bytes"):
+            raise ValueError(
+                f"db_value_mode must be 'array' or 'bytes', got {self.db_value_mode!r}"
+            )
         if self.key_hw < 2:
             raise ValueError(f"key_hw must be >= 2, got {self.key_hw}")
         if self.warmup_iterations < 0:

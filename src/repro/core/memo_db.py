@@ -5,27 +5,43 @@ Two cooperating stores on the (simulated) memory node:
 - an **index database** organizing keys by similarity — an IVF ANN index
   (:class:`~repro.ann.IVFFlatIndex`), trained lazily on the first keys and
   supporting O(1) dynamic insertion,
-- a **value database** holding the FFT-operation outputs as serialized
-  arrays under integer ids (:class:`~repro.kvstore.KVStore`).
+- a **value database** holding the FFT-operation outputs under integer ids.
+  Two representations are supported (``value_mode``): ``"array"`` (default)
+  keeps the ndarrays in memory — zero-copy hits, with byte *accounting*
+  identical to the serialized form — and ``"bytes"`` serializes through
+  :func:`~repro.kvstore.encode_array` (the wire format the spill/offload
+  paths use).
 
 A query encodes nothing itself: it receives a key vector, finds the nearest
 stored key, gates on the paper's Eq. 3 cosine-similarity threshold tau, and
-returns the decoded value on acceptance.  All traffic statistics needed by
+returns the stored value on acceptance.  All traffic statistics needed by
 the performance model (queries, hits, inserted/fetched bytes) are counted.
+
+The batched service API (Section 4.3.3) is a *true* batch: one coalesced
+key message becomes one stacked ``index.search`` (a single GEMM against the
+probed inverted lists) instead of a Python loop of scalar searches, and a
+batched insert trains/extends the index with stacked vectors.  The scalar
+and batched paths share every per-key decision helper — the cold-database
+pretrain scan (vectorized over candidates) and the Eq. 3 gate — so a batch
+returns bit-identical outcomes and byte counters to the equivalent scalar
+loop, on trained and cold databases alike.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..ann.buffer import GrowableRows
 from ..ann.ivf import IVFFlatIndex
-from ..kvstore.serialization import decode_array, encode_array
-from ..kvstore.store import KVStore
-from ..solvers.metrics import cosine_similarity
+from ..kvstore.serialization import decode_array, encode_array, encoded_nbytes
+from ..kvstore.store import ArrayStore, KVStore
 
 __all__ = ["MemoDBStats", "QueryOutcome", "MemoDatabase"]
+
+_VALUE_MODES = ("array", "bytes")
 
 
 @dataclass
@@ -72,62 +88,193 @@ class QueryOutcome:
 
 @dataclass
 class MemoDatabase:
-    """Index + value store for one FFT operation's memoization table."""
+    """Index + value store for one FFT operation's memoization table.
+
+    ``value_mode="array"`` (default) keeps values as read-only in-memory
+    ndarrays: hits return the stored array without a decode copy, while all
+    byte statistics still report the serialized frame size, so Figures
+    10/11/15 are unchanged.  ``value_mode="bytes"`` stores the serialized
+    payloads themselves.
+    """
 
     dim: int
     tau: float = 0.92
     index_clusters: int = 16
     index_nprobe: int = 4
     train_min: int = 32
+    value_mode: str = "array"
 
     index: IVFFlatIndex = field(init=False)
     values: KVStore = field(init=False)
     stats: MemoDBStats = field(init=False)
-    _pretrain: list = field(init=False, default_factory=list)
+    _pretrain: GrowableRows = field(init=False, repr=False)
     _keys: dict = field(init=False, default_factory=dict)
     _meta: dict = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         if not (0.0 < self.tau <= 1.0):
             raise ValueError(f"tau must be in (0, 1], got {self.tau}")
+        if self.value_mode not in _VALUE_MODES:
+            raise ValueError(
+                f"value_mode must be one of {_VALUE_MODES}, got {self.value_mode!r}"
+            )
         self.index = IVFFlatIndex(
             self.dim, n_clusters=self.index_clusters, nprobe=self.index_nprobe
         )
-        self.values = KVStore()
+        self.values = ArrayStore() if self.value_mode == "array" else KVStore()
         self.stats = MemoDBStats()
+        self._pretrain = GrowableRows((self.dim,), np.float32)
 
     def __len__(self) -> int:
         return len(self.values)
 
     # -- insertion ---------------------------------------------------------------------
 
+    def _check_key(self, key: np.ndarray) -> np.ndarray:
+        key = np.asarray(key, dtype=np.float32).ravel()
+        if key.shape[0] != self.dim:
+            raise ValueError(f"key dim {key.shape[0]} != {self.dim}")
+        return key
+
+    def _index_key(self, key: np.ndarray) -> int:
+        """Register one key with the (possibly still cold) index; returns id."""
+        if self.index.is_trained:
+            return int(self.index.add(key[None])[0])
+        self._pretrain.append(key)
+        if len(self._pretrain) >= self.train_min:
+            self.index.train(self._pretrain.view)
+            ids = self.index.add(self._pretrain.view)
+            self._pretrain.clear()
+            return int(ids[-1])
+        return len(self._pretrain) - 1
+
+    def _store_value(self, new_id: int, value: np.ndarray) -> int:
+        """Persist one value; returns the accounted (serialized-frame) size."""
+        if self.value_mode == "bytes":
+            payload = encode_array(value)
+            self.values.put(new_id, payload)
+            return len(payload)
+        self.values.put(new_id, value)
+        return encoded_nbytes(value)
+
     def insert(self, key: np.ndarray, value: np.ndarray, meta=None) -> int:
         """DB.Put: store the (key, value) pair — plus the reuse metadata
         (input-chunk DC and AC norm) — training the coarse quantizer once
         enough keys accumulated."""
-        key = np.asarray(key, dtype=np.float32).ravel()
-        if key.shape[0] != self.dim:
-            raise ValueError(f"key dim {key.shape[0]} != {self.dim}")
-        if not self.index.is_trained:
-            self._pretrain.append(key)
-            if len(self._pretrain) >= self.train_min:
-                self.index.train(np.stack(self._pretrain))
-                ids = self.index.add(np.stack(self._pretrain))
-                del self._pretrain[:]
-                new_id = int(ids[-1])
-            else:
-                new_id = len(self._pretrain) - 1
-        else:
-            new_id = int(self.index.add(key[None])[0])
+        key = self._check_key(key)
+        new_id = self._index_key(key)
         self._keys[new_id] = key
         self._meta[new_id] = meta
-        payload = encode_array(value)
-        self.values.put(new_id, payload)
         self.stats.inserts += 1
-        self.stats.bytes_inserted += len(payload)
+        self.stats.bytes_inserted += self._store_value(new_id, value)
         return new_id
 
+    def insert_batch(self, items) -> list[int]:
+        """DB.Put for a batch of ``(key, value, meta)`` triples; ids in item
+        order.
+
+        Keys destined for a trained index are stacked and added in one call
+        (one cluster-assignment GEMM); the pretrain buffer and value puts
+        follow the exact scalar-loop semantics, so the resulting database
+        state is identical to inserting one item at a time.
+        """
+        items = list(items)
+        if not items:
+            return []
+        keys = [self._check_key(k) for k, _v, _m in items]
+        ids: list[int] = []
+        i = 0
+        # cold prefix: fill the pretrain buffer (training once it fills)
+        while i < len(items) and not self.index.is_trained:
+            ids.append(self._index_key(keys[i]))
+            i += 1
+        # trained remainder: one stacked dynamic insertion
+        if i < len(items):
+            ids.extend(int(x) for x in self.index.add(np.stack(keys[i:])))
+        for new_id, key, (_k, value, meta) in zip(ids, keys, items):
+            self._keys[new_id] = key
+            self._meta[new_id] = meta
+            self.stats.inserts += 1
+            self.stats.bytes_inserted += self._store_value(new_id, value)
+        self.stats.insert_batches += 1
+        return ids
+
     # -- lookup ------------------------------------------------------------------------
+
+    def _cold_best(self, key: np.ndarray) -> tuple[int, float]:
+        """Vectorized linear scan of the pretrain buffer: ``(best_id, best
+        similarity)``; first maximum wins, matching the scalar-scan order."""
+        cands = self._pretrain.view
+        if not len(cands):
+            return -1, -2.0
+        na = float(np.linalg.norm(key))
+        nb = np.sqrt(np.sum(cands * cands, axis=1, dtype=np.float64))
+        denom = na * nb
+        dots = cands @ key
+        sims = np.where(denom > 0.0, dots / np.where(denom == 0.0, 1.0, denom), 0.0)
+        best = int(np.argmax(sims))
+        return best, float(sims[best])
+
+    def _gate_one(self, key: np.ndarray, matched: int) -> float:
+        """Scalar Eq. 3 gate, bit-identical to one row of :meth:`_gate_rows`
+        (same float64 einsum reductions, without the batch scaffolding)."""
+        stored = self._keys.get(matched)
+        if stored is None:
+            return -2.0
+        kd = key.astype(np.float64)
+        sd = stored.astype(np.float64)
+        dot = float(np.einsum("i,i->", kd, sd))
+        denom = math.sqrt(float(np.einsum("i,i->", kd, kd))) * math.sqrt(
+            float(np.einsum("i,i->", sd, sd))
+        )
+        return dot / denom if denom > 0.0 else 0.0
+
+    def _gate_rows(self, Q: np.ndarray, matched) -> np.ndarray:
+        """Eq. 3 gate for row-aligned (query, matched-id) pairs, vectorized.
+
+        Cosine similarity (:func:`~repro.solvers.metrics.cosine_similarity`
+        semantics: zero-norm operands gate to 0) computed in float64 with
+        einsum row reductions, which are independent of batch size — so a
+        1-row call (the scalar path) is bit-identical to the same row
+        inside a batch.  Ids without a stored key gate to -2.
+        """
+        sims = np.full(len(matched), -2.0)
+        rows = [i for i, mid in enumerate(matched) if self._keys.get(int(mid)) is not None]
+        if not rows:
+            return sims
+        Qd = Q[rows].astype(np.float64)
+        Kd = np.stack([self._keys[int(matched[i])] for i in rows]).astype(np.float64)
+        dots = np.einsum("ij,ij->i", Qd, Kd)
+        denom = np.sqrt(np.einsum("ij,ij->i", Qd, Qd)) * np.sqrt(
+            np.einsum("ij,ij->i", Kd, Kd)
+        )
+        sims[rows] = np.where(
+            denom > 0.0, dots / np.where(denom == 0.0, 1.0, denom), 0.0
+        )
+        return sims
+
+    def _fetch(self, matched: int):
+        """Value-store read: ``(value, accounted nbytes)`` or ``None``."""
+        stored = self.values.get(matched)
+        if stored is None:
+            return None
+        if self.value_mode == "bytes":
+            return decode_array(stored), len(stored)
+        return stored, encoded_nbytes(stored)
+
+    def _resolve(self, key: np.ndarray, matched: int, sim: float, n: int) -> QueryOutcome:
+        """Shared hit/miss resolution once the nearest candidate is known."""
+        if matched >= 0 and sim > self.tau:
+            fetched = self._fetch(matched)
+            if fetched is not None:
+                value, nbytes = fetched
+                self.stats.hits += 1
+                self.stats.bytes_fetched += nbytes
+                return QueryOutcome(value, sim, matched, n, self._meta.get(matched))
+        if not self.index.is_trained:
+            # cold-database misses never expose the scan's candidate id
+            return QueryOutcome(None, sim, -1, n)
+        return QueryOutcome(None, sim, matched, n)
 
     def query(self, key: np.ndarray) -> QueryOutcome:
         """Find the most similar stored key; return its value if Eq. 3's
@@ -136,41 +283,13 @@ class MemoDatabase:
         self.stats.queries += 1
         n = len(self.values)
         if not self.index.is_trained:
-            # cold database: fall back to linear scan over pretrain buffer
-            best_sim, best_id = -2.0, -1
-            for i, cand in enumerate(self._pretrain):
-                sim = cosine_similarity(key, cand)
-                if sim > best_sim:
-                    best_sim, best_id = sim, i
-            if best_id >= 0 and best_sim > self.tau:
-                raw = self.values.get(best_id)
-                if raw is not None:
-                    self.stats.hits += 1
-                    self.stats.bytes_fetched += len(raw)
-                    return QueryOutcome(
-                        decode_array(raw), best_sim, best_id, n,
-                        self._meta.get(best_id),
-                    )
-            return QueryOutcome(None, best_sim, -1, n)
+            matched, sim = self._cold_best(key)
+            return self._resolve(key, matched, sim, n)
         dists, ids = self.index.search(key[None], k=1)
         matched = int(ids[0, 0])
         if matched < 0:
             return QueryOutcome(None, -2.0, -1, n)
-        # Eq. 3 gate on the matched key
-        stored_key = self._stored_key(matched)
-        sim = cosine_similarity(key, stored_key) if stored_key is not None else -2.0
-        if sim > self.tau:
-            raw = self.values.get(matched)
-            if raw is not None:
-                self.stats.hits += 1
-                self.stats.bytes_fetched += len(raw)
-                return QueryOutcome(
-                    decode_array(raw), sim, matched, n, self._meta.get(matched)
-                )
-        return QueryOutcome(None, sim, matched, n)
-
-    def _stored_key(self, wanted: int) -> np.ndarray | None:
-        return self._keys.get(wanted)
+        return self._resolve(key, matched, self._gate_one(key, matched), n)
 
     # -- batched service API (paper Section 4.3.3) ---------------------------------------
 
@@ -178,18 +297,34 @@ class MemoDatabase:
         """DB.Get for one coalesced key message.
 
         The memory node receives a 4 KB message holding many keys and
-        services them as one batched index lookup; outcomes are returned in
-        key order.
+        services them as **one** batched index lookup — a single stacked
+        ``index.search`` — with the Eq. 3 gate applied per matched pair;
+        outcomes are returned in key order, bit-identical to the scalar
+        loop (the per-key helpers are shared).
         """
-        outcomes = [self.query(k) for k in keys]
-        if outcomes:
-            self.stats.query_batches += 1
+        keys = [np.asarray(k, dtype=np.float32).ravel() for k in keys]
+        if not keys:
+            return []
+        self.stats.queries += len(keys)
+        n = len(self.values)
+        outcomes: list[QueryOutcome] = []
+        if not self.index.is_trained:
+            for key in keys:
+                matched, sim = self._cold_best(key)
+                outcomes.append(self._resolve(key, matched, sim, n))
+        else:
+            Q = np.stack(keys)
+            _dists, ids = self.index.search(Q, k=1)
+            matched = ids[:, 0]
+            sims = self._gate_rows(Q, matched)  # one vectorized Eq. 3 gate
+            for key, mid, sim in zip(keys, matched, sims):
+                mid = int(mid)
+                if mid < 0:
+                    outcomes.append(QueryOutcome(None, -2.0, -1, n))
+                else:
+                    outcomes.append(self._resolve(key, mid, float(sim), n))
+        self.stats.query_batches += 1
         return outcomes
 
-    def insert_batch(self, items) -> list[int]:
-        """DB.Put for a batch of ``(key, value, meta)`` triples; returns the
-        assigned ids in item order."""
-        ids = [self.insert(k, v, meta=m) for k, v, m in items]
-        if ids:
-            self.stats.insert_batches += 1
-        return ids
+    def _stored_key(self, wanted: int) -> np.ndarray | None:
+        return self._keys.get(wanted)

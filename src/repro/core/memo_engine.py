@@ -153,6 +153,7 @@ class MemoizedExecutor(DirectExecutor):
                 index_clusters=cfg.index_clusters,
                 index_nprobe=cfg.index_nprobe,
                 train_min=cfg.index_train_min,
+                value_mode=cfg.db_value_mode,
             )
 
         return make_db

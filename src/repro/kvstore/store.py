@@ -5,6 +5,15 @@ integer/str keys, capacity-bounded with FIFO or LRU eviction, and the
 hit/miss/bytes statistics the evaluation reports.  Latency is *not* modeled
 here — the discrete-event cluster simulation (:mod:`repro.cluster`) owns all
 timing; this class is purely functional so it can also run inside the DES.
+
+Two value representations share the bookkeeping:
+
+- :class:`KVStore` holds opaque byte strings (the serialized wire format —
+  what the spill/offload paths and a real Redis would carry),
+- :class:`ArrayStore` holds ndarrays directly (the zero-copy in-memory mode
+  of the memoization value database) while *accounting* every byte exactly
+  as if the value had been serialized, so traffic statistics are identical
+  between the two modes.
 """
 
 from __future__ import annotations
@@ -12,7 +21,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-__all__ = ["KVStats", "KVStore"]
+import numpy as np
+
+from .serialization import encoded_nbytes
+
+__all__ = ["KVStats", "KVStore", "ArrayStore"]
 
 
 @dataclass
@@ -61,26 +74,40 @@ class KVStore:
     def nbytes(self) -> int:
         return self._nbytes
 
-    def put(self, key, value: bytes) -> None:
-        """Insert/overwrite; evicts oldest (FIFO) or least-recent (LRU) entries
-        until the new value fits."""
+    # -- value representation hooks (overridden by ArrayStore) -------------------------
+
+    def _coerce(self, value):
+        """Validate and normalize a value for storage."""
         if not isinstance(value, (bytes, bytearray, memoryview)):
             raise TypeError(f"value must be bytes-like, got {type(value).__name__}")
-        value = bytes(value)
-        if self.capacity_bytes is not None and len(value) > self.capacity_bytes:
+        return bytes(value)
+
+    @staticmethod
+    def _value_nbytes(value) -> int:
+        """Accounted size of a stored value."""
+        return len(value)
+
+    # -- operations --------------------------------------------------------------------
+
+    def put(self, key, value) -> None:
+        """Insert/overwrite; evicts oldest (FIFO) or least-recent (LRU) entries
+        until the new value fits."""
+        value = self._coerce(value)
+        size = self._value_nbytes(value)
+        if self.capacity_bytes is not None and size > self.capacity_bytes:
             raise ValueError("value larger than store capacity")
         if key in self._data:
-            self._nbytes -= len(self._data.pop(key))
-        while self.capacity_bytes is not None and self._nbytes + len(value) > self.capacity_bytes:
+            self._nbytes -= self._value_nbytes(self._data.pop(key))
+        while self.capacity_bytes is not None and self._nbytes + size > self.capacity_bytes:
             _, old = self._data.popitem(last=False)
-            self._nbytes -= len(old)
+            self._nbytes -= self._value_nbytes(old)
             self.stats.evictions += 1
         self._data[key] = value
-        self._nbytes += len(value)
+        self._nbytes += size
         self.stats.puts += 1
-        self.stats.bytes_in += len(value)
+        self.stats.bytes_in += size
 
-    def get(self, key) -> bytes | None:
+    def get(self, key):
         """Fetch; returns ``None`` on miss (and counts it)."""
         value = self._data.get(key)
         if value is None:
@@ -89,14 +116,14 @@ class KVStore:
         if self.eviction == "lru":
             self._data.move_to_end(key)
         self.stats.hits += 1
-        self.stats.bytes_out += len(value)
+        self.stats.bytes_out += self._value_nbytes(value)
         return value
 
     def delete(self, key) -> bool:
         value = self._data.pop(key, None)
         if value is None:
             return False
-        self._nbytes -= len(value)
+        self._nbytes -= self._value_nbytes(value)
         return True
 
     def keys(self):
@@ -105,3 +132,29 @@ class KVStore:
     def clear(self) -> None:
         self._data.clear()
         self._nbytes = 0
+
+
+@dataclass
+class ArrayStore(KVStore):
+    """Zero-copy ndarray value store with serialized-size accounting.
+
+    Values are kept as read-only contiguous ndarrays: a ``put`` copies the
+    caller's array once (detaching it from any buffer the caller may
+    reuse), and a ``get`` returns the stored array itself — no
+    ``encode_array``/``decode_array`` round-trip on the hot path.  All byte
+    accounting (``nbytes``, capacity, eviction, ``bytes_in``/``bytes_out``)
+    uses :func:`~repro.kvstore.serialization.encoded_nbytes`, the exact
+    length ``encode_array`` would produce, so every statistic matches a
+    serialized :class:`KVStore` bit for bit.
+    """
+
+    def _coerce(self, value):
+        if not isinstance(value, np.ndarray):
+            raise TypeError(f"value must be an ndarray, got {type(value).__name__}")
+        arr = np.array(value, order="C", copy=True)
+        arr.setflags(write=False)
+        return arr
+
+    @staticmethod
+    def _value_nbytes(value) -> int:
+        return encoded_nbytes(value)

@@ -30,6 +30,8 @@ from .geometry import LaminoGeometry
 from .usfft import (
     USFFT1DPlan,
     USFFT2DPlan,
+    centered_fft2,
+    centered_ifft2,
     usfft1d_type1,
     usfft1d_type2,
     usfft2d_type1,
@@ -113,17 +115,17 @@ class LaminoOperators:
 
     @staticmethod
     def f2d(d: np.ndarray) -> np.ndarray:
-        """``F_2D``: unitary centered detector FFT, per angle (chunkable axis 0)."""
-        shifted = np.fft.ifftshift(d, axes=(-2, -1))
-        spec = np.fft.fft2(shifted, axes=(-2, -1), norm="ortho")
-        return np.fft.fftshift(spec, axes=(-2, -1))
+        """``F_2D``: unitary centered detector FFT, per angle (chunkable axis 0).
+
+        Runs through the module FFT backend (:func:`repro.lamino.usfft.
+        configure_fft`): dtype-preserving, threaded pocketfft by default.
+        """
+        return centered_fft2(d, norm="ortho")
 
     @staticmethod
     def f2d_adj(dhat: np.ndarray) -> np.ndarray:
         """``F*_2D`` = inverse of ``f2d`` (unitary, so adjoint == inverse)."""
-        shifted = np.fft.ifftshift(dhat, axes=(-2, -1))
-        img = np.fft.ifft2(shifted, axes=(-2, -1), norm="ortho")
-        return np.fft.fftshift(img, axes=(-2, -1))
+        return centered_ifft2(dhat, norm="ortho")
 
     # -- compositions ---------------------------------------------------------------
 

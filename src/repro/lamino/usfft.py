@@ -40,9 +40,30 @@ Algorithm (three steps, type 2):
    nearest fine-grid neighbors (per dimension) with Gaussian weights.
 
 Step 3 is materialized at plan-construction time — as a small dense matrix
-in 1-D and as one CSR sparse matrix per slice in 2-D — so repeated operator
-applications (hundreds per ADMM solve) are pure BLAS/sparse matvecs; this is
-the same plan-and-execute structure CuFFT/FINUFFT use.
+in 1-D and as one *block-diagonal* CSR sparse matrix per contiguous slice
+range in 2-D — so repeated operator applications (hundreds per ADMM solve)
+are pure BLAS/sparse matvecs; this is the same plan-and-execute structure
+CuFFT/FINUFFT use.
+
+Execution discipline (the hot-path contract every executor relies on):
+
+- FFTs run through ``scipy.fft`` (pocketfft) by default, which preserves
+  ``complex64`` end to end and accepts a ``workers`` thread count; see
+  :func:`configure_fft` / :func:`fft_backend`.
+- dtype-specific casts of the interpolation operator and the space-domain
+  correction are cached *on the plan*, so steady-state sweeps never re-cast
+  a full matrix.
+- the padded/oversampled workspace is preallocated per plan (and per
+  thread), so steady-state sweeps perform no large allocations before the
+  FFT.
+- a chunk's per-slice 2-D interpolations are applied as **one** SpMV with a
+  cached block-diagonal CSR (and its pre-transposed scatter for type 1)
+  instead of a Python loop of ``nslices`` matvecs.
+
+:func:`reference_kernels` switches the module to the pre-vectorization
+kernels (``numpy.fft``, per-slice interpolation loops, per-call dtype
+casts).  It exists so ``benchmarks/perf`` can measure the optimized path
+against an honest baseline, and so tests can assert the two agree.
 
 With oversampling ``m`` and window half-width ``K`` the Gaussian shape
 parameter is chosen so truncation and aliasing errors balance, giving a
@@ -55,9 +76,12 @@ double-precision-grade accuracy (~1e-8).
 from __future__ import annotations
 
 import math
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy import fft as _sfft
 from scipy import sparse
 
 __all__ = [
@@ -69,7 +93,82 @@ __all__ = [
     "usfft2d_type1",
     "dtft1d_direct",
     "dtft2d_direct",
+    "configure_fft",
+    "fft_backend",
+    "fft_config",
+    "reference_kernels",
+    "centered_fft2",
+    "centered_ifft2",
 ]
+
+
+# -- FFT execution configuration -------------------------------------------------------
+
+#: Module-wide FFT execution knobs.  ``backend`` selects the FFT library
+#: ("scipy" = pocketfft, complex64-native, threaded; "numpy" = np.fft),
+#: ``workers`` is scipy's thread count (-1 = all cores), and ``reference``
+#: routes the USFFT entry points to the pre-vectorization kernels.
+_FFT = {"backend": "scipy", "workers": -1, "reference": False}
+
+_BACKENDS = ("scipy", "numpy")
+
+
+def fft_config() -> dict:
+    """A snapshot of the current FFT execution configuration."""
+    return dict(_FFT)
+
+
+def configure_fft(
+    backend: str | None = None,
+    workers: int | None = None,
+    reference: bool | None = None,
+) -> dict:
+    """Set module-wide FFT execution knobs; returns the previous state.
+
+    Parameters
+    ----------
+    backend:
+        ``"scipy"`` (default — pocketfft: preserves ``complex64``, supports
+        threading) or ``"numpy"``.
+    workers:
+        Thread count for the scipy backend (``-1`` = all cores).
+    reference:
+        Route the USFFT entry points to the pre-vectorization kernels
+        (numpy FFT, per-slice loops, per-call casts).  Benchmark baseline.
+    """
+    prev = dict(_FFT)
+    if backend is not None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        _FFT["backend"] = backend
+    if workers is not None:
+        _FFT["workers"] = int(workers)
+    if reference is not None:
+        _FFT["reference"] = bool(reference)
+    return prev
+
+
+@contextmanager
+def fft_backend(
+    backend: str | None = None,
+    workers: int | None = None,
+    reference: bool | None = None,
+):
+    """Temporarily override the FFT execution configuration."""
+    prev = configure_fft(backend=backend, workers=workers, reference=reference)
+    try:
+        yield
+    finally:
+        _FFT.update(prev)
+
+
+@contextmanager
+def reference_kernels():
+    """Run under the pre-vectorization kernels (the measured baseline of
+    ``benchmarks/perf``): ``numpy.fft``, per-slice 2-D interpolation loops,
+    and per-call dtype casts of the interpolation operators."""
+    with fft_backend(backend="numpy", reference=True):
+        yield
 
 
 def _kernel_tau(half_width: int, oversample: int) -> float:
@@ -97,22 +196,54 @@ def _space_correction(n: int, fine_n: int, tau: float) -> np.ndarray:
     return 1.0 / psi_hat
 
 
-def _centered_fft(a: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
-    return np.fft.fftshift(
-        np.fft.fftn(np.fft.ifftshift(a, axes=axes), axes=axes), axes=axes
-    )
+def _fftn_raw(a: np.ndarray, axes: tuple[int, ...], overwrite: bool = False) -> np.ndarray:
+    """Unshifted forward FFT on the configured backend.
+
+    The fast USFFT paths absorb the centering shifts into the plan (input
+    samples land in ifftshifted positions; the interpolation operator is
+    built against the raw output layout), so no ``fftshift`` roll ever runs
+    on the hot path.
+    """
+    if _FFT["backend"] == "scipy":
+        return _sfft.fftn(a, axes=axes, workers=_FFT["workers"], overwrite_x=overwrite)
+    return np.fft.fftn(a, axes=axes)
 
 
-def _centered_adjoint_fft(a: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
-    # The adjoint of the (unnormalized) DFT matrix is M * IDFT; numpy's ifftn
-    # already includes the 1/M factor, so multiply it back.
-    scale = float(np.prod([a.shape[ax] for ax in axes]))
-    return (
-        np.fft.fftshift(
-            np.fft.ifftn(np.fft.ifftshift(a, axes=axes), axes=axes), axes=axes
+def _ifftn_raw(a: np.ndarray, axes: tuple[int, ...], overwrite: bool = False) -> np.ndarray:
+    """Unshifted inverse FFT on the configured backend.
+
+    The adjoint's ``M * IDFT`` rescaling is *not* applied here — the fast
+    paths fold it into the plan's cached correction array, saving a full
+    pass over the fine grid.
+    """
+    if _FFT["backend"] == "scipy":
+        return _sfft.ifftn(a, axes=axes, workers=_FFT["workers"], overwrite_x=overwrite)
+    return np.fft.ifftn(a, axes=axes)
+
+
+def centered_fft2(a: np.ndarray, norm: str = "ortho") -> np.ndarray:
+    """Centered 2-D FFT over the last two axes (the detector ``F_2D`` op),
+    honoring the module FFT backend/threading configuration."""
+    shifted = np.fft.ifftshift(a, axes=(-2, -1))
+    if _FFT["backend"] == "scipy":
+        spec = _sfft.fft2(
+            shifted, axes=(-2, -1), norm=norm, workers=_FFT["workers"], overwrite_x=True
         )
-        * scale
-    )
+    else:
+        spec = np.fft.fft2(shifted, axes=(-2, -1), norm=norm)
+    return np.fft.fftshift(spec, axes=(-2, -1))
+
+
+def centered_ifft2(a: np.ndarray, norm: str = "ortho") -> np.ndarray:
+    """Inverse of :func:`centered_fft2` (its adjoint when ``norm='ortho'``)."""
+    shifted = np.fft.ifftshift(a, axes=(-2, -1))
+    if _FFT["backend"] == "scipy":
+        img = _sfft.ifft2(
+            shifted, axes=(-2, -1), norm=norm, workers=_FFT["workers"], overwrite_x=True
+        )
+    else:
+        img = np.fft.ifft2(shifted, axes=(-2, -1), norm=norm)
+    return np.fft.fftshift(img, axes=(-2, -1))
 
 
 def _tap_geometry(coords: np.ndarray, oversample: int, half_width: int, tau: float, fine_n: int):
@@ -145,7 +276,10 @@ class USFFT1DPlan:
     The interpolation step is stored as the dense matrix ``interp`` of shape
     ``(ns, fine_n)`` (small: taps are the only nonzeros but dense matmul
     wins at these sizes), so both transform directions are single GEMMs
-    around an FFT.
+    around an FFT.  Compute-dtype casts of ``interp``/``corr`` are cached on
+    the plan (:meth:`interp_for` / :meth:`corr_for`) and the padded
+    oversampled workspace is preallocated per thread, so steady-state calls
+    re-cast and re-allocate nothing.
     """
 
     n: int
@@ -157,6 +291,8 @@ class USFFT1DPlan:
     tau: float = field(init=False)
     corr: np.ndarray = field(init=False)
     interp: np.ndarray = field(init=False)
+    _casts: dict = field(init=False, default_factory=dict, repr=False)
+    _scratch: threading.local = field(init=False, default_factory=threading.local, repr=False)
 
     def __post_init__(self) -> None:
         self.freqs = np.asarray(self.freqs, dtype=np.float64).ravel()
@@ -176,6 +312,67 @@ class USFFT1DPlan:
     def ns(self) -> int:
         return int(self.freqs.shape[0])
 
+    # -- cached compute-dtype variants -------------------------------------------------
+
+    def corr_for(self, dtype, direction: str = "plain") -> np.ndarray:
+        """``corr`` cast to the compute dtype, cached on the plan.
+
+        ``direction="type2"`` folds the transform's ``1/sqrt(n)`` into the
+        input correction; ``"type1"`` additionally folds the adjoint's
+        ``fine_n`` IDFT rescaling into the output correction — so neither
+        transform spends a separate scaling pass over the fine grid.
+        """
+        key = ("corr", np.dtype(dtype).char, direction)
+        out = self._casts.get(key)
+        if out is None:
+            base = self.corr
+            if direction == "type2":
+                base = base / math.sqrt(self.n)
+            elif direction == "type1":
+                base = base * (self.fine_n / math.sqrt(self.n))
+            out = base.astype(dtype)
+            out.setflags(write=False)
+            self._casts[key] = out
+        return out
+
+    def interp_for(self, dtype, transpose: bool = False, raw: bool = False) -> np.ndarray:
+        """``interp`` (or its transpose) cast to the compute dtype, cached.
+
+        The cast is done to the *complex* compute dtype so the GEMM runs
+        natively instead of silently promoting the operand on every call.
+        ``raw=True`` returns the variant whose columns are permuted to the
+        *unshifted* FFT layout (the fftshift is absorbed into the operator,
+        so the hot path never rolls the fine grid).
+        """
+        key = ("interp", np.dtype(dtype).char, transpose, raw)
+        out = self._casts.get(key)
+        if out is None:
+            base = self.interp
+            if raw:
+                base = np.roll(base, self.fine_n // 2, axis=1)
+            if transpose:
+                base = base.T
+            out = np.ascontiguousarray(base.astype(dtype))
+            out.setflags(write=False)
+            self._casts[key] = out
+        return out
+
+    def _workspace(self, lead_shape: tuple[int, ...], cdtype) -> np.ndarray:
+        """Preallocated zero-padded fine-grid buffer (per thread).
+
+        Only the two half-bands the ifftshifted interior occupies are ever
+        written, so the zeroed middle survives across reuses.
+        """
+        cache = getattr(self._scratch, "bufs", None)
+        if cache is None:
+            cache = self._scratch.bufs = {}
+        key = (lead_shape, np.dtype(cdtype).char)
+        buf = cache.get(key)
+        if buf is None:
+            buf = np.zeros(lead_shape + (self.fine_n,), dtype=cdtype)
+            cache[key] = buf
+        return buf
+
 
 def usfft1d_type2(f: np.ndarray, plan: USFFT1DPlan, axis: int = -1) -> np.ndarray:
     """Uniform -> non-uniform 1-D transform along ``axis``.
@@ -186,15 +383,19 @@ def usfft1d_type2(f: np.ndarray, plan: USFFT1DPlan, axis: int = -1) -> np.ndarra
     f = np.asarray(f)
     if f.shape[axis] != plan.n:
         raise ValueError(f"axis length {f.shape[axis]} != plan.n {plan.n}")
+    if _FFT["reference"]:
+        return _ref_usfft1d_type2(f, plan, axis)
     moved = np.moveaxis(f, axis, -1)
     rdtype = _real_dtype(moved.dtype)
-    work = moved * plan.corr.astype(rdtype)
-    pad_lo = (plan.fine_n - plan.n) // 2
-    padded = np.zeros(moved.shape[:-1] + (plan.fine_n,), dtype=_complex_dtype(moved.dtype))
-    padded[..., pad_lo : pad_lo + plan.n] = work
-    spec = _centered_fft(padded, axes=(-1,))
-    out = spec @ plan.interp.T.astype(rdtype)
-    out *= 1.0 / math.sqrt(plan.n)
+    cdtype = _complex_dtype(moved.dtype)
+    half = plan.n // 2
+    corr = plan.corr_for(rdtype, "type2")
+    padded = plan._workspace(moved.shape[:-1], cdtype)
+    # write the corrected interior directly into its ifftshifted position
+    np.multiply(moved[..., :half], corr[:half], out=padded[..., plan.fine_n - half :])
+    np.multiply(moved[..., half:], corr[half:], out=padded[..., :half])
+    spec = _fftn_raw(padded, axes=(-1,))
+    out = spec @ plan.interp_for(cdtype, transpose=True, raw=True)
     return np.moveaxis(out, -1, axis)
 
 
@@ -203,13 +404,19 @@ def usfft1d_type1(F: np.ndarray, plan: USFFT1DPlan, axis: int = -1) -> np.ndarra
     F = np.asarray(F)
     if F.shape[axis] != plan.ns:
         raise ValueError(f"axis length {F.shape[axis]} != plan.ns {plan.ns}")
+    if _FFT["reference"]:
+        return _ref_usfft1d_type1(F, plan, axis)
     moved = np.moveaxis(F, axis, -1)
     rdtype = _real_dtype(moved.dtype)
-    spec = moved @ plan.interp.astype(rdtype)  # adjoint of the gather GEMM
-    grid = _centered_adjoint_fft(spec, axes=(-1,))
-    pad_lo = (plan.fine_n - plan.n) // 2
-    out = grid[..., pad_lo : pad_lo + plan.n] * plan.corr.astype(rdtype)
-    out *= 1.0 / math.sqrt(plan.n)
+    cdtype = _complex_dtype(moved.dtype)
+    spec = moved @ plan.interp_for(cdtype, raw=True)  # adjoint of the gather GEMM
+    grid = _ifftn_raw(spec, axes=(-1,), overwrite=True)
+    half = plan.n // 2
+    corr = plan.corr_for(rdtype, "type1")
+    out = np.empty(moved.shape[:-1] + (plan.n,), dtype=cdtype)
+    # read the interior back out of its ifftshifted position
+    np.multiply(grid[..., plan.fine_n - half :], corr[:half], out=out[..., :half])
+    np.multiply(grid[..., :half], corr[half:], out=out[..., half:])
     return np.moveaxis(out, -1, axis)
 
 
@@ -224,8 +431,12 @@ class USFFT2DPlan:
 
     The separable Gaussian interpolation of slice ``i`` is materialized as a
     CSR matrix ``interp[i]`` of shape ``(npts, fine0*fine1)`` with
-    ``(2*half_width + 1)**2`` nonzeros per row; the type-1 direction applies
-    its (lazy, no-copy) transpose.
+    ``(2*half_width + 1)**2`` nonzeros per row.  The hot path never applies
+    these one at a time: :meth:`block_gather` / :meth:`block_scatter`
+    assemble (and cache, per contiguous slice range and compute dtype) a
+    block-diagonal CSR over the flattened ``(nslices * fine0 * fine1)``
+    spectrum, so a whole chunk's interpolation — both the type-2 gather and
+    the type-1 scatter — is a single SpMV.
     """
 
     shape: tuple[int, int]
@@ -237,6 +448,11 @@ class USFFT2DPlan:
     tau: float = field(init=False)
     corr: np.ndarray = field(init=False)
     interp: list = field(init=False, repr=False)
+    _tap_cols: np.ndarray = field(init=False, repr=False)
+    _tap_data: np.ndarray = field(init=False, repr=False)
+    _casts: dict = field(init=False, default_factory=dict, repr=False)
+    _blocks: dict = field(init=False, default_factory=dict, repr=False)
+    _scratch: threading.local = field(init=False, default_factory=threading.local, repr=False)
 
     def __post_init__(self) -> None:
         n0, n1 = self.shape
@@ -254,22 +470,23 @@ class USFFT2DPlan:
         f0, f1 = self.fine_shape
         nfine = f0 * f1
         taps = 2 * self.half_width + 1
-        npts = pts.shape[1]
-        self.interp = []
+        nsl, npts = pts.shape[0], pts.shape[1]
+        # tap geometry for every slice at once (no per-slice Python loop)
+        idx0, w0 = _tap_geometry(pts[..., 0], self.oversample, self.half_width, self.tau, f0)
+        idx1, w1 = _tap_geometry(pts[..., 1], self.oversample, self.half_width, self.tau, f1)
+        cols = (idx0[..., :, None] * f1 + idx1[..., None, :]).reshape(nsl, -1)
+        self._tap_cols = cols.astype(np.int32)
+        self._tap_data = (w0[..., :, None] * w1[..., None, :]).reshape(nsl, -1)
+        # per-slice CSR views over the shared tap arrays (zero-copy)
         row_ptr = np.arange(npts + 1, dtype=np.int32) * (taps * taps)
-        for i in range(pts.shape[0]):
-            idx0, w0 = _tap_geometry(
-                pts[i, :, 0], self.oversample, self.half_width, self.tau, f0
+        self.interp = [
+            sparse.csr_matrix(
+                (self._tap_data[i], self._tap_cols[i], row_ptr),
+                shape=(npts, nfine),
+                copy=False,
             )
-            idx1, w1 = _tap_geometry(
-                pts[i, :, 1], self.oversample, self.half_width, self.tau, f1
-            )
-            cols = (idx0[:, :, None] * f1 + idx1[:, None, :]).ravel().astype(np.int32)
-            data = (w0[:, :, None] * w1[:, None, :]).ravel()
-            mat = sparse.csr_matrix(
-                (data, cols, row_ptr), shape=(npts, nfine), copy=False
-            )
-            self.interp.append(mat)
+            for i in range(nsl)
+        ]
 
     @property
     def nslices(self) -> int:
@@ -278,6 +495,109 @@ class USFFT2DPlan:
     @property
     def npts(self) -> int:
         return int(self.points.shape[1])
+
+    # -- cached compute-dtype variants -------------------------------------------------
+
+    #: relative tap-weight cutoff for complex64 block operators: a Gaussian
+    #: tap this far below the central weight is at single-precision epsilon
+    #: (1.2e-7) — its contribution is unrepresentable against the central
+    #: tap in complex64 arithmetic — so the c64 operator drops it (~25-30%
+    #: of the square stencil's corners).  complex128 blocks keep the full
+    #: stencil.
+    TAP_PRUNE_REL = 1e-7
+
+    def corr_for(self, dtype, direction: str = "plain") -> np.ndarray:
+        """``corr`` cast to the compute dtype, cached on the plan.
+
+        ``direction="type2"`` folds the transform's ``1/sqrt(n0*n1)`` into
+        the input correction; ``"type1"`` additionally folds the adjoint's
+        ``fine0*fine1`` IDFT rescaling into the output correction.
+        """
+        key = ("corr", np.dtype(dtype).char, direction)
+        out = self._casts.get(key)
+        if out is None:
+            n0, n1 = self.shape
+            base = self.corr
+            if direction == "type2":
+                base = base / math.sqrt(n0 * n1)
+            elif direction == "type1":
+                f0, f1 = self.fine_shape
+                base = base * (f0 * f1 / math.sqrt(n0 * n1))
+            out = base.astype(dtype)
+            out.setflags(write=False)
+            self._casts[key] = out
+        return out
+
+    def block_gather(self, start: int, stop: int, dtype) -> sparse.csr_matrix:
+        """Block-diagonal gather CSR for plan rows ``[start, stop)``.
+
+        Shape ``((stop-start) * npts, (stop-start) * fine0 * fine1)``; one
+        SpMV of the flattened fine spectrum applies every slice's type-2
+        interpolation.  Column indices address the *raw* (unshifted) FFT
+        layout — the fftshift is part of the operator.  Cached per (range,
+        compute dtype) — chunk grids are fixed for a run, so steady-state
+        sweeps build nothing.
+        """
+        return self._block(start, stop, dtype, scatter=False)
+
+    def block_scatter(self, start: int, stop: int, dtype) -> sparse.csr_matrix:
+        """Pre-transposed (CSR, not lazy CSC) adjoint of :meth:`block_gather`."""
+        return self._block(start, stop, dtype, scatter=True)
+
+    def _block(self, start: int, stop: int, dtype, scatter: bool) -> sparse.csr_matrix:
+        if not (0 <= start <= stop <= self.nslices):
+            raise ValueError(f"invalid slice range [{start}, {stop})")
+        dt = np.dtype(dtype)
+        key = (start, stop, dt.char, scatter)
+        mat = self._blocks.get(key)
+        if mat is None:
+            nsl = stop - start
+            f0, f1 = self.fine_shape
+            nfine = f0 * f1
+            taps2 = (2 * self.half_width + 1) ** 2
+            # indptr carries values up to nnz, which dwarfs the column count
+            nnz_max = nsl * self.npts * taps2
+            idx_dtype = np.int32 if max(nsl * nfine, nnz_max) < 2**31 else np.int64
+            # shifted -> raw layout: r = (c + f//2) mod f per axis (the
+            # permutation is self-inverse for even sizes)
+            c = self._tap_cols[start:stop].astype(idx_dtype, copy=False)
+            c0, c1 = c // f1, c % f1
+            raw = ((c0 + f0 // 2) % f0) * f1 + (c1 + f1 // 2) % f1
+            offs = (np.arange(nsl, dtype=idx_dtype) * nfine)[:, None]
+            indices = (raw + offs).reshape(-1)
+            data = self._tap_data[start:stop].reshape(-1)
+            if dt == np.dtype(np.complex64):
+                # prune taps beneath single-precision resolution
+                keep = data >= self.TAP_PRUNE_REL * data.max()
+                counts = keep.reshape(-1, taps2).sum(axis=1)
+                indptr = np.zeros(nsl * self.npts + 1, dtype=idx_dtype)
+                np.cumsum(counts, out=indptr[1:])
+                indices = indices[keep]
+                data = data[keep]
+            else:
+                indptr = np.arange(nsl * self.npts + 1, dtype=idx_dtype) * taps2
+            gather = sparse.csr_matrix(
+                (data.astype(dt), indices, indptr),
+                shape=(nsl * self.npts, nsl * nfine),
+                copy=False,
+            )
+            gather.sort_indices()
+            mat = gather.T.tocsr() if scatter else gather
+            self._blocks[key] = mat
+        return mat
+
+    def _workspace(self, nsl: int, cdtype) -> np.ndarray:
+        """Preallocated zero-padded fine-grid buffer (per thread); only the
+        interior ``[lo, lo+n)`` window is ever written."""
+        cache = getattr(self._scratch, "bufs", None)
+        if cache is None:
+            cache = self._scratch.bufs = {}
+        key = (nsl, np.dtype(cdtype).char)
+        buf = cache.get(key)
+        if buf is None:
+            buf = np.zeros((nsl, *self.fine_shape), dtype=cdtype)
+            cache[key] = buf
+        return buf
 
 
 def _slice_range(plan: USFFT2DPlan, slices: slice | None) -> range:
@@ -312,18 +632,23 @@ def usfft2d_type2(
     nsl = len(rows)
     if f.shape != (nsl, *plan.shape):
         raise ValueError(f"expected f shape {(nsl, *plan.shape)}, got {f.shape}")
+    if _FFT["reference"]:
+        return _ref_usfft2d_type2(f, plan, rows)
     cdtype = _complex_dtype(f.dtype)
-    corr = plan.corr.astype(_real_dtype(f.dtype))
+    corr = plan.corr_for(_real_dtype(f.dtype), "type2")
     n0, n1 = plan.shape
     f0, f1 = plan.fine_shape
-    lo0, lo1 = (f0 - n0) // 2, (f1 - n1) // 2
-    padded = np.zeros((nsl, f0, f1), dtype=cdtype)
-    padded[:, lo0 : lo0 + n0, lo1 : lo1 + n1] = f * corr
-    spec = _centered_fft(padded, axes=(-2, -1)).reshape(nsl, f0 * f1)
-    out = np.empty((nsl, plan.npts), dtype=spec.dtype)
-    for j, i in enumerate(rows):
-        out[j] = plan.interp[i] @ spec[j]
-    out *= 1.0 / math.sqrt(n0 * n1)
+    h0, h1 = n0 // 2, n1 // 2
+    t0, t1 = f0 - h0, f1 - h1
+    padded = plan._workspace(nsl, cdtype)
+    # corrected interior written straight into its ifftshifted quadrants
+    np.multiply(f[:, :h0, :h1], corr[:h0, :h1], out=padded[:, t0:, t1:])
+    np.multiply(f[:, :h0, h1:], corr[:h0, h1:], out=padded[:, t0:, :h1])
+    np.multiply(f[:, h0:, :h1], corr[h0:, :h1], out=padded[:, :h0, t1:])
+    np.multiply(f[:, h0:, h1:], corr[h0:, h1:], out=padded[:, :h0, :h1])
+    spec = _fftn_raw(padded, axes=(-2, -1)).reshape(nsl * f0 * f1)
+    gather = plan.block_gather(rows.start, rows.stop, cdtype)
+    out = (gather @ spec).reshape(nsl, plan.npts)
     return out.astype(cdtype, copy=False)
 
 
@@ -336,6 +661,93 @@ def usfft2d_type1(
     nsl = len(rows)
     if F.shape != (nsl, plan.npts):
         raise ValueError(f"expected F shape {(nsl, plan.npts)}, got {F.shape}")
+    if _FFT["reference"]:
+        return _ref_usfft2d_type1(F, plan, rows)
+    cdtype = _complex_dtype(F.dtype)
+    corr = plan.corr_for(_real_dtype(F.dtype), "type1")
+    n0, n1 = plan.shape
+    f0, f1 = plan.fine_shape
+    h0, h1 = n0 // 2, n1 // 2
+    t0, t1 = f0 - h0, f1 - h1
+    scatter = plan.block_scatter(rows.start, rows.stop, cdtype)
+    Fv = np.ascontiguousarray(F, dtype=cdtype).reshape(nsl * plan.npts)
+    spec = scatter @ Fv  # the whole chunk's Gaussian scatter in one SpMV
+    grid = _ifftn_raw(spec.reshape(nsl, f0, f1), axes=(-2, -1), overwrite=True)
+    out = np.empty((nsl, n0, n1), dtype=cdtype)
+    # interior read back out of its ifftshifted quadrants
+    np.multiply(grid[:, t0:, t1:], corr[:h0, :h1], out=out[:, :h0, :h1])
+    np.multiply(grid[:, t0:, :h1], corr[:h0, h1:], out=out[:, :h0, h1:])
+    np.multiply(grid[:, :h0, t1:], corr[h0:, :h1], out=out[:, h0:, :h1])
+    np.multiply(grid[:, :h0, :h1], corr[h0:, h1:], out=out[:, h0:, h1:])
+    return out
+
+
+# -- reference (pre-vectorization) kernels ----------------------------------------------
+# Verbatim pre-optimization implementations: numpy FFT (with its dtype
+# behavior), per-call operator casts, per-slice interpolation loops, fresh
+# allocations.  These are the measured baseline of benchmarks/perf and the
+# equivalence oracle for the fast path.
+
+
+def _ref_centered_fft(a: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
+    return np.fft.fftshift(
+        np.fft.fftn(np.fft.ifftshift(a, axes=axes), axes=axes), axes=axes
+    )
+
+
+def _ref_centered_adjoint_fft(a: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
+    scale = float(np.prod([a.shape[ax] for ax in axes]))
+    return (
+        np.fft.fftshift(
+            np.fft.ifftn(np.fft.ifftshift(a, axes=axes), axes=axes), axes=axes
+        )
+        * scale
+    )
+
+
+def _ref_usfft1d_type2(f: np.ndarray, plan: USFFT1DPlan, axis: int) -> np.ndarray:
+    moved = np.moveaxis(f, axis, -1)
+    rdtype = _real_dtype(moved.dtype)
+    work = moved * plan.corr.astype(rdtype)
+    pad_lo = (plan.fine_n - plan.n) // 2
+    padded = np.zeros(moved.shape[:-1] + (plan.fine_n,), dtype=_complex_dtype(moved.dtype))
+    padded[..., pad_lo : pad_lo + plan.n] = work
+    spec = _ref_centered_fft(padded, axes=(-1,))
+    out = spec @ plan.interp.T.astype(rdtype)
+    out *= 1.0 / math.sqrt(plan.n)
+    return np.moveaxis(out, -1, axis)
+
+
+def _ref_usfft1d_type1(F: np.ndarray, plan: USFFT1DPlan, axis: int) -> np.ndarray:
+    moved = np.moveaxis(F, axis, -1)
+    rdtype = _real_dtype(moved.dtype)
+    spec = moved @ plan.interp.astype(rdtype)
+    grid = _ref_centered_adjoint_fft(spec, axes=(-1,))
+    pad_lo = (plan.fine_n - plan.n) // 2
+    out = grid[..., pad_lo : pad_lo + plan.n] * plan.corr.astype(rdtype)
+    out *= 1.0 / math.sqrt(plan.n)
+    return np.moveaxis(out, -1, axis)
+
+
+def _ref_usfft2d_type2(f: np.ndarray, plan: USFFT2DPlan, rows: range) -> np.ndarray:
+    nsl = len(rows)
+    cdtype = _complex_dtype(f.dtype)
+    corr = plan.corr.astype(_real_dtype(f.dtype))
+    n0, n1 = plan.shape
+    f0, f1 = plan.fine_shape
+    lo0, lo1 = (f0 - n0) // 2, (f1 - n1) // 2
+    padded = np.zeros((nsl, f0, f1), dtype=cdtype)
+    padded[:, lo0 : lo0 + n0, lo1 : lo1 + n1] = f * corr
+    spec = _ref_centered_fft(padded, axes=(-2, -1)).reshape(nsl, f0 * f1)
+    out = np.empty((nsl, plan.npts), dtype=spec.dtype)
+    for j, i in enumerate(rows):
+        out[j] = plan.interp[i] @ spec[j]
+    out *= 1.0 / math.sqrt(n0 * n1)
+    return out.astype(cdtype, copy=False)
+
+
+def _ref_usfft2d_type1(F: np.ndarray, plan: USFFT2DPlan, rows: range) -> np.ndarray:
+    nsl = len(rows)
     cdtype = _complex_dtype(F.dtype)
     corr = plan.corr.astype(_real_dtype(F.dtype))
     n0, n1 = plan.shape
@@ -343,10 +755,10 @@ def usfft2d_type1(
     lo0, lo1 = (f0 - n0) // 2, (f1 - n1) // 2
     spec = np.empty((nsl, f0 * f1), dtype=np.result_type(F.dtype, np.complex64))
     for j, i in enumerate(rows):
-        # .T of a CSR matrix is a lazy CSC view: this is the exact transpose
-        # of the gather, i.e. the Gaussian scatter, at matvec speed.
+        # .T of a CSR matrix is a lazy CSC view: the exact transpose of the
+        # gather, i.e. the Gaussian scatter, at matvec speed.
         spec[j] = plan.interp[i].T @ F[j]
-    grid = _centered_adjoint_fft(spec.reshape(nsl, f0, f1), axes=(-2, -1))
+    grid = _ref_centered_adjoint_fft(spec.reshape(nsl, f0, f1), axes=(-2, -1))
     out = grid[:, lo0 : lo0 + n0, lo1 : lo1 + n1] * corr
     out *= 1.0 / math.sqrt(n0 * n1)
     return out.astype(cdtype, copy=False)

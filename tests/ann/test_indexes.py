@@ -190,3 +190,96 @@ class TestHNSW:
         idx.add(vecs)
         _, got = idx.search(vecs[:10], k=1)
         assert (got[:, 0] == np.arange(10)).mean() >= 0.9
+
+
+class TestGrowableRows:
+    """The contiguous growable buffer behind Flat/IVF and the memo pretrain."""
+
+    def test_append_and_view(self):
+        from repro.ann import GrowableRows
+
+        g = GrowableRows((3,), np.float32, capacity=2)
+        for i in range(9):  # forces several doublings
+            g.append(np.full(3, i, dtype=np.float32))
+        assert len(g) == 9
+        np.testing.assert_array_equal(g.view[:, 0], np.arange(9, dtype=np.float32))
+        assert g.view.base is not None  # a view, not a copy
+
+    def test_scalar_rows(self):
+        from repro.ann import GrowableRows
+
+        g = GrowableRows((), np.int64, capacity=1)
+        g.extend(np.arange(5))
+        g.append(99)
+        np.testing.assert_array_equal(g.view, [0, 1, 2, 3, 4, 99])
+
+    def test_extend_shape_validated(self):
+        from repro.ann import GrowableRows
+
+        g = GrowableRows((4,), np.float32)
+        with pytest.raises(ValueError):
+            g.extend(np.zeros((2, 5), dtype=np.float32))
+
+    def test_clear_keeps_capacity(self):
+        from repro.ann import GrowableRows
+
+        g = GrowableRows((2,), np.float32)
+        g.extend(np.ones((5, 2), dtype=np.float32))
+        g.clear()
+        assert len(g) == 0 and g.view.shape == (0, 2)
+        g.append(np.zeros(2, dtype=np.float32))
+        assert len(g) == 1
+
+    def test_invalid_capacity(self):
+        from repro.ann import GrowableRows
+
+        with pytest.raises(ValueError):
+            GrowableRows((2,), capacity=0)
+
+
+class TestIncrementalBuffers:
+    """Index results must not depend on how the collection was grown."""
+
+    def test_flat_incremental_adds_match_bulk(self, rng):
+        vecs = dataset(rng, n=120)
+        inc, bulk = FlatIndex(8), FlatIndex(8)
+        for i in range(0, 120, 7):  # ragged increments
+            inc.add(vecs[i : i + 7])
+        bulk.add(vecs)
+        q = dataset(rng, n=10)
+        d_i, i_i = inc.search(q, k=3)
+        d_b, i_b = bulk.search(q, k=3)
+        np.testing.assert_array_equal(i_i, i_b)
+        np.testing.assert_allclose(d_i, d_b, rtol=1e-6)
+
+    def test_flat_distance_count_unchanged_by_growth(self, rng):
+        """n_distance_computations stays nq * n_stored regardless of the
+        internal buffer capacity."""
+        idx = FlatIndex(8)
+        idx.add(dataset(rng, n=33))
+        idx.search(dataset(rng, n=5), k=2)
+        assert idx.n_distance_computations == 5 * 33
+
+    def test_ivf_incremental_adds_match_bulk(self, rng):
+        vecs = dataset(rng, n=200)
+        a = IVFFlatIndex(8, n_clusters=8, nprobe=8)
+        b = IVFFlatIndex(8, n_clusters=8, nprobe=8)
+        a.train(vecs[:100])
+        b.train(vecs[:100])
+        for i in range(0, 200, 11):
+            a.add(vecs[i : i + 11])
+        b.add(vecs)
+        q = dataset(rng, n=20)
+        _, ia = a.search(q, k=1)
+        _, ib = b.search(q, k=1)
+        np.testing.assert_array_equal(ia, ib)
+
+    def test_ivf_single_append_fast_path(self, rng):
+        vecs = dataset(rng, n=40)
+        ivf = IVFFlatIndex(8, n_clusters=4, nprobe=4)
+        ivf.train(vecs)
+        for v in vecs:  # one-at-a-time dynamic insertion (the memo pattern)
+            ivf.add(v[None])
+        assert len(ivf) == 40
+        _, got = ivf.search(vecs[:10], k=1)
+        assert (got[:, 0] == np.arange(10)).all()

@@ -1,0 +1,192 @@
+"""Batched memoization service: batch == scalar, zero-copy == serialized.
+
+The batched ``query_batch``/``insert_batch`` paths must be *exact* drop-ins
+for the scalar loops they replace — same outcomes bit for bit, same
+``MemoDBStats`` byte/batch counters — across trained and cold (pretrain)
+databases, and the zero-copy ``value_mode="array"`` must account every byte
+exactly like the serialized store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MemoDatabase
+from repro.core.memo_db import MemoDBStats
+
+
+def make_keys(rng, n, dim=8, dup_every=4):
+    """Random keys with exact duplicates sprinkled in (memoization traffic
+    repeats chunk keys across iterations)."""
+    keys = rng.standard_normal((n, dim)).astype(np.float32)
+    for i in range(dup_every, n, dup_every):
+        keys[i] = keys[i - dup_every]
+    return keys
+
+
+def make_values(rng, n):
+    return [
+        (rng.standard_normal((3, 4)) + 1j * rng.standard_normal((3, 4))).astype(
+            np.complex64
+        )
+        for _ in range(n)
+    ]
+
+
+def populated_pair(rng, n=48, train_min=16, value_mode="array", tau=0.9):
+    """Two identically-populated databases (same insertion order/content)."""
+    keys, values = make_keys(rng, n), make_values(rng, n)
+    dbs = []
+    for _ in range(2):
+        db = MemoDatabase(dim=8, tau=tau, train_min=train_min, value_mode=value_mode)
+        for k, v in zip(keys, values):
+            db.insert(k, v, meta=(float(np.linalg.norm(v)), complex(v.mean())))
+        dbs.append(db)
+    return dbs[0], dbs[1]
+
+
+def assert_outcomes_identical(a, b):
+    assert len(a) == len(b)
+    for oa, ob in zip(a, b):
+        assert oa.hit == ob.hit
+        assert oa.similarity == ob.similarity  # bit-identical, not approx
+        assert oa.matched_id == ob.matched_id
+        assert oa.n_entries == ob.n_entries
+        assert oa.stored_meta == ob.stored_meta
+        if oa.hit:
+            np.testing.assert_array_equal(np.asarray(oa.value), np.asarray(ob.value))
+
+
+def assert_stats_match(batched: MemoDBStats, scalar: MemoDBStats, query_batches, insert_batches):
+    """Batched counters equal the scalar loop's, except the batch counts."""
+    assert batched.queries == scalar.queries
+    assert batched.hits == scalar.hits
+    assert batched.inserts == scalar.inserts
+    assert batched.bytes_inserted == scalar.bytes_inserted
+    assert batched.bytes_fetched == scalar.bytes_fetched
+    assert batched.query_batches == query_batches
+    assert batched.insert_batches == insert_batches
+    assert scalar.query_batches == 0
+    assert scalar.insert_batches == 0
+
+
+class TestQueryBatchEquivalence:
+    def test_trained_batch_equals_scalar_loop(self, rng):
+        db_b, db_s = populated_pair(rng, n=48, train_min=16)
+        assert db_b.index.is_trained
+        probes = np.concatenate(
+            [make_keys(rng, 16), db_b._keys[3][None], db_b._keys[7][None]]
+        )
+        batched = db_b.query_batch(list(probes))
+        scalar = [db_s.query(k) for k in probes]
+        assert any(o.hit for o in batched)  # exercise the hit path
+        assert_outcomes_identical(batched, scalar)
+        assert_stats_match(db_b.stats, db_s.stats, query_batches=1, insert_batches=0)
+
+    def test_cold_batch_equals_scalar_loop(self, rng):
+        db_b, db_s = populated_pair(rng, n=10, train_min=100)
+        assert not db_b.index.is_trained
+        probes = np.concatenate([make_keys(rng, 6), db_b._keys[2][None]])
+        batched = db_b.query_batch(list(probes))
+        scalar = [db_s.query(k) for k in probes]
+        assert any(o.hit for o in batched)
+        assert_outcomes_identical(batched, scalar)
+        assert_stats_match(db_b.stats, db_s.stats, query_batches=1, insert_batches=0)
+
+    def test_cold_miss_hides_candidate_id(self, rng):
+        db = MemoDatabase(dim=8, tau=0.999999, train_min=100)
+        db.insert(make_keys(rng, 1)[0], np.zeros(2))
+        (out,) = db.query_batch(make_keys(rng, 1))
+        assert not out.hit and out.matched_id == -1
+
+    def test_empty_batch_counts_nothing(self, rng):
+        db = MemoDatabase(dim=8)
+        assert db.query_batch([]) == []
+        assert db.insert_batch([]) == []
+        assert db.stats.queries == 0
+        assert db.stats.query_batches == 0
+        assert db.stats.insert_batches == 0
+
+    def test_query_on_empty_database(self):
+        db = MemoDatabase(dim=8)
+        (out,) = db.query_batch([np.ones(8, dtype=np.float32)])
+        assert not out.hit and out.similarity == -2.0 and out.matched_id == -1
+
+
+class TestInsertBatchEquivalence:
+    @pytest.mark.parametrize("train_min", [4, 10, 100])
+    def test_batch_insert_equals_scalar_loop(self, rng, train_min):
+        """Including train_min mid-batch: the quantizer trains at the same
+        item either way, so ids and final state coincide."""
+        keys, values = make_keys(rng, 14), make_values(rng, 14)
+        items = [(k, v, ("m", i)) for i, (k, v) in enumerate(zip(keys, values))]
+        db_b = MemoDatabase(dim=8, tau=0.9, train_min=train_min)
+        db_s = MemoDatabase(dim=8, tau=0.9, train_min=train_min)
+        ids_b = db_b.insert_batch(items)
+        ids_s = [db_s.insert(k, v, meta=m) for k, v, m in items]
+        assert ids_b == ids_s
+        assert db_b.index.is_trained == db_s.index.is_trained
+        assert len(db_b) == len(db_s)
+        assert_stats_match(db_b.stats, db_s.stats, query_batches=0, insert_batches=1)
+        probes = np.concatenate([keys[:5], make_keys(rng, 5)])
+        assert_outcomes_identical(
+            [db_b.query(k) for k in probes], [db_s.query(k) for k in probes]
+        )
+
+    def test_batch_insert_dim_validation(self, rng):
+        db = MemoDatabase(dim=8)
+        with pytest.raises(ValueError):
+            db.insert_batch([(np.ones(5, dtype=np.float32), np.zeros(2), None)])
+        # nothing was half-committed
+        assert len(db) == 0 and db.stats.inserts == 0
+
+
+class TestValueModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MemoDatabase(dim=8, value_mode="mmap")
+
+    def test_array_and_bytes_modes_agree(self, rng):
+        keys, values = make_keys(rng, 40), make_values(rng, 40)
+        db_a = MemoDatabase(dim=8, tau=0.9, train_min=16, value_mode="array")
+        db_b = MemoDatabase(dim=8, tau=0.9, train_min=16, value_mode="bytes")
+        for db in (db_a, db_b):
+            for k, v in zip(keys, values):
+                db.insert(k, v)
+        probes = np.concatenate([make_keys(rng, 12), db_a._keys[5][None]])
+        out_a = db_a.query_batch(list(probes))
+        out_b = db_b.query_batch(list(probes))
+        assert any(o.hit for o in out_a)
+        assert_outcomes_identical(out_a, out_b)
+        # byte accounting must be identical: encoded_nbytes == len(encode_array)
+        assert db_a.stats.bytes_inserted == db_b.stats.bytes_inserted
+        assert db_a.stats.bytes_fetched == db_b.stats.bytes_fetched
+        assert db_a.values.stats.bytes_in == db_b.values.stats.bytes_in
+        assert db_a.values.stats.bytes_out == db_b.values.stats.bytes_out
+        assert db_a.values.nbytes == db_b.values.nbytes
+
+    def test_array_mode_hits_are_zero_copy_and_read_only(self, rng):
+        db = MemoDatabase(dim=8, tau=0.5, train_min=100, value_mode="array")
+        k = make_keys(rng, 1)[0]
+        v = np.arange(6, dtype=np.complex64).reshape(2, 3)
+        db.insert(k, v)
+        out1, out2 = db.query(k), db.query(k)
+        assert out1.hit and out1.value is out2.value  # the stored array itself
+        assert not out1.value.flags.writeable
+        np.testing.assert_array_equal(out1.value, v)
+
+    def test_array_mode_insert_detaches_from_caller_buffer(self, rng):
+        db = MemoDatabase(dim=8, tau=0.5, train_min=100, value_mode="array")
+        k = make_keys(rng, 1)[0]
+        v = np.ones(4, dtype=np.complex64)
+        db.insert(k, v)
+        v[:] = 99.0  # producer reuses its buffer
+        np.testing.assert_array_equal(db.query(k).value, np.ones(4, dtype=np.complex64))
+
+    def test_bytes_mode_round_trips_fresh_copies(self, rng):
+        db = MemoDatabase(dim=8, tau=0.5, train_min=100, value_mode="bytes")
+        k = make_keys(rng, 1)[0]
+        db.insert(k, np.ones(4, dtype=np.complex64))
+        out = db.query(k)
+        assert out.hit and out.value.flags.writeable

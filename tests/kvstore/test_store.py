@@ -204,3 +204,75 @@ class TestSerialization:
         a = rng.standard_normal((3, 4)).astype(np.float32)
         kv.put("arr", encode_array(a))
         np.testing.assert_array_equal(decode_array(kv.get("arr")), a)
+
+
+class TestArrayStore:
+    """Zero-copy ndarray store: same accounting as serialized bytes."""
+
+    def test_get_returns_stored_array_read_only(self, rng):
+        from repro.kvstore import ArrayStore
+
+        st_ = ArrayStore()
+        a = rng.standard_normal((3, 4)).astype(np.complex64)
+        st_.put("k", a)
+        got = st_.get("k")
+        assert isinstance(got, np.ndarray)
+        assert not got.flags.writeable
+        assert st_.get("k") is got  # zero-copy: the stored array itself
+        np.testing.assert_array_equal(got, a)
+
+    def test_put_detaches_from_caller_buffer(self, rng):
+        from repro.kvstore import ArrayStore
+
+        st_ = ArrayStore()
+        a = np.ones(4, dtype=np.float32)
+        st_.put("k", a)
+        a[:] = 7.0
+        np.testing.assert_array_equal(st_.get("k"), np.ones(4, dtype=np.float32))
+
+    def test_non_array_rejected(self):
+        from repro.kvstore import ArrayStore
+
+        with pytest.raises(TypeError):
+            ArrayStore().put("k", b"bytes")
+
+    def test_accounting_matches_serialized_kvstore(self, rng):
+        """Every byte counter must equal a KVStore holding encode_array
+        payloads of the same values — the property that keeps the traffic
+        figures identical across value modes."""
+        from repro.kvstore import ArrayStore
+
+        arrays = [
+            rng.standard_normal((4, 3)).astype(np.complex64),
+            rng.standard_normal(7).astype(np.float32),
+            rng.standard_normal((2, 2, 2)),
+        ]
+        st_a, st_b = ArrayStore(), KVStore()
+        for i, a in enumerate(arrays):
+            st_a.put(i, a)
+            st_b.put(i, encode_array(a))
+        st_a.get(0), st_b.get(0)
+        st_a.get(99), st_b.get(99)
+        assert st_a.nbytes == st_b.nbytes
+        assert st_a.stats == st_b.stats
+        st_a.delete(1), st_b.delete(1)
+        assert st_a.nbytes == st_b.nbytes
+
+    def test_eviction_by_encoded_size(self, rng):
+        from repro.kvstore import ArrayStore
+
+        a = rng.standard_normal(8).astype(np.float32)
+        cap = 2 * encoded_nbytes(a) + 1
+        st_ = ArrayStore(capacity_bytes=cap)
+        st_.put(0, a)
+        st_.put(1, a)
+        st_.put(2, a)  # must evict the FIFO-oldest entry
+        assert st_.stats.evictions == 1
+        assert 0 not in st_ and 1 in st_ and 2 in st_
+
+    def test_oversized_value_rejected(self, rng):
+        from repro.kvstore import ArrayStore
+
+        a = rng.standard_normal(100).astype(np.float64)
+        with pytest.raises(ValueError):
+            ArrayStore(capacity_bytes=64).put("k", a)
