@@ -8,12 +8,11 @@ deviations recorded in DESIGN.md / EXPERIMENTS.md.
 
 import numpy as np
 
-from repro.core import MLRConfig, MLRSolver, MemoConfig
+from benchmarks._util import emit
+from repro.core import MemoConfig, MLRConfig, MLRSolver
 from repro.harness.datasets import SMALL, build
 from repro.lamino import LaminoOperators
 from repro.solvers import ADMMConfig, ADMMSolver, accuracy
-
-from benchmarks._util import emit
 
 ADMM = ADMMConfig(alpha=1e-3, rho=0.5, n_outer=16, n_inner=4, step_max_rel=4.0)
 

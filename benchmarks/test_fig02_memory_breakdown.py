@@ -1,8 +1,7 @@
 """Figure 2: CPU memory consumption by variable and LSP time dominance."""
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def test_fig02_memory_breakdown(benchmark):

@@ -1,8 +1,7 @@
 """Figure 4: tau-similar prior chunks accumulate across ADMM iterations."""
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def test_fig04_chunk_similarity(benchmark):

@@ -1,8 +1,7 @@
 """Figure 8: overall mLR performance on the three datasets."""
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def test_fig08_overall(benchmark):

@@ -1,8 +1,7 @@
 """Figure 9: operation cancellation and fusion ablation."""
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def _get(rows, dataset, workload, variant_prefix):

@@ -1,8 +1,7 @@
 """Figure 10: memoization case breakdown per FFT operation."""
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def test_fig10_memo_breakdown(benchmark):

@@ -1,8 +1,7 @@
 """Figure 11: key coalescing reduces per-key communication + search time."""
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def test_fig11_coalesce(benchmark):

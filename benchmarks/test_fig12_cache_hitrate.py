@@ -1,8 +1,7 @@
 """Figure 12: private vs global memoization-cache hit rates."""
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def test_fig12_cache_hitrate(benchmark):

@@ -1,8 +1,7 @@
 """Figure 13: ADMM-Offload vs greedy and LRU baselines."""
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def test_fig13_offload(benchmark):

@@ -1,8 +1,7 @@
 """Figure 15: memory-node interconnect utilization vs GPU count."""
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def test_fig15_bandwidth(benchmark):

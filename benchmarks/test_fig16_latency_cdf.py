@@ -2,9 +2,8 @@
 
 import numpy as np
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def test_fig16_latency_cdf(benchmark):

@@ -9,9 +9,8 @@ curve overlap.
 
 import numpy as np
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def test_fig17_convergence(benchmark):

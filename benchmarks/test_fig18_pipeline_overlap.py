@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 @pytest.fixture(scope="module")

@@ -1,8 +1,7 @@
 """Table 1: reconstruction accuracy vs the similarity threshold tau."""
 
-from repro.harness import experiments as E
-
 from benchmarks._util import emit
+from repro.harness import experiments as E
 
 
 def test_tab01_accuracy(benchmark):

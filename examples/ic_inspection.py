@@ -14,9 +14,9 @@ Run:  python examples/ic_inspection.py
 from repro.cluster import CostModel, ProblemDims
 from repro.core import (
     IterationSchedule,
+    MemoConfig,
     MLRConfig,
     MLRSolver,
-    MemoConfig,
     OffloadPlanner,
     greedy_offload,
 )

@@ -13,7 +13,7 @@ Run:  python examples/multi_gpu_scaling.py
 import numpy as np
 
 from repro.cluster import ProblemDims
-from repro.core import MLRConfig, MLRSolver, MemoConfig, simulate_iteration
+from repro.core import MemoConfig, MLRConfig, MLRSolver, simulate_iteration
 
 
 def main() -> None:

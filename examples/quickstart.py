@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import MLRConfig, MLRSolver, MemoConfig
+from repro.core import MemoConfig, MLRConfig, MLRSolver
 from repro.lamino import LaminoGeometry, LaminoOperators, brain_like, simulate_data
 from repro.solvers import ADMMConfig, ADMMSolver, accuracy, psnr
 

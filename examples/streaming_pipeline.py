@@ -22,14 +22,14 @@ import threading
 
 import numpy as np
 
+from repro.cluster import CostModel, ProblemDims
 from repro.core import (
+    MemoConfig,
     MLRConfig,
     MLRSolver,
-    MemoConfig,
     PipelineConfig,
     simulate_pipeline,
 )
-from repro.cluster import CostModel, ProblemDims
 from repro.lamino import LaminoGeometry, LaminoOperators, brain_like, simulate_data
 from repro.solvers import ADMMConfig
 

@@ -81,6 +81,55 @@ class HNSWIndex:
                         heapq.heappop(best)
         return sorted((-d, n) for d, n in best)
 
+    # -- snapshot hooks ---------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete, restorable state: vectors, the layered graph, the entry
+        point, and the level-assignment RNG (so *future* inserts behave
+        exactly as they would have on the live instance)."""
+        vecs = (
+            np.stack(self._vecs).astype(np.float32)
+            if self._vecs
+            else np.zeros((0, self.dim), dtype=np.float32)
+        )
+        return {
+            "dim": self.dim,
+            "m": self.m,
+            "ef_construction": self.ef_construction,
+            "ef_search": self.ef_search,
+            "vecs": vecs,
+            "levels": [int(lv) for lv in self._levels],
+            "edges": [
+                [[int(n) for n in layer] for layer in node] for node in self._edges
+            ],
+            "entry": None if self._entry is None else int(self._entry),
+            "rng_state": self._rng.bit_generator.state,
+            "ndis": self.n_distance_computations,
+            "n_edge_updates": self.n_edge_updates,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "HNSWIndex":
+        """Rebuild an index that answers ``search`` bit-identically to the
+        instance that produced ``state``."""
+        ix = cls(
+            int(state["dim"]),
+            m=int(state["m"]),
+            ef_construction=int(state["ef_construction"]),
+            ef_search=int(state["ef_search"]),
+        )
+        vecs = np.asarray(state["vecs"], dtype=np.float32)
+        ix._vecs = [np.array(v, copy=True) for v in vecs]
+        ix._levels = [int(lv) for lv in state["levels"]]
+        ix._edges = [
+            [[int(n) for n in layer] for layer in node] for node in state["edges"]
+        ]
+        ix._entry = None if state["entry"] is None else int(state["entry"])
+        ix._rng.bit_generator.state = state["rng_state"]
+        ix.n_distance_computations = int(state["ndis"])
+        ix.n_edge_updates = int(state["n_edge_updates"])
+        return ix
+
     # -- public API ------------------------------------------------------------------
 
     def add(self, vecs: np.ndarray) -> None:

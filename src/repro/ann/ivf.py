@@ -71,6 +71,61 @@ class IVFFlatIndex:
         self._list_norms2 = [GrowableRows((), np.float32) for _ in range(k)]
         self._list_ids = [GrowableRows((), np.int64) for _ in range(k)]
 
+    # -- snapshot hooks ----------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete, restorable state — valid both before and after training.
+
+        An untrained index (the coarse quantizer not yet fitted) serializes
+        as configuration only; a trained one carries the centroids and every
+        inverted list (vectors, maintained squared norms, ids).
+        """
+        state = {
+            "dim": self.dim,
+            "n_clusters": self.n_clusters,
+            "nprobe": self.nprobe,
+            "next_id": self._next_id,
+            "ndis": self.n_distance_computations,
+            "trained": self.is_trained,
+        }
+        if self.is_trained:
+            state["centroids"] = np.array(self.centroids, copy=True)
+            state["lists"] = [
+                {
+                    "vecs": np.array(self._lists[c].view, copy=True),
+                    "norms2": np.array(self._list_norms2[c].view, copy=True),
+                    "ids": np.array(self._list_ids[c].view, copy=True),
+                }
+                for c in range(self.n_clusters)
+            ]
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "IVFFlatIndex":
+        """Rebuild an index that answers ``search`` bit-identically to the
+        instance that produced ``state`` (training state included)."""
+        ix = cls(
+            int(state["dim"]),
+            n_clusters=int(state["n_clusters"]),
+            nprobe=int(state["nprobe"]),
+        )
+        if state["trained"]:
+            ix.centroids = np.asarray(state["centroids"], dtype=np.float32)
+            ix._cent_norms2 = np.sum(ix.centroids**2, axis=1)
+            k = ix.n_clusters
+            ix._lists = [GrowableRows((ix.dim,), np.float32) for _ in range(k)]
+            ix._list_norms2 = [GrowableRows((), np.float32) for _ in range(k)]
+            ix._list_ids = [GrowableRows((), np.int64) for _ in range(k)]
+            for c, lst in enumerate(state["lists"]):
+                vecs = np.asarray(lst["vecs"], dtype=np.float32)
+                if len(vecs):
+                    ix._lists[c].extend(vecs)
+                    ix._list_norms2[c].extend(np.asarray(lst["norms2"], dtype=np.float32))
+                    ix._list_ids[c].extend(np.asarray(lst["ids"], dtype=np.int64))
+        ix._next_id = int(state["next_id"])
+        ix.n_distance_computations = int(state["ndis"])
+        return ix
+
     # -- insertion ---------------------------------------------------------------------
 
     def add(self, vecs: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:

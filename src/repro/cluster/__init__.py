@@ -3,7 +3,7 @@ and the paper-calibrated cost model."""
 
 from .costmodel import CostModel, ProblemDims
 from .des import Resource, Task, Timeline
-from .devices import CPUSpec, GPUSpec, LinkSpec, NodeSpec, POLARIS, SSDSpec
+from .devices import POLARIS, CPUSpec, GPUSpec, LinkSpec, NodeSpec, SSDSpec
 from .topology import ClusterModel
 
 __all__ = [

@@ -9,13 +9,6 @@ from .distributed import DistributedMemoizedExecutor, WorkerState
 from .keying import CNNKeyEncoder, PoolKeyEncoder, chunk_to_image, chunk_to_stack, pool3d
 from .memo_cache import CacheHit, CacheStats, GlobalMemoCache, PrivateMemoCache
 from .memo_db import MemoDatabase, MemoDBStats, QueryOutcome
-from .memo_shard import (
-    MemoShard,
-    MemoShardRouter,
-    ShardInsert,
-    ShardQuery,
-    shard_of_location,
-)
 from .memo_engine import (
     CASE_CACHE,
     CASE_DB,
@@ -23,6 +16,13 @@ from .memo_engine import (
     CASE_MISS,
     MemoEvent,
     MemoizedExecutor,
+)
+from .memo_shard import (
+    MemoShard,
+    MemoShardRouter,
+    ShardInsert,
+    ShardQuery,
+    shard_of_location,
 )
 from .mlr_solver import MLRResult, MLRSolver
 from .offload import (

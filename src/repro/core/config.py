@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 __all__ = ["MemoConfig", "MLRConfig", "PipelineConfig"]
@@ -128,6 +129,14 @@ class MLRConfig:
         streaming :class:`~repro.pipeline.PipelinedExecutor` — overlapped
         read -> memoized compute -> write with bounded queues, bit-identical
         to the monolithic path.
+    memo_snapshot:
+        Warm-start source for the memoization database tier: a snapshot
+        directory written by :func:`repro.service.save_memo_snapshot` (or
+        :meth:`~repro.core.mlr_solver.MLRSolver.save_memo_snapshot`), or an
+        in-memory state tree from an executor's ``memo_state()``.  Loaded
+        into the executor at solver construction; ``None`` starts cold.
+        The snapshot must have been taken at the same tau / value mode —
+        mismatches fail fast with a ``ValueError``.
     """
 
     chunk_size: int = 16
@@ -135,9 +144,28 @@ class MLRConfig:
     n_workers: int = 1
     n_shards: int = 1
     pipeline: PipelineConfig | None = None
+    memo_snapshot: str | os.PathLike | dict | None = None
 
     def __post_init__(self) -> None:
+        if not isinstance(self.memo, MemoConfig):
+            raise ValueError(
+                f"memo must be a MemoConfig, got {type(self.memo).__name__}"
+            )
+        if self.pipeline is not None and not isinstance(self.pipeline, PipelineConfig):
+            raise ValueError(
+                f"pipeline must be a PipelineConfig or None, "
+                f"got {type(self.pipeline).__name__}"
+            )
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
-        if self.n_workers < 1 or self.n_shards < 1:
-            raise ValueError("n_workers and n_shards must be >= 1")
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.memo_snapshot is not None and not isinstance(
+            self.memo_snapshot, (str, os.PathLike, dict)
+        ):
+            raise ValueError(
+                "memo_snapshot must be a snapshot path, a memo-state tree or "
+                f"None, got {type(self.memo_snapshot).__name__}"
+            )

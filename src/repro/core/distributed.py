@@ -348,6 +348,32 @@ class DistributedMemoizedExecutor(MemoizedExecutor):
     def db_entries(self, op: str) -> int:
         return self.router.entries(op)
 
+    # -- snapshot hooks ------------------------------------------------------------------
+
+    def memo_state(self) -> dict:
+        """The shard service's state, snapshotted per shard through the
+        router (each shard contributes its partitions and message
+        counters), plus the key-encoder fingerprint."""
+        state = self.router.state_dict()
+        state["encoder"] = self._encoder_fingerprint()
+        return state
+
+    def _install_partition(self, op: str, location: int, db) -> None:
+        self.router.shard_for(location)._dbs[(op, location)] = db
+
+    def load_memo_state(self, state: dict) -> None:
+        """Validate and install a snapshot (single-layout or sharded, any
+        shard count — partitions re-route by location); per-shard message
+        counters are restored when the shard topology matches."""
+        super().load_memo_state(state)
+        if (
+            state.get("layout") == "sharded"
+            and int(state["n_shards"]) == self.n_shards
+        ):
+            for shard, shard_state in zip(self.router.shards, state["shards"]):
+                shard.query_messages = int(shard_state["query_messages"])
+                shard.insert_messages = int(shard_state["insert_messages"])
+
     def per_shard_db_stats(self, op: str | None = None):
         """Figure 14 companion: per-shard aggregated database statistics."""
         return self.router.per_shard_stats(op)

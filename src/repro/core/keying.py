@@ -126,3 +126,22 @@ class CNNKeyEncoder:
     def encode(self, chunk: np.ndarray) -> np.ndarray:
         img = chunk_to_image(chunk, self.key_hw)
         return self._enc.encode(img[None]).astype(np.float32)[0]
+
+    # -- snapshot hooks ------------------------------------------------------------------
+
+    @property
+    def quantized(self) -> bool:
+        return isinstance(self._enc, QuantizedEncoder)
+
+    def state_dict(self) -> dict:
+        """Float weights plus the quantization flag.  INT8 quantization is a
+        deterministic function of the float weights, so restoring the float
+        encoder and re-quantizing reproduces the exact int8 tensors (and
+        bit-identical keys) of the live encoder."""
+        return {"encoder": self._float_encoder.state_dict(), "quantized": self.quantized}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CNNKeyEncoder":
+        return cls(
+            ChunkEncoder.from_state(state["encoder"]), quantized=bool(state["quantized"])
+        )

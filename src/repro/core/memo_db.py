@@ -37,7 +37,7 @@ import numpy as np
 from ..ann.buffer import GrowableRows
 from ..ann.ivf import IVFFlatIndex
 from ..kvstore.serialization import decode_array, encode_array, encoded_nbytes
-from ..kvstore.store import ArrayStore, KVStore
+from ..kvstore.store import ArrayStore, KVStore, store_from_state
 
 __all__ = ["MemoDBStats", "QueryOutcome", "MemoDatabase"]
 
@@ -69,6 +69,41 @@ class MemoDBStats:
         self.query_batches += other.query_batches
         self.insert_batches += other.insert_batches
         return self
+
+    @classmethod
+    def merged(cls, parts) -> "MemoDBStats":
+        """One aggregate over an iterable of partition/shard statistics —
+        the single accumulator every reporting layer (shard, router,
+        executor, job service) shares instead of hand-rolling the sum."""
+        agg = cls()
+        for part in parts:
+            agg.merge(part)
+        return agg
+
+    def delta(self, baseline: "MemoDBStats") -> "MemoDBStats":
+        """Counters accrued since ``baseline`` (field-wise difference) —
+        e.g. one job's own traffic on a warm-started, stats-carrying
+        database."""
+        return MemoDBStats(
+            queries=self.queries - baseline.queries,
+            hits=self.hits - baseline.hits,
+            inserts=self.inserts - baseline.inserts,
+            bytes_inserted=self.bytes_inserted - baseline.bytes_inserted,
+            bytes_fetched=self.bytes_fetched - baseline.bytes_fetched,
+            query_batches=self.query_batches - baseline.query_batches,
+            insert_batches=self.insert_batches - baseline.insert_batches,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "hits": self.hits,
+            "inserts": self.inserts,
+            "bytes_inserted": self.bytes_inserted,
+            "bytes_fetched": self.bytes_fetched,
+            "query_batches": self.query_batches,
+            "insert_batches": self.insert_batches,
+        }
 
 
 @dataclass(frozen=True)
@@ -328,3 +363,93 @@ class MemoDatabase:
 
     def _stored_key(self, wanted: int) -> np.ndarray | None:
         return self._keys.get(wanted)
+
+    # -- snapshot hooks ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete, restorable state: configuration, the ANN index (trained
+        or still cold), the value store, the gate's key table, the reuse
+        metadata, the pretrain buffer, and the traffic statistics.
+
+        Reuse metadata entries must be ``None`` or ``(ac_norm, dc)`` pairs
+        (what the memoization engine stores); anything else is not
+        snapshot-serializable and raises ``TypeError``.
+        """
+        ids = list(self._keys)
+        keys = (
+            np.stack([self._keys[i] for i in ids])
+            if ids
+            else np.zeros((0, self.dim), dtype=np.float32)
+        )
+        meta_has = np.zeros(len(ids), dtype=np.uint8)
+        meta_ac = np.zeros(len(ids), dtype=np.float64)
+        meta_dc = np.zeros(len(ids), dtype=np.complex128)
+        for row, i in enumerate(ids):
+            meta = self._meta.get(i)
+            if meta is None:
+                continue
+            try:
+                ac, dc = meta
+            except (TypeError, ValueError):
+                raise TypeError(
+                    f"metadata for id {i} is not a (ac, dc) pair: {meta!r}"
+                ) from None
+            meta_has[row] = 1
+            meta_ac[row] = float(ac)
+            meta_dc[row] = complex(dc)
+        return {
+            "config": {
+                "dim": self.dim,
+                "tau": self.tau,
+                "index_clusters": self.index_clusters,
+                "index_nprobe": self.index_nprobe,
+                "train_min": self.train_min,
+                "value_mode": self.value_mode,
+            },
+            "index": self.index.state_dict(),
+            "values": self.values.state_dict(),
+            "stats": self.stats.as_dict(),
+            "pretrain": np.array(self._pretrain.view, copy=True),
+            "key_ids": np.asarray(ids, dtype=np.int64),
+            "keys": keys,
+            "meta_has": meta_has,
+            "meta_ac": meta_ac,
+            "meta_dc": meta_dc,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MemoDatabase":
+        """Rebuild a database that answers ``query``/``query_batch``
+        bit-identically to the instance that produced ``state``."""
+        cfg = state["config"]
+        db = cls(
+            dim=int(cfg["dim"]),
+            tau=float(cfg["tau"]),
+            index_clusters=int(cfg["index_clusters"]),
+            index_nprobe=int(cfg["index_nprobe"]),
+            train_min=int(cfg["train_min"]),
+            value_mode=str(cfg["value_mode"]),
+        )
+        db.index = IVFFlatIndex.from_state(state["index"])
+        db.values = store_from_state(state["values"])
+        expected = ArrayStore if db.value_mode == "array" else KVStore
+        if type(db.values) is not expected:
+            raise ValueError(
+                f"value store of type {type(db.values).__name__} does not match "
+                f"value_mode {db.value_mode!r}"
+            )
+        db.stats = MemoDBStats(**{k: int(v) for k, v in state["stats"].items()})
+        pretrain = np.asarray(state["pretrain"], dtype=np.float32)
+        if len(pretrain):
+            db._pretrain.extend(pretrain)
+        keys = np.asarray(state["keys"], dtype=np.float32)
+        meta_has = np.asarray(state["meta_has"])
+        meta_ac = np.asarray(state["meta_ac"])
+        meta_dc = np.asarray(state["meta_dc"])
+        for row, i in enumerate(np.asarray(state["key_ids"], dtype=np.int64)):
+            i = int(i)
+            db._keys[i] = np.ascontiguousarray(keys[row])
+            db._meta[i] = (
+                (float(meta_ac[row]), complex(meta_dc[row])) if meta_has[row] else None
+            )
+        return db

@@ -35,7 +35,23 @@ from .keying import PoolKeyEncoder
 from .memo_cache import GlobalMemoCache, PrivateMemoCache
 from .memo_db import MemoDatabase
 
-__all__ = ["MemoEvent", "MemoizedExecutor", "CASE_MISS", "CASE_DB", "CASE_CACHE", "CASE_DIRECT"]
+__all__ = [
+    "MemoEvent",
+    "MemoizedExecutor",
+    "memo_state_partitions",
+    "CASE_MISS",
+    "CASE_DB",
+    "CASE_CACHE",
+    "CASE_DIRECT",
+]
+
+
+def memo_state_partitions(state: dict) -> list[dict]:
+    """Flat partition list of a ``memo_state()`` tree, layout-independent
+    (the sharded layout nests partitions per shard)."""
+    if state.get("layout") == "sharded":
+        return [p for s in state["shards"] for p in s["partitions"]]
+    return list(state["partitions"])
 
 #: event case labels (Figure 10's "Fail Memo" / "Suc Memo" / "Memo w/Caching")
 CASE_MISS = "miss"  # no match: original computation + insertion
@@ -432,13 +448,101 @@ class MemoizedExecutor(DirectExecutor):
         """Aggregated database statistics across all location partitions."""
         from .memo_db import MemoDBStats
 
-        agg = MemoDBStats()
-        for db in self._state[op].dbs.values():
-            agg.merge(db.stats)
-        return agg
+        return MemoDBStats.merged(db.stats for db in self._state[op].dbs.values())
+
+    def db_stats_total(self):
+        """One merged :class:`~repro.core.memo_db.MemoDBStats` over every
+        memoized op — the figure job/service reporting quotes."""
+        from .memo_db import MemoDBStats
+
+        return MemoDBStats.merged(self.db_stats(op) for op in self._state)
 
     def db_entries(self, op: str) -> int:
         return sum(len(db) for db in self._state[op].dbs.values())
+
+    def db_entries_total(self) -> int:
+        return sum(self.db_entries(op) for op in self._state)
+
+    # -- snapshot hooks ------------------------------------------------------------------
+
+    def _check_partition(self, op: str, db: MemoDatabase) -> None:
+        """Fail fast on a snapshot that would silently change memoization
+        semantics under this executor's configuration."""
+        if op not in self._state:
+            raise ValueError(
+                f"snapshot carries op {op!r}, not memoized here "
+                f"(memo_ops={self.config.memo_ops})"
+            )
+        if db.tau != self.config.tau:
+            raise ValueError(
+                f"snapshot tau {db.tau} != configured tau {self.config.tau}"
+            )
+        if db.value_mode != self.config.db_value_mode:
+            raise ValueError(
+                f"snapshot value_mode {db.value_mode!r} != configured "
+                f"{self.config.db_value_mode!r}"
+            )
+
+    def _encoder_fingerprint(self) -> dict:
+        """Key-encoder provenance recorded with every memo snapshot: keys
+        from different encoders never tau-match, so loading across encoder
+        kinds must fail fast instead of silently degrading hit rates."""
+        return {
+            "kind": type(self.encoder).__name__,
+            "dim": int(getattr(self.encoder, "dim", 0)) or None,
+        }
+
+    def _check_encoder(self, state: dict) -> None:
+        stored = state.get("encoder")
+        if not stored:
+            return  # bare router trees carry no provenance
+        ours = self._encoder_fingerprint()
+        if stored.get("kind") != ours["kind"]:
+            raise ValueError(
+                f"snapshot keys come from a {stored.get('kind')} encoder, "
+                f"this executor uses {ours['kind']} — keys would never match"
+            )
+        if stored.get("dim") and ours["dim"] and stored["dim"] != ours["dim"]:
+            raise ValueError(
+                f"snapshot key dimensionality {stored['dim']} != "
+                f"this executor's {ours['dim']}"
+            )
+
+    def memo_state(self) -> dict:
+        """The executor's whole database tier as one restorable state tree
+        (partitions keyed by ``(op, location)``, plus the key-encoder
+        fingerprint the keys were produced with)."""
+        return {
+            "layout": "single",
+            "encoder": self._encoder_fingerprint(),
+            "partitions": [
+                {"op": op, "location": int(loc), "db": db.state_dict()}
+                for op, state in self._state.items()
+                for loc, db in state.dbs.items()
+            ],
+        }
+
+    def load_memo_state(self, state: dict) -> None:
+        """Warm-start this executor from a snapshotted database tier.
+
+        Partitions are validated (op memoized here, tau / value_mode /
+        key-encoder provenance match) and installed by chunk location;
+        snapshots taken from a sharded deployment load fine — partition
+        keying is layout-independent.
+        """
+        self._check_encoder(state)
+        partitions = memo_state_partitions(state)
+        restored = [
+            (str(p["op"]), int(p["location"]), MemoDatabase.from_state(p["db"]))
+            for p in partitions
+        ]
+        for op, _loc, db in restored:
+            self._check_partition(op, db)
+        for op, loc, db in restored:
+            self._install_partition(op, loc, db)
+
+    def _install_partition(self, op: str, location: int, db: MemoDatabase) -> None:
+        self._state[op].dbs[location] = db
 
     def similarity_census(self, op: str, tau: float | None = None) -> dict[int, list[int]]:
         """Figure 4: per location, for each iteration's key, how many *prior*

@@ -146,11 +146,33 @@ class MemoShard:
         per-partition calls; the shard's ``query_messages`` /
         ``insert_messages`` attributes count the sub-batch messages it
         received."""
-        agg = MemoDBStats()
-        for (o, _loc), db in self._dbs.items():
-            if op is None or o == op:
-                agg.merge(db.stats)
-        return agg
+        return MemoDBStats.merged(
+            db.stats for (o, _loc), db in self._dbs.items() if op is None or o == op
+        )
+
+    # -- snapshot hooks ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """This shard's partitions plus its message counters."""
+        return {
+            "shard_id": self.shard_id,
+            "query_messages": self.query_messages,
+            "insert_messages": self.insert_messages,
+            "partitions": [
+                {"op": op, "location": int(loc), "db": db.state_dict()}
+                for (op, loc), db in self._dbs.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install the snapshotted partitions (overwriting same-keyed ones)
+        and restore the message counters."""
+        for part in state["partitions"]:
+            self._dbs[(str(part["op"]), int(part["location"]))] = MemoDatabase.from_state(
+                part["db"]
+            )
+        self.query_messages = int(state["query_messages"])
+        self.insert_messages = int(state["insert_messages"])
 
     def entries(self, op: str | None = None) -> int:
         return sum(
@@ -216,11 +238,10 @@ class MemoShardRouter:
     # -- statistics ----------------------------------------------------------------
 
     def stats(self, op: str | None = None) -> MemoDBStats:
-        """Aggregate over all shards."""
-        agg = MemoDBStats()
-        for shard in self.shards:
-            agg.merge(shard.stats(op))
-        return agg
+        """One merged :class:`MemoDBStats` over all shards — the single
+        aggregation surface service/job reporting reads (built on
+        :meth:`MemoDBStats.merged`, never hand-rolled per caller)."""
+        return MemoDBStats.merged(shard.stats(op) for shard in self.shards)
 
     def per_shard_stats(self, op: str | None = None) -> list[MemoDBStats]:
         return [shard.stats(op) for shard in self.shards]
@@ -230,3 +251,36 @@ class MemoShardRouter:
 
     def per_shard_entries(self, op: str | None = None) -> list[int]:
         return [shard.entries(op) for shard in self.shards]
+
+    # -- snapshot hooks ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Per-shard snapshot of the whole service (every shard contributes
+        its partitions and message counters)."""
+        return {
+            "layout": "sharded",
+            "n_shards": self.n_shards,
+            "shards": [shard.state_dict() for shard in self.shards],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a service snapshot, re-routing every partition by its
+        chunk location.
+
+        Because shard membership is pure routing (the consistent
+        ``shard_of_location`` map), a snapshot taken at any shard count
+        restores onto any other: each partition simply lands on the shard
+        that owns its location here.  Message counters are per-shard
+        observations, so they are only restored when the topology matches.
+        """
+        shard_states = state["shards"]
+        for shard_state in shard_states:
+            for part in shard_state["partitions"]:
+                loc = int(part["location"])
+                self.shard_for(loc)._dbs[(str(part["op"]), loc)] = (
+                    MemoDatabase.from_state(part["db"])
+                )
+        if int(state["n_shards"]) == self.n_shards:
+            for shard, shard_state in zip(self.shards, shard_states):
+                shard.query_messages = int(shard_state["query_messages"])
+                shard.insert_messages = int(shard_state["insert_messages"])

@@ -86,11 +86,32 @@ class MLRSolver:
                 chunk_size=self.config.chunk_size,
                 encoder=encoder,
             )
+        self.memo_executor = self.executor
         if self.config.pipeline is not None:
             from ..pipeline import PipelinedExecutor
 
             self.executor = PipelinedExecutor(self.executor, self.config.pipeline)
+        if self.config.memo_snapshot is not None:
+            self.load_memo_snapshot(self.config.memo_snapshot)
         self.solver = ADMMSolver(self.ops, self.admm_config, executor=self.executor)
+
+    # -- warm start / persistence --------------------------------------------------------
+
+    def load_memo_snapshot(self, snapshot) -> None:
+        """Warm-start the memoization database tier from ``snapshot`` — a
+        directory written by :meth:`save_memo_snapshot` or an in-memory
+        ``memo_state()`` tree (what ``MLRConfig(memo_snapshot=...)`` routes
+        here at construction)."""
+        from ..service.snapshot import install_memo_state
+
+        install_memo_state(self.memo_executor, snapshot)
+
+    def save_memo_snapshot(self, path) -> dict:
+        """Persist the executor's database tier as a versioned on-disk
+        snapshot; returns the manifest."""
+        from ..service.snapshot import save_memo_snapshot
+
+        return save_memo_snapshot(path, self.memo_executor)
 
     # -- optional CNN warmup -----------------------------------------------------------
 
@@ -144,8 +165,13 @@ class MLRSolver:
 
     # -- reconstruction -----------------------------------------------------------------
 
-    def reconstruct(self, d: np.ndarray, u0: np.ndarray | None = None) -> MLRResult:
-        admm_result: ADMMResult = self.solver.run(d, u0=u0)
+    def reconstruct(
+        self, d: np.ndarray, u0: np.ndarray | None = None, callback=None
+    ) -> MLRResult:
+        """Run the memoized reconstruction.  ``callback(it, u, info)`` is
+        invoked after every outer iteration (the reconstruction service uses
+        it for per-job progress events and cooperative cancellation)."""
+        admm_result: ADMMResult = self.solver.run(d, u0=u0, callback=callback)
         return MLRResult(
             u=admm_result.u,
             history=admm_result.history,

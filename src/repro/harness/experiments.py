@@ -39,7 +39,7 @@ from ..memio.variables import admm_variables
 from ..solvers.admm import ADMMConfig, ADMMSolver
 from ..solvers.metrics import accuracy
 from . import report
-from .datasets import DATASETS, DatasetSpec, SMALL, build
+from .datasets import DATASETS, SMALL, DatasetSpec, build
 
 __all__ = [
     "fig02_memory_breakdown",
@@ -57,6 +57,7 @@ __all__ = [
     "tab01_accuracy",
     "fig17_convergence",
     "fig18_pipeline_overlap",
+    "fig_warmstart",
 ]
 
 _DEFAULT_ADMM = dict(alpha=1e-3, rho=0.5, n_inner=4, step_max_rel=4.0)
@@ -895,3 +896,192 @@ def fig17_convergence(
     solver = MLRSolver(geometry, cfg, admm=_admm_config(n_outer), ops=ops)
     solver.solver.run(data, callback=cb("mlr"))
     return ConvergenceResult(loss_without=losses["ref"], loss_with=losses["mlr"])
+
+
+# ---------------------------------------------------------------------------
+# Warm start — cross-job memoization through the reconstruction service
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WarmstartResult:
+    """The cross-job experiment: repeated scans of one sample, reconstructed
+    as service jobs over the scheduler's shared (persistable) memo tier."""
+
+    job_rows: list[list]  # job, mode, queries, hits, hit rate, entries at start
+    first_job_hit_rate: float
+    cold_hit_rate: float  # second scan on a fresh database
+    warm_hit_rate: float  # second scan warm-started from the first job's db
+    snapshot_bit_identical: bool
+    snapshot_partitions: int
+    snapshot_nbytes: int
+
+    @property
+    def warm_gain(self) -> float:
+        """Absolute db hit-rate gained by warm-starting the second scan."""
+        return self.warm_hit_rate - self.cold_hit_rate
+
+    def report(self) -> str:
+        t = report.table(
+            ["job", "mode", "db queries", "db hits", "hit rate", "entries at start"],
+            self.job_rows,
+            "Warm start: per-job memo-database traffic (deltas)",
+        )
+        lines = [
+            t,
+            "",
+            f"second-scan hit rate: cold {self.cold_hit_rate:.3f} -> "
+            f"warm {self.warm_hit_rate:.3f} (gain +{self.warm_gain:.3f})",
+            f"snapshot: {self.snapshot_partitions} partitions, "
+            f"{self.snapshot_nbytes / 1024:.1f} KiB on disk, "
+            f"save->load query outcomes bit-identical: "
+            f"{self.snapshot_bit_identical}",
+        ]
+        return "\n".join(lines)
+
+
+def _outcomes_identical(a, b) -> bool:
+    """Bit-exact equality of two query_batch outcome lists."""
+    import numpy as np
+
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if (
+            x.similarity != y.similarity
+            or x.matched_id != y.matched_id
+            or x.n_entries != y.n_entries
+            or (x.value is None) != (y.value is None)
+            or x.stored_meta != y.stored_meta
+        ):
+            return False
+        if x.value is not None and not (
+            x.value.dtype == y.value.dtype
+            and x.value.shape == y.value.shape
+            and np.array_equal(x.value, y.value)
+        ):
+            return False
+    return True
+
+
+def _snapshot_proof(executor, snapshot_dir: str | None) -> tuple[bool, int, int]:
+    """Persist ``executor``'s database tier, load it back, and probe every
+    partition: the loaded database must answer ``query_batch`` on stored,
+    perturbed and adversarial keys bit-identically to the live one.
+
+    Returns ``(bit_identical, n_partitions, snapshot_nbytes)``.
+    """
+    import os
+    import tempfile
+
+    import numpy as np
+
+    from ..core.memo_db import MemoDatabase
+    from ..service.snapshot import load_memo_snapshot, save_memo_snapshot
+
+    own_tmp = snapshot_dir is None
+    path = tempfile.mkdtemp(prefix="mlr-snapshot-") if own_tmp else snapshot_dir
+    try:
+        save_memo_snapshot(path, executor)
+        nbytes = sum(
+            os.path.getsize(os.path.join(path, f)) for f in os.listdir(path)
+        )
+        loaded = {
+            (p["op"], int(p["location"])): MemoDatabase.from_state(p["db"])
+            for p in load_memo_snapshot(path)["partitions"]
+        }
+        rng = np.random.default_rng(0)
+        identical = True
+        for op, state in executor._state.items():
+            for loc, live in state.dbs.items():
+                probes = [k.copy() for k in live._keys.values()]
+                probes += [k + rng.normal(0, 1e-3, k.shape).astype(np.float32)
+                           for k in probes[:8]]
+                probes.append(np.zeros(live.dim, dtype=np.float32))
+                restored = loaded.pop((op, int(loc)))
+                if not _outcomes_identical(
+                    live.query_batch(probes), restored.query_batch(probes)
+                ):
+                    identical = False
+        n_parts = sum(len(s.dbs) for s in executor._state.values())
+        identical = identical and not loaded  # no extra partitions either
+        return identical, n_parts, nbytes
+    finally:
+        if own_tmp:
+            import shutil
+
+            shutil.rmtree(path, ignore_errors=True)
+
+
+def fig_warmstart(
+    spec: DatasetSpec = SMALL,
+    sim_outer: int = 6,
+    tau: float = 0.9,
+    quick: bool = True,
+    snapshot_dir: str | None = None,
+) -> WarmstartResult:
+    """Cross-job memoization: the IC-inspection operating mode where
+    near-identical samples are scanned job after job.
+
+    Three reconstructions of two scans (same sample, independent noise):
+
+    - ``scan-1`` and ``scan-2`` run as *service jobs* on a
+      :class:`~repro.service.ReconstructionScheduler` whose shared memo
+      service hands job 1's database tier to job 2 (the warm start),
+    - ``scan-2 (cold)`` runs standalone on a fresh database — the control
+      the warm hit rate is measured against.
+
+    The cold solver's live database tier is then snapshotted to disk,
+    loaded back, and probed for bit-identical ``query_batch`` outcomes —
+    the persistence guarantee the service's durability rests on.
+    """
+    from ..lamino.projector import simulate_data
+    from ..service import JobSpec, ReconstructionScheduler, ServiceConfig
+
+    if quick:
+        sim_outer = min(sim_outer, 5)
+    geometry, truth, data1 = build(spec, seed=3)
+    data2 = simulate_data(truth, geometry, noise_level=spec.noise, seed=17)
+    cfg = MLRConfig(chunk_size=spec.sim_chunk, memo=_memo_config(tau))
+    admm = _admm_config(sim_outer)
+
+    # control: the second scan on a fresh (cold) database
+    cold = MLRSolver(geometry, cfg, admm=admm)
+    cold.reconstruct(data2)
+    cold_stats = cold.executor.db_stats_total()
+
+    # the service runs both scans as jobs sharing one memo tier
+    with ReconstructionScheduler(ServiceConfig(n_workers=1, share_memo=True)) as sched:
+        jobs = [
+            sched.submit(
+                JobSpec(name=name, geometry=geometry, projections=d,
+                        config=cfg, admm=admm)
+            )
+            for name, d in (("scan-1", data1), ("scan-2", data2))
+        ]
+        for handle in jobs:
+            if not handle.wait(timeout=600):
+                raise RuntimeError(f"job {handle.spec.name} did not finish")
+            if handle.error is not None:
+                raise handle.error
+
+    identical, n_parts, nbytes = _snapshot_proof(cold.memo_executor, snapshot_dir)
+
+    def row(name, mode, stats, entries):
+        return [name, mode, stats.queries, stats.hits,
+                round(stats.hit_rate, 4), entries]
+
+    h1, h2 = jobs
+    return WarmstartResult(
+        job_rows=[
+            row("scan-1", "service (cold)", h1.memo_delta, h1.db_entries_start),
+            row("scan-2", "service (warm)", h2.memo_delta, h2.db_entries_start),
+            row("scan-2", "standalone cold", cold_stats, 0),
+        ],
+        first_job_hit_rate=h1.memo_delta.hit_rate,
+        cold_hit_rate=cold_stats.hit_rate,
+        warm_hit_rate=h2.memo_delta.hit_rate,
+        snapshot_bit_identical=identical,
+        snapshot_partitions=n_parts,
+        snapshot_nbytes=nbytes,
+    )

@@ -25,7 +25,7 @@ import numpy as np
 
 from .serialization import encoded_nbytes
 
-__all__ = ["KVStats", "KVStore", "ArrayStore"]
+__all__ = ["KVStats", "KVStore", "ArrayStore", "store_from_state"]
 
 
 @dataclass
@@ -133,6 +133,59 @@ class KVStore:
         self._data.clear()
         self._nbytes = 0
 
+    # -- snapshot hooks -----------------------------------------------------------------
+
+    _STORE_TYPE = "bytes"
+
+    def state_dict(self) -> dict:
+        """Complete, restorable state.  Entry order is preserved (it *is*
+        the FIFO/LRU eviction order), keys carry an explicit int/str type
+        tag, and statistics travel along so a restored store accounts
+        exactly like the live one."""
+        keys = []
+        for key in self._data:
+            if isinstance(key, bool) or not isinstance(key, (int, str)):
+                raise TypeError(f"unsupported key type for snapshot: {type(key).__name__}")
+            keys.append(["i", int(key)] if isinstance(key, int) else ["s", key])
+        return {
+            "store_type": self._STORE_TYPE,
+            "capacity_bytes": self.capacity_bytes,
+            "eviction": self.eviction,
+            "keys": keys,
+            "vals": list(self._data.values()),
+            "stats": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "puts": self.stats.puts,
+                "evictions": self.stats.evictions,
+                "bytes_in": self.stats.bytes_in,
+                "bytes_out": self.stats.bytes_out,
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KVStore":
+        """Rebuild a store whose ``get``/``put``/eviction behavior is
+        bit-identical to the instance that produced ``state``."""
+        if state["store_type"] != cls._STORE_TYPE:
+            raise ValueError(
+                f"state is a {state['store_type']!r} store, expected {cls._STORE_TYPE!r}"
+            )
+        cap = state["capacity_bytes"]
+        store = cls(
+            capacity_bytes=None if cap is None else int(cap),
+            eviction=str(state["eviction"]),
+        )
+        for tagged, value in zip(state["keys"], state["vals"]):
+            tag, key = tagged
+            key = int(key) if tag == "i" else str(key)
+            value = store._coerce(value)
+            store._data[key] = value
+            store._nbytes += store._value_nbytes(value)
+        st = state["stats"]
+        store.stats = KVStats(**{k: int(v) for k, v in st.items()})
+        return store
+
 
 @dataclass
 class ArrayStore(KVStore):
@@ -148,6 +201,8 @@ class ArrayStore(KVStore):
     serialized :class:`KVStore` bit for bit.
     """
 
+    _STORE_TYPE = "array"
+
     def _coerce(self, value):
         if not isinstance(value, np.ndarray):
             raise TypeError(f"value must be an ndarray, got {type(value).__name__}")
@@ -158,3 +213,12 @@ class ArrayStore(KVStore):
     @staticmethod
     def _value_nbytes(value) -> int:
         return encoded_nbytes(value)
+
+
+def store_from_state(state: dict) -> KVStore:
+    """Restore a :class:`KVStore` or :class:`ArrayStore` from its
+    ``state_dict`` by its ``store_type`` tag."""
+    for cls in (KVStore, ArrayStore):
+        if state["store_type"] == cls._STORE_TYPE:
+            return cls.from_state(state)
+    raise ValueError(f"unknown store_type {state['store_type']!r}")

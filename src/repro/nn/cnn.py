@@ -73,3 +73,33 @@ class ChunkEncoder:
 
     def num_parameters(self) -> int:
         return sum(int(np.prod(p.shape)) for p in self.params())
+
+    # -- snapshot hooks ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Architecture hyper-parameters plus every trainable tensor, in the
+        deterministic ``params()`` order."""
+        return {
+            "input_hw": self.input_hw,
+            "embed_dim": self.embed_dim,
+            "params": [np.array(p.value, copy=True) for p in self.params()],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ChunkEncoder":
+        """Rebuild an encoder whose ``encode`` is bit-identical to the
+        instance that produced ``state`` (and whose INT8 quantization —
+        deterministic in the float weights — is therefore identical too)."""
+        enc = cls(input_hw=int(state["input_hw"]), embed_dim=int(state["embed_dim"]))
+        params = enc.params()
+        if len(params) != len(state["params"]):
+            raise ValueError(
+                f"state has {len(state['params'])} tensors, encoder needs {len(params)}"
+            )
+        for p, saved in zip(params, state["params"]):
+            saved = np.asarray(saved, dtype=np.float32)
+            if saved.shape != p.shape:
+                raise ValueError(f"tensor shape {saved.shape} != expected {p.shape}")
+            p.value[...] = saved
+            p.grad[...] = 0.0
+        return enc

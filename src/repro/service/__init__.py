@@ -1,0 +1,61 @@
+"""Reconstruction service: multi-job scheduling + persistent memoization.
+
+The production shell over the mLR solver — named jobs with priorities and
+lifecycle states, a bounded-concurrency scheduler, and a memoization tier
+that persists across jobs and processes (versioned on-disk snapshots of
+databases, ANN indexes, value stores and the key encoder), so repeated
+scans of near-identical samples warm-start from each other's accumulated
+(key, value) pairs.
+"""
+
+from .jobs import JobCancelled, JobEvent, JobHandle, JobSpec, JobState
+from .scheduler import (
+    AdmissionError,
+    ReconstructionScheduler,
+    SchedulerStats,
+    ServiceConfig,
+    SharedMemoService,
+)
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    install_memo_state,
+    load_database,
+    load_encoder,
+    load_index,
+    load_memo_snapshot,
+    read_snapshot,
+    save_database,
+    save_encoder,
+    save_index,
+    save_memo_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "JobCancelled",
+    "JobEvent",
+    "JobHandle",
+    "JobSpec",
+    "JobState",
+    "AdmissionError",
+    "ReconstructionScheduler",
+    "SchedulerStats",
+    "ServiceConfig",
+    "SharedMemoService",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "install_memo_state",
+    "load_database",
+    "load_encoder",
+    "load_index",
+    "load_memo_snapshot",
+    "read_snapshot",
+    "save_database",
+    "save_encoder",
+    "save_index",
+    "save_memo_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,355 @@
+"""Multi-job reconstruction scheduler with a shared cross-job memo tier.
+
+:class:`ReconstructionScheduler` is the operational shell around
+:class:`~repro.core.mlr_solver.MLRSolver` that beamline-style pipelines
+(cf. tomocupy's named-job batch operation) need: submit many named
+reconstructions, run them on a bounded worker pool, observe/cancel each
+through its :class:`~repro.service.jobs.JobHandle`.
+
+Scheduling policy
+-----------------
+- **Priority + FIFO fairness**: the ready queue is ordered by
+  ``(-priority, submission sequence)`` — higher priority first, ties
+  strictly first-come-first-served, so a stream of equal-priority jobs can
+  never be starved by later arrivals.
+- **Admission control**: beyond ``max_queue_depth`` *waiting* jobs the
+  scheduler rejects new submissions with :class:`AdmissionError` (running
+  jobs don't count — the knob bounds queue memory, not concurrency).
+- **Cooperative cancellation**: queued jobs die in place; running jobs are
+  unwound at the next outer ADMM iteration via the solver callback.
+
+Cross-job memoization
+---------------------
+The scheduler owns a :class:`SharedMemoService`: when a job completes, the
+service absorbs the executor's database tier (as a state tree — the same
+format the on-disk snapshots use); when the next job starts, its executor
+is seeded from it.  Job N+1 therefore begins with job N's accumulated
+(key, value) pairs — the cross-run recurrence the paper's within-run
+memoization leaves on the table — and each handle's ``memo_delta``
+isolates the job's own hit/query counters so warm-start gains are
+directly measurable.  The service persists/restores through
+:func:`repro.service.snapshot.write_snapshot`, surviving process restarts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from ..core.memo_engine import memo_state_partitions
+from ..core.mlr_solver import MLRSolver
+from .jobs import JobCancelled, JobHandle, JobSpec, JobState
+from .snapshot import read_snapshot, write_snapshot
+
+__all__ = [
+    "AdmissionError",
+    "ServiceConfig",
+    "SchedulerStats",
+    "SharedMemoService",
+    "ReconstructionScheduler",
+]
+
+
+class AdmissionError(RuntimeError):
+    """Submission rejected: the waiting queue is at its depth limit."""
+
+
+@dataclass
+class ServiceConfig:
+    """Operational knobs of the reconstruction service.
+
+    n_workers:
+        Concurrent reconstruction jobs (service worker threads; distinct
+        from ``MLRConfig.n_workers``, the *simulated GPU* workers inside
+        one job).
+    max_queue_depth:
+        Admission limit on *waiting* jobs (``None`` = unbounded, ``0`` =
+        never queue: a submission is admitted only if a worker can take it
+        immediately).
+    share_memo:
+        Seed every job's executor from the scheduler's shared memo service
+        and absorb its database tier on success.  A job carrying an
+        explicit ``MLRConfig(memo_snapshot=...)`` is *not* seeded — its
+        requested snapshot takes precedence — but its results are still
+        absorbed into the shared tier afterwards.
+    """
+
+    n_workers: int = 2
+    max_queue_depth: int | None = None
+    share_memo: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0 or None, got {self.max_queue_depth}"
+            )
+
+
+@dataclass
+class SchedulerStats:
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    peak_queue_depth: int = 0
+    peak_running: int = 0
+
+
+@dataclass
+class SharedMemoService:
+    """The scheduler-owned, persistent cross-job memoization tier.
+
+    Holds a database-tier state tree assembled from completed jobs.  A job
+    seeded from the current tier carries every prior partition forward, so
+    sequential jobs chain cleanly; when jobs complete *concurrently*,
+    :meth:`absorb` merges at partition granularity — partitions only the
+    earlier tree holds are kept, and for a partition both trees hold the
+    newest completion wins (per-partition entries are never silently
+    dropped wholesale, but concurrent updates to the *same* chunk location
+    are last-writer-wins).  Thread-safe; snapshot-compatible with
+    :mod:`repro.service.snapshot` for durability across processes.
+    """
+
+    _tree: dict | None = None
+    generation: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def seed(self, executor) -> bool:
+        """Install the current tier into ``executor``; False when cold."""
+        with self._lock:
+            tree = self._tree
+        if tree is None:
+            return False
+        executor.load_memo_state(tree)
+        return True
+
+    def absorb(self, executor) -> None:
+        """Merge ``executor``'s database tier into the shared state."""
+        tree = executor.memo_state()
+        with self._lock:
+            self._tree = self._merged(self._tree, tree)
+            self.generation += 1
+
+    @staticmethod
+    def _merged(old: dict | None, new: dict) -> dict:
+        """Partition-level union, newest partition first on conflicts.
+
+        When ``new`` subsumes ``old`` (the chained, sequential case), it is
+        kept verbatim — layout and per-shard counters included; otherwise
+        the union falls back to the canonical single layout.
+        """
+        if old is None:
+            return new
+        new_parts = memo_state_partitions(new)
+        seen = {(p["op"], int(p["location"])) for p in new_parts}
+        missing = [
+            p for p in memo_state_partitions(old)
+            if (p["op"], int(p["location"])) not in seen
+        ]
+        if not missing:
+            return new
+        return {
+            "layout": "single",
+            "encoder": new.get("encoder"),
+            "partitions": new_parts + missing,
+        }
+
+    def state(self) -> dict | None:
+        with self._lock:
+            return self._tree
+
+    def save(self, path) -> dict:
+        """Persist the tier as a versioned on-disk snapshot."""
+        with self._lock:
+            tree = self._tree
+        if tree is None:
+            raise ValueError("shared memo service is cold — nothing to save")
+        return write_snapshot(path, tree, kind="memo-state")
+
+    def load(self, path) -> None:
+        """Restore the tier from a snapshot directory."""
+        tree = read_snapshot(path, expect_kind="memo-state")
+        with self._lock:
+            self._tree = tree
+            self.generation += 1
+
+
+class ReconstructionScheduler:
+    """Bounded-worker-pool scheduler over :class:`MLRSolver` jobs."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        memo_service: SharedMemoService | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.memo_service = memo_service or SharedMemoService()
+        self.stats = SchedulerStats()
+        self._cond = threading.Condition()
+        self._heap: list[tuple[int, int, JobHandle]] = []
+        self._seq = itertools.count()
+        self._shutdown = False
+        self._running = 0
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"recon-worker-{i}",
+                             daemon=True)
+            for i in range(self.config.n_workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # -- submission ----------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Enqueue one job; returns its handle.
+
+        Raises :class:`AdmissionError` when the waiting queue is at
+        ``max_queue_depth`` (the spec is not retained), and
+        ``RuntimeError`` after :meth:`shutdown`.
+        """
+        if not isinstance(spec, JobSpec):
+            raise ValueError(f"submit expects a JobSpec, got {type(spec).__name__}")
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            depth = self.config.max_queue_depth
+            waiting = self._live_waiting_locked()
+            if depth is not None:
+                # a submission an idle worker would grab immediately is
+                # admitted even at depth 0 — the knob bounds *waiting* jobs
+                idle = self.config.n_workers - self._running
+                would_wait = (waiting + 1) - min(max(idle, 0), waiting + 1)
+                if would_wait > depth:
+                    self.stats.rejected += 1
+                    raise AdmissionError(
+                        f"queue depth limit {depth} reached "
+                        f"({waiting} waiting, {self._running} running)"
+                    )
+            handle = JobHandle(spec, job_id=self.stats.submitted)
+            self.stats.submitted += 1
+            heapq.heappush(self._heap, (-spec.priority, next(self._seq), handle))
+            self.stats.peak_queue_depth = max(self.stats.peak_queue_depth,
+                                              self._live_waiting_locked())
+            self._cond.notify()
+        return handle
+
+    def _live_waiting_locked(self) -> int:
+        """Waiting jobs that will actually run — entries whose handle was
+        cancelled while queued are dead weight awaiting a worker's pop and
+        must not count against the admission limit."""
+        return sum(1 for _, _, h in self._heap if not h.state.terminal)
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return self._live_waiting_locked()
+
+    def running_count(self) -> int:
+        with self._cond:
+            return self._running
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop accepting work and wind the pool down.
+
+        By default the workers drain every already-queued job first;
+        ``cancel_pending=True`` cancels the waiting queue instead (running
+        jobs still finish — use their handles to cancel those too).
+        """
+        with self._cond:
+            self._shutdown = True
+            if cancel_pending:
+                # each dropped job is counted exactly once: here, since the
+                # heap is cleared under the lock, a worker can never also
+                # pop (and re-count) it
+                for _, _, handle in self._heap:
+                    handle.cancel()
+                    if handle.state is JobState.CANCELLED:
+                        self.stats.cancelled += 1
+                self._heap.clear()
+            self._cond.notify_all()
+        if wait:
+            for t in self._workers:
+                t.join()
+
+    def __enter__(self) -> "ReconstructionScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=True)
+
+    # -- the worker loop -----------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._shutdown:
+                    self._cond.wait()
+                if not self._heap:
+                    return  # shutdown and drained
+                _, _, handle = heapq.heappop(self._heap)
+                if not handle._claim():
+                    # cancelled while queued — already terminal, never ran
+                    self.stats.cancelled += 1
+                    continue
+                self._running += 1
+                self.stats.peak_running = max(self.stats.peak_running, self._running)
+            try:
+                self._execute(handle)
+            finally:
+                with self._cond:
+                    self._running -= 1
+                    self._cond.notify_all()
+
+    def _check_cancel(self, handle: JobHandle) -> None:
+        if handle.cancel_requested:
+            raise JobCancelled(handle.spec.name)
+
+    def _execute(self, handle: JobHandle) -> None:
+        spec = handle.spec
+        try:
+            d = spec.materialize()
+            self._check_cancel(handle)
+            solver = MLRSolver(spec.geometry, spec.config, admm=spec.admm)
+            # an explicit per-job snapshot (already loaded by the solver)
+            # takes precedence over the shared tier — seeding on top would
+            # overwrite the partitions the user asked for
+            if (
+                self.config.share_memo
+                and spec.config.memo_snapshot is None
+                and self.memo_service.seed(solver.executor)
+            ):
+                handle._add_event("warm_start",
+                                  f"generation {self.memo_service.generation}")
+            baseline = solver.executor.db_stats_total()
+            handle.db_entries_start = solver.executor.db_entries_total()
+            self._check_cancel(handle)
+
+            def on_iteration(it, _u, info):
+                handle.iterations = it + 1
+                handle._add_event("iteration", f"outer={it} loss={info.get('loss')}")
+                self._check_cancel(handle)
+
+            result = solver.reconstruct(d, u0=spec.u0, callback=on_iteration)
+            handle.result = result
+            handle.memo_delta = solver.executor.db_stats_total().delta(baseline)
+            handle.db_entries_end = solver.executor.db_entries_total()
+            if self.config.share_memo:
+                self.memo_service.absorb(solver.executor)
+            handle._finish(JobState.DONE)
+            with self._cond:
+                self.stats.completed += 1
+        except JobCancelled:
+            handle._finish(JobState.CANCELLED, "cancelled while running")
+            with self._cond:
+                self.stats.cancelled += 1
+        except BaseException as exc:  # noqa: BLE001 — job isolation boundary
+            handle.error = exc
+            handle._finish(JobState.FAILED, f"{type(exc).__name__}: {exc}")
+            with self._cond:
+                self.stats.failed += 1

@@ -1,0 +1,271 @@
+"""Versioned on-disk snapshots of the memoization tier.
+
+The paper memoizes within one reconstruction; the service layer makes the
+accumulated state *outlive* the process, because recurrence across jobs
+(repeated scans of near-identical samples — IC inspection being the
+motivating workload) is even stronger than recurrence across iterations.
+This module is the persistence boundary: every stateful component exposes a
+``state_dict()`` / ``from_state()`` hook pair (ANN indexes, key-value
+stores, the memoization database, shard router, executors, the CNN key
+encoder), and the functions here package those state trees into a durable
+directory format:
+
+```
+<path>/
+  manifest.json   format tag, version, kind, per-array dtype/shape metadata
+                  and SHA-256 content checksums, and the structural tree
+  arrays.npz      every ndarray (and bytes payload) referenced by the tree
+```
+
+State trees contain only ndarrays, ``bytes`` and JSON-able scalars /
+lists / dicts, so the disk round trip is structure-preserving: a tree read
+back from disk is interchangeable with one taken live (the scheduler's
+shared memo service passes live trees; ``MLRConfig(memo_snapshot=...)``
+accepts either).  Checksums and dtype/shape metadata are verified on load —
+a corrupted or truncated snapshot fails loudly, never silently degrades
+hit rates.
+
+The contract, asserted by the test suite: a database restored from a
+snapshot answers ``query`` / ``query_batch`` **bit-identically** to the
+live instance that produced it — values, similarities, matched ids and
+statistics alike — for every ANN index state (trained, mid-training, empty)
+and both value modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+
+import numpy as np
+
+from ..ann.flat import FlatIndex
+from ..ann.hnsw import HNSWIndex
+from ..ann.ivf import IVFFlatIndex
+from ..core.keying import CNNKeyEncoder
+from ..core.memo_db import MemoDatabase
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "write_snapshot",
+    "read_snapshot",
+    "save_memo_snapshot",
+    "load_memo_snapshot",
+    "install_memo_state",
+    "save_database",
+    "load_database",
+    "save_index",
+    "load_index",
+    "save_encoder",
+    "load_encoder",
+]
+
+SNAPSHOT_FORMAT = "mlr-snapshot"
+SNAPSHOT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_ARRAYS = "arrays.npz"
+
+_INDEX_TYPES = {"flat": FlatIndex, "ivf": IVFFlatIndex, "hnsw": HNSWIndex}
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot is missing, malformed, corrupted, or of the wrong kind."""
+
+
+# -- state-tree packing ------------------------------------------------------------------
+
+
+def _checksum(arr: np.ndarray) -> str:
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(arr.dtype.str.encode("ascii"))
+    h.update(str(arr.shape).encode("ascii"))
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _pack(node, arrays: dict):
+    """Replace every ndarray/bytes in a state tree with an npz reference,
+    collecting the payloads; everything else must be JSON-able."""
+    if isinstance(node, np.ndarray):
+        name = f"a{len(arrays)}"
+        arrays[name] = node
+        return {"__array__": name}
+    if isinstance(node, (bytes, bytearray, memoryview)):
+        name = f"a{len(arrays)}"
+        arrays[name] = np.frombuffer(bytes(node), dtype=np.uint8)
+        return {"__bytes__": name}
+    if isinstance(node, dict):
+        out = {}
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise SnapshotError(f"state-tree keys must be str, got {key!r}")
+            out[key] = _pack(value, arrays)
+        return out
+    if isinstance(node, (list, tuple)):
+        return [_pack(v, arrays) for v in node]
+    if isinstance(node, (np.integer,)):
+        return int(node)
+    if isinstance(node, (np.floating,)):
+        return float(node)
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    raise SnapshotError(f"state tree holds unserializable {type(node).__name__}")
+
+
+def _unpack(node, arrays, meta: dict, verify: bool):
+    if isinstance(node, dict):
+        if "__array__" in node:
+            return _load_array(node["__array__"], arrays, meta, verify)
+        if "__bytes__" in node:
+            return _load_array(node["__bytes__"], arrays, meta, verify).tobytes()
+        return {k: _unpack(v, arrays, meta, verify) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_unpack(v, arrays, meta, verify) for v in node]
+    return node
+
+
+def _load_array(name: str, arrays, meta: dict, verify: bool) -> np.ndarray:
+    try:
+        arr = arrays[name]
+    except KeyError:
+        raise SnapshotError(f"manifest references missing array {name!r}") from None
+    info = meta.get(name)
+    if info is None:
+        raise SnapshotError(f"array {name!r} has no manifest metadata")
+    if arr.dtype.str != info["dtype"] or list(arr.shape) != list(info["shape"]):
+        raise SnapshotError(
+            f"array {name!r}: stored {arr.dtype.str}{arr.shape} does not match "
+            f"manifest {info['dtype']}{tuple(info['shape'])}"
+        )
+    if verify and _checksum(arr) != info["sha256"]:
+        raise SnapshotError(f"array {name!r} failed its checksum — snapshot corrupted")
+    return arr
+
+
+def write_snapshot(path, tree: dict, kind: str) -> dict:
+    """Persist one state tree under ``path`` (a directory, created as
+    needed); returns the manifest written alongside the arrays."""
+    os.makedirs(path, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    packed = _pack(tree, arrays)
+    manifest = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "kind": kind,
+        "arrays": {
+            name: {
+                "dtype": np.ascontiguousarray(arr).dtype.str,
+                "shape": list(arr.shape),
+                "nbytes": int(arr.nbytes),
+                "sha256": _checksum(arr),
+            }
+            for name, arr in arrays.items()
+        },
+        "tree": packed,
+    }
+    # write-then-rename so a crashed save never masquerades as a snapshot
+    tmp = os.path.join(path, _ARRAYS + ".tmp")
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    with open(tmp, "wb") as fh:
+        fh.write(buf.getvalue())
+    os.replace(tmp, os.path.join(path, _ARRAYS))
+    tmp = os.path.join(path, _MANIFEST + ".tmp")
+    with open(tmp, "w") as fh:
+        json.dump(manifest, fh, indent=1)
+    os.replace(tmp, os.path.join(path, _MANIFEST))
+    return manifest
+
+
+def read_snapshot(path, expect_kind: str | None = None, verify: bool = True) -> dict:
+    """Load a state tree written by :func:`write_snapshot`, verifying the
+    format version, per-array dtype/shape metadata, and content checksums."""
+    manifest_path = os.path.join(path, _MANIFEST)
+    if not os.path.isfile(manifest_path):
+        raise SnapshotError(f"no snapshot at {path!r} (missing {_MANIFEST})")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    if manifest.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"not an mLR snapshot: format {manifest.get('format')!r}")
+    if manifest.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {manifest.get('version')!r} "
+            f"(this build reads {SNAPSHOT_VERSION})"
+        )
+    if expect_kind is not None and manifest.get("kind") != expect_kind:
+        raise SnapshotError(
+            f"snapshot kind {manifest.get('kind')!r}, expected {expect_kind!r}"
+        )
+    with np.load(os.path.join(path, _ARRAYS)) as npz:
+        arrays = {name: npz[name] for name in npz.files}
+    return _unpack(manifest["tree"], arrays, manifest["arrays"], verify)
+
+
+# -- memoization-tier snapshots ----------------------------------------------------------
+
+
+def save_memo_snapshot(path, executor) -> dict:
+    """Snapshot an executor's whole database tier (single or sharded — the
+    sharded executor snapshots per shard through its router)."""
+    return write_snapshot(path, executor.memo_state(), kind="memo-state")
+
+
+def load_memo_snapshot(path) -> dict:
+    """Read a database-tier state tree back (not yet installed anywhere)."""
+    return read_snapshot(path, expect_kind="memo-state")
+
+
+def install_memo_state(executor, snapshot) -> None:
+    """Warm-start ``executor`` from ``snapshot`` — a snapshot directory or
+    an in-memory ``memo_state()`` tree."""
+    if not isinstance(snapshot, dict):
+        snapshot = load_memo_snapshot(snapshot)
+    executor.load_memo_state(snapshot)
+
+
+# -- single-component snapshots ----------------------------------------------------------
+
+
+def save_database(path, db: MemoDatabase) -> dict:
+    return write_snapshot(path, db.state_dict(), kind="memo-database")
+
+
+def load_database(path) -> MemoDatabase:
+    return MemoDatabase.from_state(read_snapshot(path, expect_kind="memo-database"))
+
+
+def save_index(path, index) -> dict:
+    """Snapshot one ANN index (Flat / IVF — trained or not — / HNSW)."""
+    for tag, cls in _INDEX_TYPES.items():
+        if type(index) is cls:
+            return write_snapshot(
+                path, {"index_type": tag, "state": index.state_dict()}, kind="ann-index"
+            )
+    raise SnapshotError(f"unknown index type {type(index).__name__}")
+
+
+def load_index(path):
+    tree = read_snapshot(path, expect_kind="ann-index")
+    cls = _INDEX_TYPES.get(tree["index_type"])
+    if cls is None:
+        raise SnapshotError(f"unknown index_type {tree['index_type']!r}")
+    return cls.from_state(tree["state"])
+
+
+def save_encoder(path, encoder: CNNKeyEncoder) -> dict:
+    """Snapshot the (INT8-quantized) CNN key encoder."""
+    if not isinstance(encoder, CNNKeyEncoder):
+        raise SnapshotError(
+            f"only CNNKeyEncoder snapshots are supported, got {type(encoder).__name__}"
+        )
+    return write_snapshot(path, encoder.state_dict(), kind="key-encoder")
+
+
+def load_encoder(path) -> CNNKeyEncoder:
+    return CNNKeyEncoder.from_state(read_snapshot(path, expect_kind="key-encoder"))

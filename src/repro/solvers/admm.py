@@ -61,8 +61,16 @@ class ADMMConfig:
             raise ValueError(f"alpha must be >= 0, got {self.alpha}")
         if self.rho <= 0:
             raise ValueError(f"rho must be > 0, got {self.rho}")
-        if self.n_outer < 1 or self.n_inner < 1:
-            raise ValueError("n_outer and n_inner must be >= 1")
+        if self.n_outer < 1:
+            raise ValueError(f"n_outer must be >= 1, got {self.n_outer}")
+        if self.n_inner < 1:
+            raise ValueError(f"n_inner must be >= 1, got {self.n_inner}")
+        if self.rho_mu <= 0:
+            raise ValueError(f"rho_mu must be > 0, got {self.rho_mu}")
+        if self.rho_scale <= 1.0:
+            raise ValueError(f"rho_scale must be > 1, got {self.rho_scale}")
+        if self.step_max_rel <= 0:
+            raise ValueError(f"step_max_rel must be > 0, got {self.step_max_rel}")
         if self.fusion and not self.cancellation:
             raise ValueError("fusion requires cancellation")
 

@@ -1,0 +1,111 @@
+"""Fail-fast validation of user-supplied configs.
+
+The reconstruction service surfaces MLRConfig/ADMMConfig straight from
+callers, so malformed values must raise a clear ValueError at construction
+— not explode deep inside a worker thread mid-job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MemoConfig, MLRConfig, PipelineConfig
+from repro.solvers import ADMMConfig
+
+
+class TestMLRConfig:
+    def test_defaults_valid(self):
+        MLRConfig()
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_chunk_size(self, bad):
+        with pytest.raises(ValueError, match="chunk_size"):
+            MLRConfig(chunk_size=bad)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_n_workers(self, bad):
+        with pytest.raises(ValueError, match="n_workers"):
+            MLRConfig(n_workers=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_n_shards(self, bad):
+        with pytest.raises(ValueError, match="n_shards"):
+            MLRConfig(n_shards=bad)
+
+    def test_memo_must_be_memo_config(self):
+        with pytest.raises(ValueError, match="MemoConfig"):
+            MLRConfig(memo={"tau": 0.9})
+
+    def test_pipeline_must_be_pipeline_config(self):
+        with pytest.raises(ValueError, match="PipelineConfig"):
+            MLRConfig(pipeline=2)
+        MLRConfig(pipeline=PipelineConfig(queue_depth=1))
+
+    def test_memo_snapshot_types(self):
+        MLRConfig(memo_snapshot=None)
+        MLRConfig(memo_snapshot="/some/path")
+        MLRConfig(memo_snapshot={"layout": "single", "partitions": []})
+        with pytest.raises(ValueError, match="memo_snapshot"):
+            MLRConfig(memo_snapshot=42)
+
+
+class TestMemoConfig:
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.0001])
+    def test_tau_open_closed_interval(self, bad):
+        with pytest.raises(ValueError, match="tau"):
+            MemoConfig(tau=bad)
+
+    def test_tau_boundary_one_allowed(self):
+        MemoConfig(tau=1.0)
+
+    def test_encoder_and_cache_enums(self):
+        with pytest.raises(ValueError, match="encoder"):
+            MemoConfig(encoder="transformer")
+        with pytest.raises(ValueError, match="cache"):
+            MemoConfig(cache="l2")
+        with pytest.raises(ValueError, match="db_value_mode"):
+            MemoConfig(db_value_mode="pickle")
+
+    def test_numeric_knobs(self):
+        with pytest.raises(ValueError, match="key_hw"):
+            MemoConfig(key_hw=1)
+        with pytest.raises(ValueError, match="warmup_iterations"):
+            MemoConfig(warmup_iterations=-1)
+
+
+class TestPipelineConfig:
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_queue_depths(self, bad):
+        with pytest.raises(ValueError, match="queue_depth"):
+            PipelineConfig(queue_depth=bad)
+        with pytest.raises(ValueError, match="ingest_queue_depth"):
+            PipelineConfig(ingest_queue_depth=bad)
+
+
+class TestADMMConfig:
+    def test_defaults_valid(self):
+        ADMMConfig()
+
+    def test_alpha_and_rho(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ADMMConfig(alpha=-1e-3)
+        with pytest.raises(ValueError, match="rho"):
+            ADMMConfig(rho=0.0)
+
+    def test_iteration_counts_individually_reported(self):
+        with pytest.raises(ValueError, match="n_outer"):
+            ADMMConfig(n_outer=0)
+        with pytest.raises(ValueError, match="n_inner"):
+            ADMMConfig(n_inner=0)
+
+    def test_adaptation_knobs(self):
+        with pytest.raises(ValueError, match="rho_mu"):
+            ADMMConfig(rho_mu=0.0)
+        with pytest.raises(ValueError, match="rho_scale"):
+            ADMMConfig(rho_scale=1.0)
+        with pytest.raises(ValueError, match="step_max_rel"):
+            ADMMConfig(step_max_rel=0.0)
+
+    def test_fusion_requires_cancellation(self):
+        with pytest.raises(ValueError, match="fusion"):
+            ADMMConfig(fusion=True, cancellation=False)

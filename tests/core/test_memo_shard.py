@@ -131,6 +131,54 @@ class TestStats:
         assert router.stats().query_batches == 4
         assert router.stats().insert_batches == 4
 
+    def test_merged_accessor_field_math(self):
+        """Regression for the single merged ``stats()`` accessor: every
+        counter is the exact field-wise sum over shards — nothing dropped,
+        nothing double-counted — and merging never mutates the parts."""
+        from repro.core import MemoDBStats
+
+        parts = [
+            MemoDBStats(queries=3, hits=1, inserts=2, bytes_inserted=10,
+                        bytes_fetched=5, query_batches=1, insert_batches=1),
+            MemoDBStats(queries=7, hits=4, inserts=0, bytes_inserted=0,
+                        bytes_fetched=20, query_batches=2, insert_batches=0),
+            MemoDBStats(),
+        ]
+        snapshot = [p.as_dict() for p in parts]
+        agg = MemoDBStats.merged(parts)
+        assert agg.as_dict() == {
+            "queries": 10, "hits": 5, "inserts": 2, "bytes_inserted": 10,
+            "bytes_fetched": 25, "query_batches": 3, "insert_batches": 1,
+        }
+        assert [p.as_dict() for p in parts] == snapshot
+        assert agg.hit_rate == 0.5
+        assert MemoDBStats.merged([]).as_dict() == MemoDBStats().as_dict()
+        # delta is merge's inverse: (a merged b).delta(a) == b
+        assert MemoDBStats.merged(parts).delta(parts[0]).as_dict() == (
+            MemoDBStats.merged(parts[1:]).as_dict()
+        )
+
+    def test_router_stats_equals_manual_partition_sum(self):
+        """The router's merged stats() must equal a hand-rolled walk over
+        every shard's partitions (the aggregation it replaces)."""
+        from repro.core import MemoDBStats
+
+        router = MemoShardRouter(3, make_db)
+        router.insert_batch(
+            [ShardInsert("Fu1D", loc, key(loc), np.zeros(4, np.complex64))
+             for loc in range(9)]
+        )
+        router.query_batch(
+            [ShardQuery("Fu1D", loc, key(loc + 100)) for loc in range(9)]
+        )
+        manual = MemoDBStats()
+        for shard in router.shards:
+            for db in shard._dbs.values():
+                manual.merge(db.stats)
+        assert router.stats().as_dict() == manual.as_dict()
+        assert router.stats("Fu1D").as_dict() == manual.as_dict()
+        assert router.stats("Fu2D").as_dict() == MemoDBStats().as_dict()
+
 
 class TestMemoDatabaseBatchAPI:
     def test_query_batch_matches_sequential_queries(self):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import MLRConfig, MLRSolver, MemoConfig
+from repro.core import MemoConfig, MLRConfig, MLRSolver
 from repro.lamino import LaminoGeometry, LaminoOperators, brain_like, simulate_data
 from repro.solvers import ADMMConfig
 

@@ -1,0 +1,364 @@
+"""Snapshot layer: versioned on-disk round trips, bit-identical restores."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.ann import FlatIndex, HNSWIndex, IVFFlatIndex
+from repro.core import CNNKeyEncoder, MemoDatabase
+from repro.kvstore import ArrayStore, KVStore, encode_array, store_from_state
+from repro.nn import ChunkEncoder
+from repro.service import (
+    SnapshotError,
+    load_database,
+    load_encoder,
+    load_index,
+    read_snapshot,
+    save_database,
+    save_encoder,
+    save_index,
+    write_snapshot,
+)
+
+
+def rand_keys(n: int, dim: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((n, dim)).astype(np.float32)
+
+
+def outcomes_equal(a, b) -> None:
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.similarity == y.similarity
+        assert x.matched_id == y.matched_id
+        assert x.n_entries == y.n_entries
+        assert (x.value is None) == (y.value is None)
+        assert x.stored_meta == y.stored_meta
+        if x.value is not None:
+            assert x.value.dtype == y.value.dtype
+            assert np.array_equal(x.value, y.value)
+
+
+# -- the container format ---------------------------------------------------------------
+
+
+class TestContainer:
+    def test_round_trip_preserves_structure(self, tmp_path):
+        tree = {
+            "i": 3,
+            "f": 0.1,
+            "s": "x",
+            "none": None,
+            "flag": True,
+            "arr": np.arange(6, dtype=np.complex64).reshape(2, 3),
+            "blob": b"\x00\x01\xff",
+            "nested": {"list": [1, {"a": np.ones(2, dtype=np.float32)}, "z"]},
+        }
+        write_snapshot(tmp_path / "s", tree, kind="test")
+        back = read_snapshot(tmp_path / "s", expect_kind="test")
+        assert back["i"] == 3 and back["f"] == 0.1 and back["s"] == "x"
+        assert back["none"] is None and back["flag"] is True
+        assert back["arr"].dtype == np.complex64
+        assert np.array_equal(back["arr"], tree["arr"])
+        assert back["blob"] == b"\x00\x01\xff"
+        assert np.array_equal(back["nested"]["list"][1]["a"], np.ones(2))
+
+    def test_kind_and_version_checked(self, tmp_path):
+        write_snapshot(tmp_path / "s", {"x": 1}, kind="test")
+        with pytest.raises(SnapshotError, match="kind"):
+            read_snapshot(tmp_path / "s", expect_kind="other")
+        manifest_path = tmp_path / "s" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="version"):
+            read_snapshot(tmp_path / "s")
+
+    def test_missing_snapshot(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no snapshot"):
+            read_snapshot(tmp_path / "nope")
+
+    def test_corruption_detected(self, tmp_path):
+        write_snapshot(tmp_path / "s", {"arr": np.arange(128.0)}, kind="test")
+        manifest_path = tmp_path / "s" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        name = next(iter(manifest["arrays"]))
+        manifest["arrays"][name]["sha256"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="checksum"):
+            read_snapshot(tmp_path / "s")
+        # but verification can be bypassed explicitly
+        assert read_snapshot(tmp_path / "s", verify=False)["arr"].shape == (128,)
+
+    def test_unserializable_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="unserializable"):
+            write_snapshot(tmp_path / "s", {"bad": object()}, kind="test")
+
+
+# -- ANN indexes ------------------------------------------------------------------------
+
+
+class TestIndexRoundTrips:
+    dim = 12
+
+    def queries(self):
+        return rand_keys(9, self.dim, seed=99)
+
+    def assert_search_identical(self, live, restored, k=3):
+        d1, i1 = live.search(self.queries(), k=k)
+        d2, i2 = restored.search(self.queries(), k=k)
+        assert np.array_equal(d1, d2) and d1.dtype == d2.dtype
+        assert np.array_equal(i1, i2)
+
+    def test_flat(self, tmp_path):
+        ix = FlatIndex(self.dim)
+        ix.add(rand_keys(40, self.dim))
+        save_index(tmp_path / "ix", ix)
+        restored = load_index(tmp_path / "ix")
+        assert isinstance(restored, FlatIndex)
+        assert len(restored) == len(ix)
+        assert restored.n_distance_computations == ix.n_distance_computations
+        self.assert_search_identical(ix, restored)
+
+    def test_ivf_trained(self, tmp_path):
+        ix = IVFFlatIndex(self.dim, n_clusters=5, nprobe=2)
+        ix.train(rand_keys(50, self.dim, seed=1))
+        ix.add(rand_keys(80, self.dim, seed=2))
+        save_index(tmp_path / "ix", ix)
+        restored = load_index(tmp_path / "ix")
+        assert restored.is_trained and len(restored) == len(ix)
+        assert np.array_equal(restored.centroids, ix.centroids)
+        assert restored.list_sizes() == ix.list_sizes()
+        self.assert_search_identical(ix, restored)
+        # dynamic insertion continues identically (same ids, same lists)
+        more = rand_keys(7, self.dim, seed=3)
+        assert np.array_equal(ix.add(more), restored.add(more))
+        self.assert_search_identical(ix, restored)
+
+    def test_ivf_untrained_mid_training(self, tmp_path):
+        """An IVF snapshotted before its quantizer is trained restores as
+        untrained and trains later exactly like the live instance."""
+        ix = IVFFlatIndex(self.dim, n_clusters=4, nprobe=2)
+        save_index(tmp_path / "ix", ix)
+        restored = load_index(tmp_path / "ix")
+        assert not restored.is_trained
+        with pytest.raises(RuntimeError):
+            restored.search(self.queries())
+        samples = rand_keys(30, self.dim, seed=4)
+        ix.train(samples)
+        restored.train(samples)
+        assert np.array_equal(ix.centroids, restored.centroids)
+        added = rand_keys(20, self.dim, seed=5)
+        ix.add(added)
+        restored.add(added)
+        self.assert_search_identical(ix, restored)
+
+    def test_hnsw(self, tmp_path):
+        ix = HNSWIndex(self.dim, m=4, ef_construction=16, ef_search=8, seed=3)
+        ix.add(rand_keys(60, self.dim, seed=6))
+        save_index(tmp_path / "ix", ix)
+        restored = load_index(tmp_path / "ix")
+        assert len(restored) == len(ix)
+        assert restored.n_edge_updates == ix.n_edge_updates
+        self.assert_search_identical(ix, restored, k=2)
+        # the level RNG travels along: future inserts rewire identically
+        more = rand_keys(10, self.dim, seed=7)
+        ix.add(more)
+        restored.add(more)
+        assert ix._levels == restored._levels
+        assert ix._edges == restored._edges
+        self.assert_search_identical(ix, restored, k=2)
+
+    def test_empty_indexes(self, tmp_path):
+        for ix in (FlatIndex(4), HNSWIndex(4)):
+            save_index(tmp_path / "e", ix)
+            restored = load_index(tmp_path / "e")
+            d, i = restored.search(np.zeros((1, 4), dtype=np.float32), k=2)
+            assert np.all(np.isinf(d)) and np.all(i == -1)
+
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="unknown index type"):
+            save_index(tmp_path / "ix", object())
+
+
+# -- key-value stores -------------------------------------------------------------------
+
+
+class TestStoreRoundTrips:
+    def test_bytes_store(self):
+        store = KVStore(capacity_bytes=64, eviction="lru")
+        store.put(1, b"abc")
+        store.put("two", b"d" * 10)
+        store.get(1)
+        store.get("missing")
+        restored = store_from_state(store.state_dict())
+        assert isinstance(restored, KVStore) and not isinstance(restored, ArrayStore)
+        assert restored.keys() == store.keys()
+        assert restored.nbytes == store.nbytes
+        assert restored.get(1) == b"abc" and restored.get("two") == b"d" * 10
+        assert restored.stats.hits == store.stats.hits + 2
+
+    def test_array_store_values_read_only(self):
+        store = ArrayStore()
+        a = np.arange(6, dtype=np.complex64).reshape(2, 3)
+        store.put(0, a)
+        restored = store_from_state(store.state_dict())
+        assert isinstance(restored, ArrayStore)
+        got = restored.get(0)
+        assert np.array_equal(got, a) and got.dtype == a.dtype
+        assert not got.flags.writeable
+        assert restored.nbytes == store.nbytes == len(encode_array(a))
+
+    def test_eviction_order_preserved(self):
+        """Entry order *is* the FIFO eviction order; a restored store must
+        evict the same keys the live one would."""
+        payload = b"x" * 10
+        live = KVStore(capacity_bytes=30)
+        for k in range(3):
+            live.put(k, payload)
+        restored = KVStore.from_state(live.state_dict())
+        live.put(99, payload)
+        restored.put(99, payload)
+        assert live.keys() == restored.keys() == [1, 2, 99]
+
+    def test_wrong_type_tag_rejected(self):
+        state = ArrayStore().state_dict()
+        with pytest.raises(ValueError, match="store"):
+            KVStore.from_state(state)
+        state["store_type"] = "martian"
+        with pytest.raises(ValueError, match="unknown store_type"):
+            store_from_state(state)
+
+
+# -- the INT8-quantized key encoder -----------------------------------------------------
+
+
+class TestEncoderRoundTrip:
+    def test_quantized_cnn_encoder(self, tmp_path):
+        enc = CNNKeyEncoder(ChunkEncoder(input_hw=8, embed_dim=10, seed=5),
+                            quantized=True)
+        save_encoder(tmp_path / "enc", enc)
+        restored = load_encoder(tmp_path / "enc")
+        assert restored.quantized and restored.dim == enc.dim
+        rng = np.random.default_rng(2)
+        chunk = (rng.standard_normal((3, 8, 8))
+                 + 1j * rng.standard_normal((3, 8, 8))).astype(np.complex64)
+        assert np.array_equal(enc.encode(chunk), restored.encode(chunk))
+        # the INT8 tensors are a deterministic function of the float weights
+        for (k1, _m1, w1, b1), (k2, _m2, w2, b2) in zip(
+            enc._enc._layers, restored._enc._layers
+        ):
+            assert k1 == k2
+            if w1 is not None:
+                assert np.array_equal(w1.q, w2.q) and w1.scale == w2.scale
+                assert np.array_equal(b1, b2)
+
+    def test_float_encoder_flag(self, tmp_path):
+        enc = CNNKeyEncoder(ChunkEncoder(input_hw=8, embed_dim=6, seed=1),
+                            quantized=False)
+        save_encoder(tmp_path / "enc", enc)
+        assert not load_encoder(tmp_path / "enc").quantized
+
+    def test_wrong_object_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="CNNKeyEncoder"):
+            save_encoder(tmp_path / "enc", ChunkEncoder(input_hw=8))
+
+
+# -- the memoization database -----------------------------------------------------------
+
+
+def populated_db(value_mode: str, n: int, dim: int = 8, train_min: int = 6):
+    rng = np.random.default_rng(7)
+    db = MemoDatabase(dim=dim, tau=0.9, index_clusters=3, index_nprobe=2,
+                      train_min=train_min, value_mode=value_mode)
+    for i in range(n):
+        k = rng.standard_normal(dim).astype(np.float32)
+        v = (rng.standard_normal((3, 4))
+             + 1j * rng.standard_normal((3, 4))).astype(np.complex64)
+        meta = (float(np.abs(k).sum()), complex(rng.standard_normal(),
+                                                rng.standard_normal()))
+        db.insert(k, v, meta=meta if i % 3 else None)
+    return db
+
+
+def probe_keys(db: MemoDatabase, dim: int = 8):
+    rng = np.random.default_rng(13)
+    probes = [np.array(k, copy=True) for k in db._keys.values()]
+    probes += [k + rng.normal(0, 1e-3, k.shape).astype(np.float32)
+               for k in probes[:6]]
+    probes += [rng.standard_normal(dim).astype(np.float32) for _ in range(6)]
+    probes.append(np.zeros(dim, dtype=np.float32))
+    return probes
+
+
+class TestDatabaseRoundTrips:
+    @pytest.mark.parametrize("value_mode", ["array", "bytes"])
+    def test_trained_db_bit_identical(self, tmp_path, value_mode):
+        db = populated_db(value_mode, n=25)
+        assert db.index.is_trained
+        save_database(tmp_path / "db", db)
+        restored = load_database(tmp_path / "db")
+        assert restored.value_mode == value_mode
+        assert len(restored) == len(db)
+        assert db.stats.as_dict() == restored.stats.as_dict()
+        probes = probe_keys(db)
+        outcomes_equal(db.query_batch(probes), restored.query_batch(probes))
+        outcomes_equal([db.query(k) for k in probes[:5]],
+                       [restored.query(k) for k in probes[:5]])
+        assert db.stats.as_dict() == restored.stats.as_dict()
+        assert sum(o.hit for o in restored.query_batch(probes[:len(db._keys)])) > 0
+
+    @pytest.mark.parametrize("value_mode", ["array", "bytes"])
+    def test_mid_training_db_bit_identical(self, tmp_path, value_mode):
+        """Snapshotted before the IVF quantizer trains: the pretrain scan
+        must answer identically, and later training must proceed
+        identically."""
+        db = populated_db(value_mode, n=4, train_min=32)
+        assert not db.index.is_trained and len(db._pretrain) == 4
+        save_database(tmp_path / "db", db)
+        restored = load_database(tmp_path / "db")
+        assert not restored.index.is_trained
+        assert len(restored._pretrain) == len(db._pretrain)
+        probes = probe_keys(db)
+        outcomes_equal(db.query_batch(probes), restored.query_batch(probes))
+        # inserting up to train_min trains both identically
+        rng = np.random.default_rng(3)
+        items = [
+            (rng.standard_normal(8).astype(np.float32),
+             np.ones((2, 2), dtype=np.complex64), None)
+            for _ in range(40)
+        ]
+        assert db.insert_batch(items) == restored.insert_batch(items)
+        assert db.index.is_trained and restored.index.is_trained
+        outcomes_equal(db.query_batch(probes), restored.query_batch(probes))
+
+    def test_empty_db_round_trip(self, tmp_path):
+        db = MemoDatabase(dim=8, tau=0.92)
+        save_database(tmp_path / "db", db)
+        restored = load_database(tmp_path / "db")
+        assert len(restored) == 0
+        probes = [np.ones(8, dtype=np.float32), np.zeros(8, dtype=np.float32)]
+        outcomes_equal(db.query_batch(probes), restored.query_batch(probes))
+        assert all(not o.hit for o in restored.query_batch(probes))
+
+    def test_value_mode_mismatch_rejected(self, tmp_path):
+        db = populated_db("array", n=10)
+        state = db.state_dict()
+        state["config"]["value_mode"] = "bytes"
+        with pytest.raises(ValueError, match="value store"):
+            MemoDatabase.from_state(state)
+
+    def test_opaque_meta_rejected(self):
+        db = MemoDatabase(dim=4, tau=0.9)
+        db.insert(np.ones(4, dtype=np.float32), np.ones(2, dtype=np.complex64),
+                  meta=object())
+        with pytest.raises(TypeError, match="pair"):
+            db.state_dict()
+
+    def test_snapshot_files_exist(self, tmp_path):
+        save_database(tmp_path / "db", populated_db("array", n=10))
+        assert os.path.isfile(tmp_path / "db" / "manifest.json")
+        assert os.path.isfile(tmp_path / "db" / "arrays.npz")

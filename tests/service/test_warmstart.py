@@ -1,0 +1,211 @@
+"""Executor-level memo-state snapshots and MLRConfig warm-start wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MemoConfig, MLRConfig, MLRSolver
+from repro.lamino import LaminoGeometry, brain_like, simulate_data
+from repro.service import install_memo_state, load_memo_snapshot, save_memo_snapshot
+from repro.solvers import ADMMConfig
+
+MEMO = dict(tau=0.9, warmup_iterations=1, index_train_min=8,
+            index_clusters=4, index_nprobe=2)
+ADMM = ADMMConfig(n_outer=4, n_inner=2, step_max_rel=4.0)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    n = 16
+    geometry = LaminoGeometry((n, n, n), n_angles=12, det_shape=(n, n), tilt_deg=61.0)
+    truth = brain_like(geometry.vol_shape, seed=7)
+    d1 = simulate_data(truth, geometry, noise_level=0.02, seed=1)
+    d2 = simulate_data(truth, geometry, noise_level=0.02, seed=2)
+    return geometry, d1, d2
+
+
+def config(**over) -> MLRConfig:
+    return MLRConfig(chunk_size=4, memo=MemoConfig(**MEMO), **over)
+
+
+@pytest.fixture(scope="module")
+def first_job(problem):
+    """A completed first reconstruction (single-layout executor)."""
+    geometry, d1, _ = problem
+    solver = MLRSolver(geometry, config(), admm=ADMM)
+    solver.reconstruct(d1)
+    return solver
+
+
+class TestMemoState:
+    def test_state_round_trip_preserves_everything(self, first_job, tmp_path):
+        executor = first_job.memo_executor
+        save_memo_snapshot(tmp_path / "m", executor)
+        tree = load_memo_snapshot(tmp_path / "m")
+        assert tree["layout"] == "single"
+        assert len(tree["partitions"]) == sum(
+            len(s.dbs) for s in executor._state.values()
+        )
+        fresh = MLRSolver(first_job.geometry, config(), admm=ADMM)
+        fresh.memo_executor.load_memo_state(tree)
+        assert fresh.memo_executor.db_entries_total() == executor.db_entries_total()
+        assert (fresh.memo_executor.db_stats_total().as_dict()
+                == executor.db_stats_total().as_dict())
+
+    def test_warm_start_beats_cold(self, problem, first_job, tmp_path):
+        """The acceptance bar: a second job warm-started from the first
+        job's snapshot has a strictly higher db hit rate than its cold
+        run."""
+        geometry, _d1, d2 = problem
+        cold = MLRSolver(geometry, config(), admm=ADMM)
+        cold.reconstruct(d2)
+        cold_rate = cold.executor.db_stats_total().hit_rate
+
+        first_job.save_memo_snapshot(tmp_path / "m")
+        warm = MLRSolver(geometry, config(memo_snapshot=str(tmp_path / "m")),
+                         admm=ADMM)
+        baseline = warm.executor.db_stats_total()
+        warm.reconstruct(d2)
+        delta = warm.executor.db_stats_total().delta(baseline)
+        assert delta.queries > 0
+        assert delta.hit_rate > cold_rate
+
+    def test_in_memory_tree_accepted(self, problem, first_job):
+        geometry, _d1, _d2 = problem
+        tree = first_job.memo_executor.memo_state()
+        warm = MLRSolver(geometry, config(memo_snapshot=tree), admm=ADMM)
+        assert (warm.memo_executor.db_entries_total()
+                == first_job.memo_executor.db_entries_total())
+
+    def test_mismatched_tau_fails_fast(self, problem, first_job):
+        geometry, _d1, _d2 = problem
+        tree = first_job.memo_executor.memo_state()
+        memo = MemoConfig(**{**MEMO, "tau": 0.95})
+        with pytest.raises(ValueError, match="tau"):
+            MLRSolver(geometry, MLRConfig(chunk_size=4, memo=memo,
+                                          memo_snapshot=tree), admm=ADMM)
+
+    def test_mismatched_value_mode_fails_fast(self, problem, first_job):
+        geometry, _d1, _d2 = problem
+        tree = first_job.memo_executor.memo_state()
+        memo = MemoConfig(**{**MEMO, "db_value_mode": "bytes"})
+        with pytest.raises(ValueError, match="value_mode"):
+            MLRSolver(geometry, MLRConfig(chunk_size=4, memo=memo,
+                                          memo_snapshot=tree), admm=ADMM)
+
+    def test_unknown_op_fails_fast(self, problem, first_job):
+        geometry, _d1, _d2 = problem
+        tree = first_job.memo_executor.memo_state()
+        memo = MemoConfig(**MEMO, memo_ops=("Fu1D",))
+        with pytest.raises(ValueError, match="not memoized"):
+            MLRSolver(geometry, MLRConfig(chunk_size=4, memo=memo,
+                                          memo_snapshot=tree), admm=ADMM)
+
+    def test_mismatched_encoder_fails_fast(self, problem, first_job):
+        """Keys from a different encoder never tau-match, so loading a
+        snapshot across encoder kinds (or key dims) must fail at load, not
+        silently run at ~0% hit rate."""
+        geometry, _d1, _d2 = problem
+        tree = dict(first_job.memo_executor.memo_state())
+        assert tree["encoder"]["kind"] == "PoolKeyEncoder"
+        tree["encoder"] = {"kind": "CNNKeyEncoder", "dim": 60}
+        with pytest.raises(ValueError, match="encoder"):
+            MLRSolver(geometry, MLRConfig(chunk_size=4, memo=MemoConfig(**MEMO),
+                                          memo_snapshot=tree), admm=ADMM)
+        tree["encoder"] = {"kind": "PoolKeyEncoder", "dim": 2}
+        with pytest.raises(ValueError, match="dimensionality"):
+            MLRSolver(geometry, MLRConfig(chunk_size=4, memo=MemoConfig(**MEMO),
+                                          memo_snapshot=tree), admm=ADMM)
+        # provenance-free trees (bare router state) still load
+        tree.pop("encoder")
+        MLRSolver(geometry, MLRConfig(chunk_size=4, memo=MemoConfig(**MEMO),
+                                      memo_snapshot=tree), admm=ADMM)
+
+
+class TestShardedMemoState:
+    @pytest.fixture(scope="class")
+    def sharded_job(self, problem):
+        geometry, d1, _ = problem
+        solver = MLRSolver(geometry, config(n_workers=2, n_shards=2), admm=ADMM)
+        solver.reconstruct(d1)
+        return solver
+
+    def test_per_shard_snapshot_layout(self, sharded_job, tmp_path):
+        save_memo_snapshot(tmp_path / "m", sharded_job.memo_executor)
+        tree = load_memo_snapshot(tmp_path / "m")
+        assert tree["layout"] == "sharded" and tree["n_shards"] == 2
+        assert len(tree["shards"]) == 2
+        for shard_state, shard in zip(tree["shards"],
+                                      sharded_job.memo_executor.router.shards):
+            assert len(shard_state["partitions"]) == len(shard._dbs)
+            assert shard_state["query_messages"] == shard.query_messages
+
+    def test_sharded_restore_with_counters(self, problem, sharded_job):
+        geometry, _d1, _d2 = problem
+        tree = sharded_job.memo_executor.memo_state()
+        fresh = MLRSolver(geometry, config(n_workers=2, n_shards=2,
+                                           memo_snapshot=tree), admm=ADMM)
+        router = fresh.memo_executor.router
+        src = sharded_job.memo_executor.router
+        assert router.entries() == src.entries()
+        assert router.per_shard_entries() == src.per_shard_entries()
+        for a, b in zip(router.shards, src.shards):
+            assert a.query_messages == b.query_messages
+            assert a.insert_messages == b.insert_messages
+
+    def test_cross_layout_and_reshard(self, problem, sharded_job):
+        """Partitions are keyed by (op, location), so a sharded snapshot
+        loads into a single-layout executor and onto any shard count."""
+        geometry, _d1, d2 = problem
+        tree = sharded_job.memo_executor.memo_state()
+        entries = sharded_job.memo_executor.db_entries_total()
+
+        single = MLRSolver(geometry, config(memo_snapshot=tree), admm=ADMM)
+        assert single.memo_executor.db_entries_total() == entries
+
+        resharded = MLRSolver(geometry, config(n_workers=1, n_shards=3,
+                                               memo_snapshot=tree), admm=ADMM)
+        assert resharded.memo_executor.db_entries_total() == entries
+        # counters are shard observations: not carried across topologies
+        assert all(s.query_messages == 0
+                   for s in resharded.memo_executor.router.shards)
+        # and the resharded warm start actually hits
+        baseline = resharded.executor.db_stats_total()
+        resharded.reconstruct(d2)
+        assert resharded.executor.db_stats_total().delta(baseline).hits > 0
+
+    def test_single_snapshot_into_sharded(self, problem, first_job):
+        geometry, _d1, _d2 = problem
+        tree = first_job.memo_executor.memo_state()
+        sharded = MLRSolver(geometry, config(n_workers=1, n_shards=2,
+                                             memo_snapshot=tree), admm=ADMM)
+        assert (sharded.memo_executor.db_entries_total()
+                == first_job.memo_executor.db_entries_total())
+
+    def test_loaded_partitions_answer_bit_identically(self, sharded_job, tmp_path):
+        save_memo_snapshot(tmp_path / "m", sharded_job.memo_executor)
+        tree = load_memo_snapshot(tmp_path / "m")
+        fresh = MLRSolver(sharded_job.geometry, config(n_workers=2, n_shards=2),
+                          admm=ADMM)
+        install_memo_state(fresh.memo_executor, tree)
+        rng = np.random.default_rng(5)
+        checked = 0
+        for shard, restored_shard in zip(sharded_job.memo_executor.router.shards,
+                                         fresh.memo_executor.router.shards):
+            for key_id, live in shard._dbs.items():
+                restored = restored_shard._dbs[key_id]
+                probes = [np.array(k, copy=True) for k in live._keys.values()][:4]
+                probes += [p + rng.normal(0, 1e-3, p.shape).astype(np.float32)
+                           for p in probes[:2]]
+                if not probes:
+                    continue
+                for a, b in zip(live.query_batch(probes),
+                                restored.query_batch(probes)):
+                    assert a.similarity == b.similarity
+                    assert a.matched_id == b.matched_id
+                    assert (a.value is None) == (b.value is None)
+                    if a.value is not None:
+                        assert np.array_equal(a.value, b.value)
+                    checked += 1
+        assert checked > 0
