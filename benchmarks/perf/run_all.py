@@ -22,7 +22,7 @@ import time
 _HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(_HERE, "..", ".."))  # make `benchmarks` importable
 
-from benchmarks.perf import bench_e2e, bench_memo, bench_usfft  # noqa: E402
+from benchmarks.perf import bench_e2e, bench_memo, bench_net, bench_usfft  # noqa: E402
 from benchmarks.perf.harness import RESULTS_DIR, ROOT_JSON, machine_info, write_json  # noqa: E402
 
 
@@ -44,6 +44,8 @@ def main(argv=None) -> int:
     benchmarks.update(bench_usfft.run(quick=args.quick, repeat=repeat))
     print("[perf] memo service throughput (batched zero-copy vs scalar serialized)...")
     benchmarks.update(bench_memo.run(quick=args.quick, repeat=repeat))
+    print("[perf] remote transport round-trip overhead (loopback tcp vs inproc)...")
+    benchmarks.update(bench_net.run(quick=args.quick, repeat=repeat))
     print("[perf] end-to-end MLRSolver.run (optimized vs reference hot path)...")
     benchmarks.update(bench_e2e.run(quick=args.quick, repeat=2 if args.quick else 3))
 

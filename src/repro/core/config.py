@@ -64,6 +64,15 @@ class MemoConfig:
         encode/decode round-trip while byte statistics still report the
         serialized frame size) or ``"bytes"`` (values stored serialized, the
         wire format the spill/offload paths use).
+    transport / server_address:
+        Where the memoization database tier lives.  ``"inproc"`` (default)
+        keeps the shard router in this process; ``"tcp"`` routes all
+        query/insert traffic to a :class:`~repro.net.server.MemoServerDaemon`
+        at ``server_address`` (``"host:port"`` or a ``(host, port)`` pair),
+        so multiple hosts share one memo tier.  The remote client is
+        fail-open: an unreachable server degrades to cold compute, never a
+        failed reconstruction.  Loopback ``tcp`` is bit-identical to
+        ``inproc`` at every workers x shards layout.
     """
 
     tau: float = 0.92
@@ -76,6 +85,8 @@ class MemoConfig:
     index_nprobe: int = 4
     index_train_min: int = 32
     db_value_mode: str = "array"
+    transport: str = "inproc"
+    server_address: str | tuple | None = None
     memo_ops: tuple[str, ...] = ("Fu1D", "Fu2D", "Fu2D*", "Fu1D*")
     track_similarity_census: bool = False
     warmup_iterations: int = 1
@@ -110,6 +121,12 @@ class MemoConfig:
             raise ValueError(f"key_hw must be >= 2, got {self.key_hw}")
         if self.warmup_iterations < 0:
             raise ValueError("warmup_iterations must be >= 0")
+        if self.transport not in ("inproc", "tcp"):
+            raise ValueError(
+                f"transport must be 'inproc' or 'tcp', got {self.transport!r}"
+            )
+        if self.transport == "tcp" and self.server_address is None:
+            raise ValueError("transport='tcp' requires a server_address")
 
 
 @dataclass

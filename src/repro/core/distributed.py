@@ -45,7 +45,13 @@ from ..solvers.executor import SWEEP_KERNELS
 from .coalescer import CoalesceStats, KeyCoalescer
 from .config import MemoConfig
 from .memo_cache import GlobalMemoCache, PrivateMemoCache
-from .memo_engine import CASE_CACHE, CASE_DIRECT, CASE_MISS, MemoizedExecutor
+from .memo_engine import (
+    CASE_CACHE,
+    CASE_DIRECT,
+    CASE_MISS,
+    MemoizedExecutor,
+    memo_state_partitions,
+)
 from .memo_shard import MemoShardRouter, ShardInsert, ShardQuery
 from .scaling import GPUAssignment, distribute_chunks
 
@@ -121,7 +127,23 @@ class DistributedMemoizedExecutor(MemoizedExecutor):
         # stays empty too, and the stats accessors read the router instead
         for state in self._state.values():
             state.cache = None
-        self.router = MemoShardRouter(self.n_shards, self._db_factory())
+        old_router = getattr(self, "router", None)
+        if cfg.transport == "tcp":
+            # the shard service lives in a MemoServerDaemon (possibly on
+            # another host); the client speaks the router's exact surface
+            from ..net.client import RemoteMemoClient
+
+            self.router = RemoteMemoClient(
+                cfg.server_address,
+                expect_tau=cfg.tau,
+                expect_value_mode=cfg.db_value_mode,
+                encoder_fingerprint=self._encoder_fingerprint(),
+                n_shards_hint=self.n_shards,
+            )
+        else:
+            self.router = MemoShardRouter(self.n_shards, self._db_factory())
+        if old_router is not None and hasattr(old_router, "close"):
+            old_router.close()
         self.workers = [
             WorkerState(worker_id=w, coalescer=KeyCoalescer())
             for w in range(self.n_workers)
@@ -146,6 +168,16 @@ class DistributedMemoizedExecutor(MemoizedExecutor):
     def reset_state(self) -> None:
         super().reset_state()
         self._build_distributed_state()
+
+    @property
+    def remote(self) -> bool:
+        """True when the shard service is reached over the network."""
+        return not isinstance(self.router, MemoShardRouter)
+
+    def close(self) -> None:
+        """Release the transport (no-op for the in-process router)."""
+        if hasattr(self.router, "close"):
+            self.router.close()
 
     # -- worker / shard plumbing ---------------------------------------------------------
 
@@ -352,19 +384,47 @@ class DistributedMemoizedExecutor(MemoizedExecutor):
 
     def memo_state(self) -> dict:
         """The shard service's state, snapshotted per shard through the
-        router (each shard contributes its partitions and message
-        counters), plus the key-encoder fingerprint."""
+        router (each shard contributes its partitions and message counters;
+        a remote router pulls the server's tier), plus the key-encoder
+        fingerprint and restorable CNN encoder weights."""
         state = self.router.state_dict()
         state["encoder"] = self._encoder_fingerprint()
+        state["encoder_state"] = self._encoder_state()
         return state
 
-    def _install_partition(self, op: str, location: int, db) -> None:
-        self.router.shard_for(location)._dbs[(op, location)] = db
+    def _install_partitions(self, restored: list) -> None:
+        for op, loc, db in restored:
+            self.router.shard_for(loc)._dbs[(op, loc)] = db
 
     def load_memo_state(self, state: dict) -> None:
         """Validate and install a snapshot (single-layout or sharded, any
         shard count — partitions re-route by location); per-shard message
-        counters are restored when the shard topology matches."""
+        counters are restored when the shard topology matches (and stay on
+        the server for a remote router).
+
+        On a remote transport the partitions are validated as raw trees and
+        pushed verbatim in one snapshot message — rebuilding each database
+        locally (ANN index included) only to re-serialize it for the wire
+        would double the warm-start cost for nothing.  The executor's
+        encoder state rides along so a later pull from the daemon can still
+        warm-start a CNN deployment."""
+        if self.remote:
+            self._check_encoder(state)
+            partitions = memo_state_partitions(state)
+            for part in partitions:
+                cfg = part["db"]["config"]
+                self._check_partition_fields(
+                    str(part["op"]), float(cfg["tau"]), str(cfg["value_mode"])
+                )
+            self.router.push_state(
+                {
+                    "layout": "single",
+                    "encoder": self._encoder_fingerprint(),
+                    "encoder_state": self._encoder_state(),
+                    "partitions": list(partitions),
+                }
+            )
+            return
         super().load_memo_state(state)
         if (
             state.get("layout") == "sharded"

@@ -18,12 +18,21 @@ each FFT operation's input chunk.  Two encoders are provided:
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..nn.cnn import ChunkEncoder
 from ..nn.quantize import QuantizedEncoder
 
-__all__ = ["chunk_to_image", "chunk_to_stack", "pool3d", "PoolKeyEncoder", "CNNKeyEncoder"]
+__all__ = [
+    "chunk_to_image",
+    "chunk_to_stack",
+    "pool3d",
+    "state_digest",
+    "PoolKeyEncoder",
+    "CNNKeyEncoder",
+]
 
 
 def chunk_to_image(chunk: np.ndarray, hw: int) -> np.ndarray:
@@ -71,6 +80,43 @@ def pool3d(chunk: np.ndarray, target: tuple[int, int, int]) -> np.ndarray:
     d0, d1, d2 = dims
     s0, s1, s2 = chunk.shape
     return chunk.reshape(d0, s0 // d0, d1, s1 // d1, d2, s2 // d2).mean(axis=(1, 3, 5))
+
+
+def _hash_state(node, h) -> None:
+    """Deterministic structural hash of a state tree (dict order-insensitive,
+    arrays hashed dtype+shape+bytes, numpy scalars normalized to python so a
+    live tree and its snapshot round trip digest identically) — the
+    key-encoder provenance digest."""
+    if isinstance(node, dict):
+        h.update(b"d")
+        for key in sorted(node):
+            h.update(str(key).encode("utf-8") + b"\x00")
+            _hash_state(node[key], h)
+    elif isinstance(node, (list, tuple)):
+        h.update(b"l")
+        for item in node:
+            _hash_state(item, h)
+    elif isinstance(node, np.ndarray):
+        arr = np.ascontiguousarray(node)
+        h.update(b"a" + arr.dtype.str.encode("ascii") + str(arr.shape).encode("ascii"))
+        h.update(arr.tobytes())
+    else:
+        if isinstance(node, np.bool_):
+            node = bool(node)
+        elif isinstance(node, np.integer):
+            node = int(node)
+        elif isinstance(node, np.floating):
+            node = float(node)
+        h.update(b"s" + repr(node).encode("utf-8"))
+
+
+def state_digest(state) -> str:
+    """Content hash of a state tree — what `CNNKeyEncoder.weights_digest`
+    computes, callable on a raw (e.g. snapshot-loaded) tree without
+    rebuilding the encoder first."""
+    h = hashlib.sha256()
+    _hash_state(state, h)
+    return h.hexdigest()
 
 
 class PoolKeyEncoder:
@@ -139,6 +185,14 @@ class CNNKeyEncoder:
         encoder and re-quantizing reproduces the exact int8 tensors (and
         bit-identical keys) of the live encoder."""
         return {"encoder": self._float_encoder.state_dict(), "quantized": self.quantized}
+
+    def weights_digest(self) -> str:
+        """Content hash of the encoder state (weights + config + quantization
+        flag).  Recorded in memo-snapshot fingerprints: keys produced by
+        different trainings never tau-match, so a warm start across encoder
+        weights must fail fast (or install the snapshot's own encoder)
+        instead of silently running at ~0% hit rate."""
+        return state_digest(self.state_dict())
 
     @classmethod
     def from_state(cls, state: dict) -> "CNNKeyEncoder":

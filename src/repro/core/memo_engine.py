@@ -31,19 +31,39 @@ import numpy as np
 from ..solvers.executor import DirectExecutor
 from .coalescer import KeyCoalescer
 from .config import MemoConfig
-from .keying import PoolKeyEncoder
+from .keying import CNNKeyEncoder, PoolKeyEncoder
 from .memo_cache import GlobalMemoCache, PrivateMemoCache
 from .memo_db import MemoDatabase
 
 __all__ = [
     "MemoEvent",
     "MemoizedExecutor",
+    "make_db_factory",
     "memo_state_partitions",
     "CASE_MISS",
     "CASE_DB",
     "CASE_CACHE",
     "CASE_DIRECT",
 ]
+
+
+def make_db_factory(config: MemoConfig):
+    """Partition factory (``dim -> MemoDatabase``) carrying ``config``'s
+    tau / index / value-mode settings — shared by the executors and the
+    memo server daemon so every deployment shape builds identical
+    partitions."""
+
+    def make_db(dim: int) -> MemoDatabase:
+        return MemoDatabase(
+            dim=dim,
+            tau=config.tau,
+            index_clusters=config.index_clusters,
+            index_nprobe=config.index_nprobe,
+            train_min=config.index_train_min,
+            value_mode=config.db_value_mode,
+        )
+
+    return make_db
 
 
 def memo_state_partitions(state: dict) -> list[dict]:
@@ -157,22 +177,14 @@ class MemoizedExecutor(DirectExecutor):
         after installing a new key encoder with a different dimensionality."""
         self._state = {op: self._make_state(op) for op in self.config.memo_ops}
 
+    def close(self) -> None:
+        """Release transport resources; the in-process engine holds none
+        (the distributed executor closes its remote client here)."""
+
     def _db_factory(self):
         """Partition factory (``dim -> MemoDatabase``) carrying this
         executor's tau / index configuration."""
-        cfg = self.config
-
-        def make_db(dim: int) -> MemoDatabase:
-            return MemoDatabase(
-                dim=dim,
-                tau=cfg.tau,
-                index_clusters=cfg.index_clusters,
-                index_nprobe=cfg.index_nprobe,
-                train_min=cfg.index_train_min,
-                value_mode=cfg.db_value_mode,
-            )
-
-        return make_db
+        return make_db_factory(self.config)
 
     def _make_state(self, op: str) -> _OpState:
         cfg = self.config
@@ -465,32 +477,52 @@ class MemoizedExecutor(DirectExecutor):
 
     # -- snapshot hooks ------------------------------------------------------------------
 
-    def _check_partition(self, op: str, db: MemoDatabase) -> None:
+    def _check_partition_fields(self, op: str, tau: float, value_mode: str) -> None:
         """Fail fast on a snapshot that would silently change memoization
-        semantics under this executor's configuration."""
+        semantics under this executor's configuration.  Field-level so the
+        remote transport can validate raw partition trees without first
+        rebuilding the databases they describe."""
         if op not in self._state:
             raise ValueError(
                 f"snapshot carries op {op!r}, not memoized here "
                 f"(memo_ops={self.config.memo_ops})"
             )
-        if db.tau != self.config.tau:
+        if tau != self.config.tau:
             raise ValueError(
-                f"snapshot tau {db.tau} != configured tau {self.config.tau}"
+                f"snapshot tau {tau} != configured tau {self.config.tau}"
             )
-        if db.value_mode != self.config.db_value_mode:
+        if value_mode != self.config.db_value_mode:
             raise ValueError(
-                f"snapshot value_mode {db.value_mode!r} != configured "
+                f"snapshot value_mode {value_mode!r} != configured "
                 f"{self.config.db_value_mode!r}"
             )
+
+    def _check_partition(self, op: str, db: MemoDatabase) -> None:
+        self._check_partition_fields(op, db.tau, db.value_mode)
 
     def _encoder_fingerprint(self) -> dict:
         """Key-encoder provenance recorded with every memo snapshot: keys
         from different encoders never tau-match, so loading across encoder
-        kinds must fail fast instead of silently degrading hit rates."""
+        kinds — or across CNN weights (the ``weights`` digest) — must fail
+        fast instead of silently degrading hit rates."""
         return {
             "kind": type(self.encoder).__name__,
             "dim": int(getattr(self.encoder, "dim", 0)) or None,
+            "weights": (
+                self.encoder.weights_digest()
+                if isinstance(self.encoder, CNNKeyEncoder)
+                else None
+            ),
         }
+
+    def _encoder_state(self) -> dict | None:
+        """Restorable weights of a trained (CNN) key encoder, carried inside
+        every memo snapshot so a warm start re-installs the encoder the keys
+        were produced with — no re-train (the pool encoder is stateless:
+        ``None``)."""
+        if isinstance(self.encoder, CNNKeyEncoder):
+            return self.encoder.state_dict()
+        return None
 
     def _check_encoder(self, state: dict) -> None:
         stored = state.get("encoder")
@@ -507,14 +539,26 @@ class MemoizedExecutor(DirectExecutor):
                 f"snapshot key dimensionality {stored['dim']} != "
                 f"this executor's {ours['dim']}"
             )
+        if (
+            stored.get("weights")
+            and ours.get("weights")
+            and stored["weights"] != ours["weights"]
+        ):
+            raise ValueError(
+                "snapshot keys come from a CNN encoder with different weights "
+                "than this executor's — install the snapshot's encoder (its "
+                "'encoder_state' / MLRSolver auto-install) or re-train"
+            )
 
     def memo_state(self) -> dict:
         """The executor's whole database tier as one restorable state tree
         (partitions keyed by ``(op, location)``, plus the key-encoder
-        fingerprint the keys were produced with)."""
+        fingerprint the keys were produced with and — for trained CNN
+        encoders — the encoder weights themselves)."""
         return {
             "layout": "single",
             "encoder": self._encoder_fingerprint(),
+            "encoder_state": self._encoder_state(),
             "partitions": [
                 {"op": op, "location": int(loc), "db": db.state_dict()}
                 for op, state in self._state.items()
@@ -538,11 +582,14 @@ class MemoizedExecutor(DirectExecutor):
         ]
         for op, _loc, db in restored:
             self._check_partition(op, db)
-        for op, loc, db in restored:
-            self._install_partition(op, loc, db)
+        self._install_partitions(restored)
 
-    def _install_partition(self, op: str, location: int, db: MemoDatabase) -> None:
-        self._state[op].dbs[location] = db
+    def _install_partitions(self, restored: list) -> None:
+        """Install validated ``(op, location, db)`` partitions in one go (the
+        distributed executor overrides this to route them — or, on a remote
+        transport, to push them as a single snapshot message)."""
+        for op, loc, db in restored:
+            self._state[op].dbs[loc] = db
 
     def similarity_census(self, op: str, tau: float | None = None) -> dict[int, list[int]]:
         """Figure 4: per location, for each iteration's key, how many *prior*

@@ -27,7 +27,7 @@ from ..lamino.geometry import LaminoGeometry
 from ..lamino.operators import LaminoOperators
 from ..solvers.admm import ADMMConfig, ADMMResult, ADMMSolver
 from .config import MLRConfig
-from .keying import CNNKeyEncoder, chunk_to_image
+from .keying import CNNKeyEncoder, chunk_to_image, state_digest
 from .memo_engine import MemoEvent, MemoizedExecutor
 
 __all__ = ["MLRResult", "MLRSolver"]
@@ -68,7 +68,22 @@ class MLRSolver:
         self.config = config or MLRConfig()
         self.admm_config = admm or ADMMConfig()
         self.ops = ops if ops is not None else LaminoOperators(geometry)
-        if self.config.n_workers > 1 or self.config.n_shards > 1:
+        snapshot_tree = self._resolve_snapshot(self.config.memo_snapshot)
+        if (
+            encoder is None
+            and self.config.memo.encoder == "cnn"
+            and snapshot_tree is not None
+            and snapshot_tree.get("encoder_state")
+        ):
+            # snapshot-aware encoder lifecycle: the snapshot carries the
+            # trained CNN encoder its keys were produced with — install it
+            # instead of demanding a re-train
+            encoder = CNNKeyEncoder.from_state(snapshot_tree["encoder_state"])
+        if (
+            self.config.n_workers > 1
+            or self.config.n_shards > 1
+            or self.config.memo.transport != "inproc"
+        ):
             from .distributed import DistributedMemoizedExecutor
 
             self.executor = DistributedMemoizedExecutor(
@@ -91,20 +106,51 @@ class MLRSolver:
             from ..pipeline import PipelinedExecutor
 
             self.executor = PipelinedExecutor(self.executor, self.config.pipeline)
-        if self.config.memo_snapshot is not None:
-            self.load_memo_snapshot(self.config.memo_snapshot)
+        if snapshot_tree is not None:
+            self.load_memo_snapshot(snapshot_tree)
         self.solver = ADMMSolver(self.ops, self.admm_config, executor=self.executor)
 
+    def close(self) -> None:
+        """Release transport resources (the remote memo client, if any)."""
+        self.memo_executor.close()
+
     # -- warm start / persistence --------------------------------------------------------
+
+    @staticmethod
+    def _resolve_snapshot(snapshot) -> dict | None:
+        """``None`` / state tree / snapshot directory -> state tree."""
+        if snapshot is None or isinstance(snapshot, dict):
+            return snapshot
+        from ..service.snapshot import load_memo_snapshot
+
+        return load_memo_snapshot(snapshot)
 
     def load_memo_snapshot(self, snapshot) -> None:
         """Warm-start the memoization database tier from ``snapshot`` — a
         directory written by :meth:`save_memo_snapshot` or an in-memory
         ``memo_state()`` tree (what ``MLRConfig(memo_snapshot=...)`` routes
-        here at construction)."""
+        here at construction).
+
+        A snapshot carrying CNN encoder weights (``encoder_state``)
+        auto-installs them when this solver is configured for the CNN
+        encoder and does not already run the exact same weights — so a
+        CNN-keyed deployment warm-starts without a re-train."""
         from ..service.snapshot import install_memo_state
 
-        install_memo_state(self.memo_executor, snapshot)
+        tree = self._resolve_snapshot(snapshot)
+        enc_state = tree.get("encoder_state")
+        if enc_state and self.config.memo.encoder == "cnn":
+            current = self.memo_executor.encoder
+            # digest the raw state tree — building a CNNKeyEncoder (with its
+            # INT8 re-quantization) just to compare digests would waste the
+            # common case where the snapshot's encoder is already installed
+            if not (
+                isinstance(current, CNNKeyEncoder)
+                and current.weights_digest() == state_digest(enc_state)
+            ):
+                self.memo_executor.encoder = CNNKeyEncoder.from_state(enc_state)
+                self.memo_executor.reset_state()
+        install_memo_state(self.memo_executor, tree)
 
     def save_memo_snapshot(self, path) -> dict:
         """Persist the executor's database tier as a versioned on-disk

@@ -2,11 +2,16 @@
 
 The value database stores FFT-operation outputs as opaque byte strings (the
 way Redis would); this codec frames dtype/shape so arrays round-trip exactly.
+It is also the array payload format of the remote memoization transport
+(:mod:`repro.net`), so frames must be portable across hosts: payload bytes
+are always little-endian (big-endian and byte-swapped inputs are normalized
+on encode), 0-d and Fortran-order arrays round-trip, and object dtypes —
+which have no stable byte representation — are rejected loudly on both ends.
 
 Wire format::
 
     magic (4s) | version (u8) | dtype-string length (u8) | ndim (u8) | pad (u8)
-    | shape (ndim * u64) | dtype string | raw bytes (C order)
+    | shape (ndim * u64) | dtype string | raw bytes (C order, little-endian)
 """
 
 from __future__ import annotations
@@ -20,10 +25,30 @@ __all__ = ["encode_array", "decode_array", "encoded_nbytes"]
 _MAGIC = b"mLRv"
 _HEADER = struct.Struct("<4sBBBB")
 
+_LITTLE_ENDIAN = np.dtype("<i4").isnative
+
+
+def _wire_dtype(dtype: np.dtype) -> np.dtype:
+    """The (little-endian) dtype an array travels as; rejects object dtypes."""
+    if dtype.hasobject:
+        raise TypeError(
+            f"cannot serialize object dtype {dtype!r}: object arrays have no "
+            "stable byte representation (convert to a numeric/bytes dtype first)"
+        )
+    # '>' is big-endian; '=' is native, which is '>' on big-endian hosts.
+    # Normalizing to explicit little-endian makes the payload portable:
+    # frames written on any host decode identically on any other.
+    if dtype.byteorder == ">" or (dtype.byteorder == "=" and not _LITTLE_ENDIAN):
+        return dtype.newbyteorder("<")
+    return dtype
+
 
 def encode_array(a: np.ndarray) -> bytes:
     """Serialize an array (any dtype/shape) to a self-describing byte string."""
-    a = np.ascontiguousarray(a)
+    a = np.asarray(a)
+    # asarray (not ascontiguousarray, which promotes 0-d to 1-d) so scalar
+    # arrays keep their shape; order="C" linearizes Fortran-order inputs
+    a = np.asarray(a, dtype=_wire_dtype(a.dtype), order="C")
     dtype_str = a.dtype.str.encode("ascii")
     if len(dtype_str) > 255:
         raise ValueError(f"dtype string too long: {a.dtype}")
@@ -44,9 +69,18 @@ def decode_array(raw: bytes) -> np.ndarray:
     if version != 1:
         raise ValueError(f"unsupported version {version}")
     off = _HEADER.size
+    if len(raw) < off + 8 * ndim + dlen:
+        raise ValueError("buffer too short for shape/dtype header")
     shape = struct.unpack_from(f"<{ndim}Q", raw, off)
     off += 8 * ndim
-    dtype = np.dtype(raw[off : off + dlen].decode("ascii"))
+    try:
+        dtype = np.dtype(raw[off : off + dlen].decode("ascii"))
+    except (TypeError, ValueError, UnicodeDecodeError) as exc:
+        raise ValueError(f"undecodable dtype string: {exc}") from None
+    if dtype.hasobject:
+        # an object dtype string on the wire is either corruption or an
+        # attempt to smuggle pickled payloads — never frombuffer it
+        raise ValueError(f"refusing to decode object dtype {dtype!r}")
     off += dlen
     a = np.frombuffer(raw, dtype=dtype, offset=off)
     expect = int(np.prod(shape)) if ndim else 1

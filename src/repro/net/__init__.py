@@ -1,0 +1,64 @@
+"""Remote memoization transport: the memo service as a network service.
+
+The paper's memoization tier pays off most when tau-similar chunks recur
+*across* scans and hosts; this package puts a wire protocol between the
+compute side and the shard service so multiple beamline hosts share one
+memo tier:
+
+- :mod:`repro.net.wire` — length-prefixed, versioned, checksummed binary
+  framing with typed request/response messages (array payloads reuse the
+  kvstore ``encode_array`` codec),
+- :mod:`repro.net.server` — :class:`MemoServerDaemon`, a threaded TCP
+  daemon hosting a :class:`~repro.core.memo_shard.MemoShardRouter` with
+  shards mapped to worker threads (run it with
+  ``python -m repro.net.server``),
+- :mod:`repro.net.client` — :class:`RemoteMemoClient`, the same batched
+  query/insert surface as the in-process router, with request pipelining,
+  reconnect-with-backoff, and fail-open degradation to cold compute,
+- :mod:`repro.net.snapshot_store` — :class:`RemoteSnapshotStore`, the
+  scheduler-side push/pull tier for cross-host warm starts.
+
+Select it with ``MemoConfig(transport="tcp", server_address=...)`` (compute
+side) or ``ServiceConfig(memo_transport="tcp", memo_server=...)``
+(scheduler side); ``transport="inproc"`` keeps everything in process and
+bit-identical behavior is asserted between the two.
+"""
+
+from .client import NetClientStats, RemoteMemoClient, TransportUnavailable
+from .server import MemoServerDaemon, ServerStats
+from .snapshot_store import RemoteSnapshotStore
+from .wire import (
+    MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+    ChecksumError,
+    ConnectionClosed,
+    FrameError,
+    FrameReader,
+    MessageError,
+    ProtocolError,
+    RemoteError,
+    TruncatedFrame,
+    VersionMismatch,
+    parse_address,
+)
+
+__all__ = [
+    "NetClientStats",
+    "RemoteMemoClient",
+    "TransportUnavailable",
+    "MemoServerDaemon",
+    "ServerStats",
+    "RemoteSnapshotStore",
+    "MAX_PAYLOAD_BYTES",
+    "PROTOCOL_VERSION",
+    "ChecksumError",
+    "ConnectionClosed",
+    "FrameError",
+    "FrameReader",
+    "MessageError",
+    "ProtocolError",
+    "RemoteError",
+    "TruncatedFrame",
+    "VersionMismatch",
+    "parse_address",
+]

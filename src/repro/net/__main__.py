@@ -1,0 +1,7 @@
+"""``python -m repro.net``: run the memo server daemon (same CLI as
+``python -m repro.net.server``, without the package-import runpy warning)."""
+
+from .server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

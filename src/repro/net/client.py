@@ -1,0 +1,515 @@
+"""Remote memo client: the :class:`~repro.core.memo_shard.MemoShardRouter`
+surface over a TCP connection to a :class:`~repro.net.server.MemoServerDaemon`.
+
+:class:`RemoteMemoClient` is what the distributed executor swaps in when
+``MemoConfig(transport="tcp")`` is set: it speaks the same batched
+``query_batch`` / ``insert_batch`` / ``stats`` / ``state_dict`` vocabulary
+as the in-process router, so every caller above it is transport-blind.
+
+Three behaviors define it:
+
+- **request pipelining** — insert batches (asynchronous in the paper:
+  nothing in a sweep depends on them) are transmitted without waiting for
+  the acknowledgement; acks are drained opportunistically before the next
+  synchronous request, so the insert round trip overlaps the next sweep's
+  compute,
+- **reconnect with backoff** — a lost connection schedules an exponentially
+  backed-off retry; every call transparently reconnects once the retry
+  window opens,
+- **fail-open** — with ``fail_open=True`` (the default) a dead or
+  unreachable server degrades queries to all-miss outcomes and drops
+  inserts/stats on the floor: the reconstruction continues on cold compute
+  and *never* fails because the memo tier did.  Deterministic
+  misconfiguration (protocol version skew, tau / value-mode mismatch
+  against the server) always raises — a mismatched tier would silently
+  change hit/miss decisions, which is worse than unavailability.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.memo_db import MemoDBStats, QueryOutcome
+from ..core.memo_shard import shard_of_location
+from .wire import (
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_HELLO_OK,
+    MSG_INSERT,
+    MSG_QUERY,
+    MSG_QUERY_OK,
+    MSG_SNAP_PULL,
+    MSG_SNAP_PULL_OK,
+    MSG_SNAP_PUSH,
+    MSG_SNAP_PUSH_OK,
+    MSG_STATS,
+    MSG_STATS_OK,
+    PROTOCOL_VERSION,
+    FrameReader,
+    MessageError,
+    ProtocolError,
+    RemoteError,
+    VersionMismatch,
+    inserts_to_wire,
+    outcomes_from_wire,
+    parse_address,
+    queries_to_wire,
+    send_frame,
+    stats_from_wire,
+)
+
+__all__ = ["NetClientStats", "RemoteMemoClient", "TransportUnavailable"]
+
+log = logging.getLogger("repro.net.client")
+
+
+class TransportUnavailable(ConnectionError):
+    """The memo server cannot be reached (raised only with fail_open=False)."""
+
+
+@dataclass
+class NetClientStats:
+    """Client-side transport counters (reconnects, degradation, pipelining)."""
+
+    connects: int = 0
+    connect_failures: int = 0
+    requests: int = 0
+    degraded_query_batches: int = 0
+    degraded_queries: int = 0
+    degraded_insert_batches: int = 0
+    degraded_stats_pulls: int = 0
+    pipelined_inserts: int = 0
+    drained_acks: int = 0
+
+
+class RemoteMemoClient:
+    """One host's connection to the shared memo service.
+
+    ``expect_tau`` / ``expect_value_mode`` (usually taken from the local
+    :class:`~repro.core.config.MemoConfig`) are checked against the server's
+    advertised configuration at handshake; a mismatch raises ``ValueError``
+    regardless of ``fail_open``, because serving hits gated by a different
+    tau would silently change memoization decisions.
+
+    ``encoder_fingerprint`` (the executor's ``_encoder_fingerprint()``) is
+    sent at handshake; the server pins the first one it sees and rejects
+    conflicting clients, so two hosts with different CNN trainings cannot
+    quietly co-mingle keys in one tier.  ``n_shards_hint`` labels shard ids
+    (for event traces) until the first successful handshake reports the
+    server's true shard count.
+    """
+
+    def __init__(
+        self,
+        address,
+        expect_tau: float | None = None,
+        expect_value_mode: str | None = None,
+        encoder_fingerprint: dict | None = None,
+        fail_open: bool = True,
+        n_shards_hint: int = 1,
+        connect_timeout: float = 5.0,
+        io_timeout: float | None = 60.0,
+        backoff_initial_s: float = 0.05,
+        backoff_max_s: float = 5.0,
+        max_inflight: int = 8,
+        client_name: str = "memo-client",
+    ) -> None:
+        self.address = parse_address(address)
+        self.expect_tau = expect_tau
+        self.expect_value_mode = expect_value_mode
+        self.encoder_fingerprint = encoder_fingerprint
+        self.fail_open = fail_open
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self.backoff_initial_s = backoff_initial_s
+        self.backoff_max_s = backoff_max_s
+        self.max_inflight = max_inflight
+        self.client_name = client_name
+        self.net_stats = NetClientStats()
+        self.server_info: dict | None = None
+        self._n_shards = max(1, int(n_shards_hint))
+        self._lock = threading.RLock()
+        self._sock: socket.socket | None = None
+        self._reader: FrameReader | None = None
+        self._pending: deque[int] = deque()  # request ids of unacked inserts
+        self._req_seq = 0
+        self._backoff = backoff_initial_s
+        self._next_attempt = 0.0  # monotonic deadline for the next connect try
+        self._closed = False
+        self._outage_logged = False
+        # eager first connect: deterministic misconfiguration (version/tau/
+        # value-mode skew) surfaces at construction; a merely-down server
+        # follows the fail-open rules like any later call
+        try:
+            self._ensure_locked()
+        except VersionMismatch:
+            raise
+        except (OSError, ProtocolError):
+            if not fail_open:
+                raise
+
+    # -- connection management -----------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        with self._lock:
+            return self._sock is not None
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    def shard_of(self, location: int) -> int:
+        """Consistent location -> shard labeling (server topology once
+        known, the constructor hint before that)."""
+        return shard_of_location(location, self._n_shards)
+
+    def reset_backoff(self) -> None:
+        """Forget the current backoff window so the next call retries
+        immediately — for callers that *know* the server just came back
+        (tests, operator tooling) rather than waiting out the schedule."""
+        with self._lock:
+            self._backoff = self.backoff_initial_s
+            self._next_attempt = 0.0
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._drop_locked()
+
+    def __enter__(self) -> "RemoteMemoClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _drop_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._reader = None
+        self._pending.clear()
+
+    def _fail_locked(self, exc: Exception) -> None:
+        """Connection-level failure: drop the socket, arm the backoff."""
+        self._drop_locked()
+        self.net_stats.connect_failures += 1
+        self._next_attempt = time.monotonic() + self._backoff
+        self._backoff = min(self._backoff * 2.0, self.backoff_max_s)
+        if not self._outage_logged:
+            log.warning(
+                "%s: memo server %s:%d unavailable (%s) — degrading to cold "
+                "compute, will keep retrying",
+                self.client_name, self.address[0], self.address[1], exc,
+            )
+            self._outage_logged = True
+
+    def _ensure_locked(self) -> bool:
+        """Connect + handshake if disconnected; False while backing off or
+        unreachable (after arming the next retry)."""
+        if self._closed:
+            raise TransportUnavailable("client is closed")
+        if self._sock is not None:
+            return True
+        if time.monotonic() < self._next_attempt:
+            return False
+        try:
+            sock = socket.create_connection(self.address, timeout=self.connect_timeout)
+        except OSError as exc:
+            self._fail_locked(exc)
+            return False
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(self.connect_timeout)
+            reader = FrameReader(sock)
+            send_frame(
+                sock, MSG_HELLO, 0,
+                {
+                    "version": PROTOCOL_VERSION,
+                    "client": self.client_name,
+                    "encoder": self.encoder_fingerprint,
+                },
+            )
+            msg_type, _rid, body = reader.read_frame()
+            if msg_type == MSG_ERROR:
+                self._raise_remote(body)
+            if msg_type != MSG_HELLO_OK or not isinstance(body, dict):
+                raise MessageError(f"unexpected handshake reply type {msg_type}")
+            self._check_server(body)
+            sock.settimeout(self.io_timeout)
+        except VersionMismatch:
+            sock.close()
+            raise  # deterministic: retrying cannot help, fail fast
+        except ValueError:
+            sock.close()
+            raise  # configuration mismatch — never degrade past it
+        except RemoteError as exc:
+            # the server answered the handshake with a rejection (conflicting
+            # encoder provenance): deterministic, so never fail open past it
+            sock.close()
+            raise ValueError(
+                f"memo server rejected this client: {exc.remote_message}"
+            ) from None
+        except (OSError, ProtocolError) as exc:
+            sock.close()
+            self._fail_locked(exc)
+            return False
+        self._sock = sock
+        self._reader = reader
+        self.server_info = body
+        self._n_shards = max(1, int(body.get("n_shards", self._n_shards)))
+        self._backoff = self.backoff_initial_s
+        self._outage_logged = False
+        self.net_stats.connects += 1
+        return True
+
+    def _check_server(self, info: dict) -> None:
+        if info.get("version") != PROTOCOL_VERSION:
+            raise VersionMismatch(
+                f"server speaks protocol version {info.get('version')!r}, this "
+                f"client speaks {PROTOCOL_VERSION} — upgrade the older side"
+            )
+        if self.expect_tau is not None and float(info.get("tau")) != self.expect_tau:
+            raise ValueError(
+                f"memo server at {self.address[0]}:{self.address[1]} runs "
+                f"tau={info.get('tau')}, this client is configured for "
+                f"tau={self.expect_tau} — hits would be gated differently"
+            )
+        if (
+            self.expect_value_mode is not None
+            and info.get("value_mode") != self.expect_value_mode
+        ):
+            raise ValueError(
+                f"memo server value_mode {info.get('value_mode')!r} != configured "
+                f"{self.expect_value_mode!r}"
+            )
+
+    @staticmethod
+    def _raise_remote(body) -> None:
+        kind = body.get("kind", "error") if isinstance(body, dict) else "error"
+        message = body.get("message", "") if isinstance(body, dict) else repr(body)
+        if kind == "VersionMismatch":
+            raise VersionMismatch(message)
+        raise RemoteError(kind, message)
+
+    # -- request plumbing ----------------------------------------------------------------
+
+    def _send_locked(self, msg_type: int, body) -> int:
+        self._req_seq += 1
+        rid = self._req_seq
+        send_frame(self._sock, msg_type, rid, body)
+        self.net_stats.requests += 1
+        return rid
+
+    def _read_until_locked(self, rid: int):
+        """Drain the ordered response stream up to request ``rid``; earlier
+        frames must be acks of pipelined inserts (popped as they pass).
+        Returns without popping ``rid`` itself even if it is the pending
+        head — the caller owns that bookkeeping."""
+        while True:
+            msg_type, got_rid, body = self._reader.read_frame()
+            if got_rid != rid:
+                if self._pending and got_rid == self._pending[0]:
+                    self._pending.popleft()
+                    self.net_stats.drained_acks += 1
+                    if msg_type == MSG_ERROR:
+                        log.warning("pipelined insert %d rejected: %s", got_rid, body)
+                    continue
+                raise MessageError(
+                    f"response for unknown request {got_rid} (awaiting {rid})"
+                )
+            if msg_type == MSG_ERROR:
+                self._raise_remote(body)
+            return msg_type, body
+
+    def _sync_request(self, msg_type: int, body, expect_type: int):
+        """One synchronous round trip under the lock; transport failures
+        propagate as the underlying exception (callers decide fail-open)."""
+        with self._lock:
+            if not self._ensure_locked():
+                raise TransportUnavailable(
+                    f"memo server {self.address[0]}:{self.address[1]} is "
+                    "unreachable (backing off)"
+                )
+            try:
+                rid = self._send_locked(msg_type, body)
+                reply_type, reply = self._read_until_locked(rid)
+            except RemoteError:
+                raise  # the connection is fine; the request was rejected
+            except (OSError, ProtocolError) as exc:
+                self._fail_locked(exc)
+                raise
+            if reply_type != expect_type:
+                exc = MessageError(
+                    f"expected reply type {expect_type}, got {reply_type}"
+                )
+                self._fail_locked(exc)
+                raise exc
+            return reply
+
+    def _drain_one_locked(self) -> None:
+        """Block until the oldest pipelined insert is acknowledged."""
+        rid = self._pending[0]
+        try:
+            self._read_until_locked(rid)
+        except RemoteError as exc:
+            log.warning("pipelined insert %d rejected: %s", rid, exc)
+        if self._pending and self._pending[0] == rid:
+            self._pending.popleft()
+            self.net_stats.drained_acks += 1
+
+    def flush(self) -> None:
+        """Drain every outstanding pipelined insert acknowledgement."""
+        with self._lock:
+            if self._sock is None:
+                return
+            try:
+                while self._pending:
+                    self._drain_one_locked()
+            except (OSError, ProtocolError) as exc:
+                self._fail_locked(exc)
+
+    # -- the batched memo service surface ------------------------------------------------
+
+    def query_batch(self, queries) -> list[QueryOutcome]:
+        """One coalesced key batch -> outcomes in request order; a dead
+        server answers all-miss (cold compute) instead of raising."""
+        queries = list(queries)
+        if not queries:
+            return []
+        try:
+            reply = self._sync_request(
+                MSG_QUERY, {"queries": queries_to_wire(queries)}, MSG_QUERY_OK
+            )
+            outcomes = outcomes_from_wire(reply.get("outcomes"))
+            if len(outcomes) != len(queries):
+                raise MessageError(
+                    f"server answered {len(outcomes)} outcomes for "
+                    f"{len(queries)} queries"
+                )
+            return outcomes
+        except (VersionMismatch, RemoteError):
+            raise
+        except (OSError, ProtocolError):
+            # TransportUnavailable is an OSError: unreachable and broken
+            # servers degrade the same way
+            if not self.fail_open:
+                raise
+            self.net_stats.degraded_query_batches += 1
+            self.net_stats.degraded_queries += len(queries)
+            return [QueryOutcome(None, -2.0, -1, 0) for _ in queries]
+
+    def insert_batch(self, inserts) -> list[int]:
+        """Transmit one batched insertion message, pipelined: the call
+        returns once the frame is written; the ack is drained before a later
+        synchronous request.  Returns ``-1`` placeholder ids (the real ids
+        live on the server; no caller consumes them remotely)."""
+        inserts = list(inserts)
+        if not inserts:
+            return []
+        with self._lock:
+            try:
+                if not self._ensure_locked():
+                    raise TransportUnavailable("backing off")
+                while len(self._pending) >= self.max_inflight:
+                    self._drain_one_locked()
+                rid = self._send_locked(
+                    MSG_INSERT, {"inserts": inserts_to_wire(inserts)}
+                )
+                self._pending.append(rid)
+                self.net_stats.pipelined_inserts += len(inserts)
+            except (VersionMismatch, RemoteError):
+                raise
+            except TransportUnavailable:
+                if not self.fail_open:
+                    raise
+                self.net_stats.degraded_insert_batches += 1
+            except (OSError, ProtocolError) as exc:
+                self._fail_locked(exc)
+                if not self.fail_open:
+                    raise
+                self.net_stats.degraded_insert_batches += 1
+        return [-1] * len(inserts)
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def _stats_body(self, op: str | None) -> dict | None:
+        try:
+            return self._sync_request(MSG_STATS, {"op": op}, MSG_STATS_OK)
+        except (VersionMismatch, RemoteError):
+            raise
+        except (OSError, ProtocolError):
+            if not self.fail_open:
+                raise
+            self.net_stats.degraded_stats_pulls += 1
+            return None
+
+    def stats(self, op: str | None = None) -> MemoDBStats:
+        body = self._stats_body(op)
+        if body is None:
+            return MemoDBStats()
+        return MemoDBStats.merged(stats_from_wire(s) for s in body["per_shard"])
+
+    def per_shard_stats(self, op: str | None = None) -> list[MemoDBStats]:
+        body = self._stats_body(op)
+        if body is None:
+            return [MemoDBStats() for _ in range(self._n_shards)]
+        return [stats_from_wire(s) for s in body["per_shard"]]
+
+    def entries(self, op: str | None = None) -> int:
+        return sum(self.per_shard_entries(op))
+
+    def per_shard_entries(self, op: str | None = None) -> list[int]:
+        body = self._stats_body(op)
+        if body is None:
+            return [0] * self._n_shards
+        return [int(n) for n in body["per_shard_entries"]]
+
+    # -- snapshot surface (the router's state hooks, over the wire) ----------------------
+
+    def state_dict(self) -> dict:
+        """Pull the server's full tier (``memo_state()``-compatible tree).
+        Fail-open returns an *empty* single-layout tree when the server is
+        unreachable — callers persisting it will persist a cold tier."""
+        try:
+            reply = self._sync_request(MSG_SNAP_PULL, {}, MSG_SNAP_PULL_OK)
+            tree = reply.get("tree")
+            if not isinstance(tree, dict):
+                raise MessageError("snapshot pull returned no tree")
+            return tree
+        except (VersionMismatch, RemoteError):
+            raise
+        except (OSError, ProtocolError) as exc:
+            if not self.fail_open:
+                raise
+            log.warning("snapshot pull degraded to an empty tier: %s", exc)
+            return {"layout": "single", "partitions": []}
+
+    def push_state(self, tree: dict) -> bool:
+        """Merge a tier into the server (partition-level union, ours wins).
+        Returns False (fail-open) when the server is unreachable; server-side
+        rejections (tau / encoder mismatch) raise ``ValueError``."""
+        try:
+            self._sync_request(MSG_SNAP_PUSH, {"tree": tree}, MSG_SNAP_PUSH_OK)
+            return True
+        except RemoteError as exc:
+            raise ValueError(exc.remote_message) from None
+        except VersionMismatch:
+            raise
+        except (OSError, ProtocolError) as exc:
+            if not self.fail_open:
+                raise
+            log.warning("snapshot push dropped (server unreachable): %s", exc)
+            return False
+
+    # alias: the router's load_state vocabulary
+    def load_state(self, tree: dict) -> None:
+        self.push_state(tree)

@@ -1,0 +1,75 @@
+"""Remote snapshot tier: schedulers on different hosts sharing one memo tier.
+
+:class:`RemoteSnapshotStore` gives the reconstruction service's
+:class:`~repro.service.scheduler.SharedMemoService` a cross-host backing:
+instead of holding the accumulated database tier in process memory, the
+scheduler pushes each finished job's tier to a
+:class:`~repro.net.server.MemoServerDaemon` (which merges it,
+partition-level union) and pulls the merged tier to seed the next job.  Two
+beamline hosts pointed at the same daemon therefore warm-start from each
+other's scans, and the daemon's own on-disk persistence makes the tier
+survive every process involved.
+
+The store is fail-open by default: an unreachable daemon makes ``pull``
+return ``None`` (jobs start cold) and ``push`` return ``False`` (the tier
+update is dropped) — scheduling never fails because the memo tier did.
+Semantic rejections (tau / encoder mismatch against the daemon) still
+raise, exactly like the in-process seed path.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from ..core.memo_engine import memo_state_partitions
+from .client import RemoteMemoClient
+
+__all__ = ["RemoteSnapshotStore"]
+
+log = logging.getLogger("repro.net.snapshot_store")
+
+
+class RemoteSnapshotStore:
+    """Push/pull memo-state trees against a memo server daemon."""
+
+    def __init__(
+        self,
+        address,
+        fail_open: bool = True,
+        client: RemoteMemoClient | None = None,
+        client_name: str = "snapshot-store",
+    ) -> None:
+        self._client = client if client is not None else RemoteMemoClient(
+            address, fail_open=fail_open, client_name=client_name
+        )
+        self.address = self._client.address
+
+    @property
+    def connected(self) -> bool:
+        return self._client.connected
+
+    @property
+    def net_stats(self):
+        return self._client.net_stats
+
+    def pull(self) -> dict | None:
+        """The daemon's merged tier, or ``None`` when it is cold or
+        unreachable (both mean: start this job cold)."""
+        tree = self._client.state_dict()
+        if not memo_state_partitions(tree) and not tree.get("encoder_state"):
+            return None
+        return tree
+
+    def push(self, tree: dict) -> bool:
+        """Merge one finished job's tier into the daemon; False when the
+        daemon is unreachable (fail-open drop)."""
+        return self._client.push_state(tree)
+
+    def close(self) -> None:
+        self._client.close()
+
+    def __enter__(self) -> "RemoteSnapshotStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

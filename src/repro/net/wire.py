@@ -1,0 +1,547 @@
+"""Wire protocol of the remote memoization transport.
+
+Every message between a compute host and the memo server travels as one
+**frame**::
+
+    magic (4s) | version (u8) | msg type (u8) | flags (u16, reserved)
+    | request id (u64) | payload length (u64) | payload crc32 (u32)
+    | payload (length bytes)
+
+The header is fixed-size and little-endian; the payload is the recursive
+binary encoding of :func:`pack_obj` — ``None`` / bools / ints / floats /
+complex / str / bytes / lists / dicts, with ndarrays framed by the existing
+:func:`repro.kvstore.serialization.encode_array` codec (so array payloads
+are exactly the store's portable little-endian wire format).  A crc32 over
+the payload catches truncation and corruption before any payload byte is
+interpreted.
+
+Failure behavior is the protocol's core contract: malformed input raises a
+*typed* :class:`ProtocolError` subclass — :class:`FrameError` (bad magic,
+header, or declared length), :class:`TruncatedFrame` (the peer vanished
+mid-frame), :class:`ChecksumError`, :class:`MessageError` (undecodable
+payload), :class:`VersionMismatch` — and never hangs a connection or leaks
+a partial frame into the next read.  A clean EOF *between* frames raises
+:class:`ConnectionClosed`, which callers treat as an orderly goodbye.
+
+Request/response pairing is by ``request id``: a server echoes the id of
+the request it is answering, which is what lets clients pipeline requests
+(send several, drain the acknowledgements later) over one ordered TCP
+stream.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from ..core.memo_db import MemoDBStats, QueryOutcome
+from ..core.memo_shard import ShardInsert, ShardQuery
+from ..kvstore.serialization import decode_array, encode_array
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_PAYLOAD_BYTES",
+    "MSG_HELLO",
+    "MSG_HELLO_OK",
+    "MSG_QUERY",
+    "MSG_QUERY_OK",
+    "MSG_INSERT",
+    "MSG_INSERT_OK",
+    "MSG_STATS",
+    "MSG_STATS_OK",
+    "MSG_SNAP_PUSH",
+    "MSG_SNAP_PUSH_OK",
+    "MSG_SNAP_PULL",
+    "MSG_SNAP_PULL_OK",
+    "MSG_ERROR",
+    "MESSAGE_NAMES",
+    "ProtocolError",
+    "FrameError",
+    "TruncatedFrame",
+    "ChecksumError",
+    "MessageError",
+    "VersionMismatch",
+    "ConnectionClosed",
+    "RemoteError",
+    "pack_obj",
+    "unpack_obj",
+    "encode_frame",
+    "send_frame",
+    "FrameReader",
+    "parse_address",
+    "queries_to_wire",
+    "queries_from_wire",
+    "inserts_to_wire",
+    "inserts_from_wire",
+    "outcomes_to_wire",
+    "outcomes_from_wire",
+    "stats_to_wire",
+    "stats_from_wire",
+]
+
+PROTOCOL_VERSION = 1
+
+#: refuse to allocate for absurd declared lengths (corrupt or hostile frames)
+MAX_PAYLOAD_BYTES = 1 << 33  # 8 GiB
+
+_MAGIC = b"mLRn"
+_HEADER = struct.Struct("<4sBBHQQI")  # magic, version, type, flags, req id, len, crc
+
+# -- message types -------------------------------------------------------------------------
+
+MSG_HELLO = 1
+MSG_HELLO_OK = 2
+MSG_QUERY = 3
+MSG_QUERY_OK = 4
+MSG_INSERT = 5
+MSG_INSERT_OK = 6
+MSG_STATS = 7
+MSG_STATS_OK = 8
+MSG_SNAP_PUSH = 9
+MSG_SNAP_PUSH_OK = 10
+MSG_SNAP_PULL = 11
+MSG_SNAP_PULL_OK = 12
+MSG_ERROR = 255
+
+MESSAGE_NAMES = {
+    MSG_HELLO: "hello",
+    MSG_HELLO_OK: "hello_ok",
+    MSG_QUERY: "query_batch",
+    MSG_QUERY_OK: "query_batch_ok",
+    MSG_INSERT: "insert_batch",
+    MSG_INSERT_OK: "insert_batch_ok",
+    MSG_STATS: "stats",
+    MSG_STATS_OK: "stats_ok",
+    MSG_SNAP_PUSH: "snapshot_push",
+    MSG_SNAP_PUSH_OK: "snapshot_push_ok",
+    MSG_SNAP_PULL: "snapshot_pull",
+    MSG_SNAP_PULL_OK: "snapshot_pull_ok",
+    MSG_ERROR: "error",
+}
+
+
+# -- typed protocol errors -----------------------------------------------------------------
+
+
+class ProtocolError(RuntimeError):
+    """Base of every wire-level failure; connections raising it must close."""
+
+
+class FrameError(ProtocolError):
+    """Bad magic, malformed header, or an inadmissible declared length."""
+
+
+class TruncatedFrame(ProtocolError):
+    """The stream ended (or errored) in the middle of a frame."""
+
+
+class ChecksumError(ProtocolError):
+    """Payload bytes do not match the frame's crc32."""
+
+
+class MessageError(ProtocolError):
+    """The payload decoded, but not into a valid message object."""
+
+
+class VersionMismatch(ProtocolError):
+    """Peer speaks a different protocol version; fail fast, never guess."""
+
+
+class ConnectionClosed(ProtocolError):
+    """Orderly EOF at a frame boundary (distinct from a truncation)."""
+
+
+class RemoteError(ProtocolError):
+    """The server answered with an MSG_ERROR frame; carries its message."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.remote_message = message
+
+
+# -- recursive payload codec ---------------------------------------------------------------
+#
+# One tag byte per node.  Arrays defer to encode_array, so the numeric
+# payloads (keys, values, snapshot blobs) share the store's exact format.
+
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"i"
+_T_FLOAT = b"f"
+_T_COMPLEX = b"c"
+_T_STR = b"s"
+_T_BYTES = b"y"
+_T_ARRAY = b"a"
+_T_LIST = b"l"
+_T_DICT = b"d"
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_C128 = struct.Struct("<dd")
+
+
+def _pack_into(obj, out: bytearray) -> None:
+    if obj is None:
+        out += _T_NONE
+    elif isinstance(obj, (bool, np.bool_)):
+        out += _T_TRUE if obj else _T_FALSE
+    elif isinstance(obj, (int, np.integer)):
+        try:
+            out += _T_INT + _I64.pack(int(obj))
+        except struct.error:
+            raise MessageError(f"integer {obj!r} exceeds the wire's i64 range") from None
+    elif isinstance(obj, (float, np.floating)):
+        out += _T_FLOAT + _F64.pack(float(obj))
+    elif isinstance(obj, (complex, np.complexfloating)):
+        c = complex(obj)
+        out += _T_COMPLEX + _C128.pack(c.real, c.imag)
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out += _T_STR + _U32.pack(len(raw)) + raw
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        raw = bytes(obj)
+        out += _T_BYTES + _U64.pack(len(raw)) + raw
+    elif isinstance(obj, np.ndarray):
+        raw = encode_array(obj)
+        out += _T_ARRAY + _U64.pack(len(raw)) + raw
+    elif isinstance(obj, (list, tuple)):
+        out += _T_LIST + _U32.pack(len(obj))
+        for item in obj:
+            _pack_into(item, out)
+    elif isinstance(obj, dict):
+        out += _T_DICT + _U32.pack(len(obj))
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise MessageError(f"message dict keys must be str, got {key!r}")
+            raw = key.encode("utf-8")
+            out += _U32.pack(len(raw)) + raw
+            _pack_into(value, out)
+    else:
+        raise MessageError(f"unserializable message node {type(obj).__name__}")
+
+
+def pack_obj(obj) -> bytes:
+    """Encode one message object (tree of plain python + ndarrays)."""
+    out = bytearray()
+    _pack_into(obj, out)
+    return bytes(out)
+
+
+def _need(raw: bytes, off: int, n: int) -> None:
+    if off + n > len(raw):
+        raise MessageError("payload ends inside a value")
+
+
+def _unpack_from(raw: bytes, off: int):
+    _need(raw, off, 1)
+    tag = raw[off : off + 1]
+    off += 1
+    if tag == _T_NONE:
+        return None, off
+    if tag == _T_TRUE:
+        return True, off
+    if tag == _T_FALSE:
+        return False, off
+    if tag == _T_INT:
+        _need(raw, off, 8)
+        return _I64.unpack_from(raw, off)[0], off + 8
+    if tag == _T_FLOAT:
+        _need(raw, off, 8)
+        return _F64.unpack_from(raw, off)[0], off + 8
+    if tag == _T_COMPLEX:
+        _need(raw, off, 16)
+        re, im = _C128.unpack_from(raw, off)
+        return complex(re, im), off + 16
+    if tag == _T_STR:
+        _need(raw, off, 4)
+        n = _U32.unpack_from(raw, off)[0]
+        off += 4
+        _need(raw, off, n)
+        try:
+            return raw[off : off + n].decode("utf-8"), off + n
+        except UnicodeDecodeError as exc:
+            raise MessageError(f"invalid utf-8 in string value: {exc}") from None
+    if tag == _T_BYTES:
+        _need(raw, off, 8)
+        n = _U64.unpack_from(raw, off)[0]
+        off += 8
+        _need(raw, off, n)
+        return raw[off : off + n], off + n
+    if tag == _T_ARRAY:
+        _need(raw, off, 8)
+        n = _U64.unpack_from(raw, off)[0]
+        off += 8
+        _need(raw, off, n)
+        try:
+            return decode_array(raw[off : off + n]), off + n
+        except (ValueError, TypeError) as exc:
+            raise MessageError(f"bad array payload: {exc}") from None
+    if tag == _T_LIST:
+        _need(raw, off, 4)
+        n = _U32.unpack_from(raw, off)[0]
+        off += 4
+        items = []
+        for _ in range(n):
+            item, off = _unpack_from(raw, off)
+            items.append(item)
+        return items, off
+    if tag == _T_DICT:
+        _need(raw, off, 4)
+        n = _U32.unpack_from(raw, off)[0]
+        off += 4
+        out = {}
+        for _ in range(n):
+            _need(raw, off, 4)
+            klen = _U32.unpack_from(raw, off)[0]
+            off += 4
+            _need(raw, off, klen)
+            try:
+                key = raw[off : off + klen].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise MessageError(f"invalid utf-8 in dict key: {exc}") from None
+            off += klen
+            out[key], off = _unpack_from(raw, off)
+        return out, off
+    raise MessageError(f"unknown payload tag {tag!r}")
+
+
+def unpack_obj(raw: bytes):
+    """Decode one :func:`pack_obj` payload; trailing garbage is an error."""
+    obj, off = _unpack_from(raw, 0)
+    if off != len(raw):
+        raise MessageError(f"{len(raw) - off} trailing bytes after message")
+    return obj
+
+
+# -- framing -------------------------------------------------------------------------------
+
+
+def encode_frame(msg_type: int, request_id: int, obj) -> bytes:
+    """One complete frame (header + payload) for ``obj``."""
+    payload = pack_obj(obj)
+    header = _HEADER.pack(
+        _MAGIC,
+        PROTOCOL_VERSION,
+        msg_type,
+        0,
+        request_id,
+        len(payload),
+        zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    return header + payload
+
+
+def send_frame(sock, msg_type: int, request_id: int, obj) -> None:
+    """Frame and transmit one message on a connected socket."""
+    sock.sendall(encode_frame(msg_type, request_id, obj))
+
+
+class FrameReader:
+    """Incremental frame decoder over a socket (per-connection framing state).
+
+    Holds the partial-read buffer between calls, so one reader must own the
+    receiving side of a connection for its whole life.  ``read_frame``
+    blocks until a full frame is buffered and returns
+    ``(msg_type, request_id, payload_obj)``.
+    """
+
+    def __init__(self, sock, max_payload: int = MAX_PAYLOAD_BYTES) -> None:
+        self._sock = sock
+        self._max_payload = max_payload
+        self._buf = bytearray()
+
+    def _fill(self, n: int, started: bool) -> None:
+        """Buffer at least ``n`` bytes; EOF raises ConnectionClosed at a
+        frame boundary (``started=False``) and TruncatedFrame inside one."""
+        while len(self._buf) < n:
+            try:
+                chunk = self._sock.recv(1 << 18)
+            except OSError as exc:
+                raise TruncatedFrame(f"connection lost mid-frame: {exc}") from exc
+            if not chunk:
+                if started or self._buf:
+                    raise TruncatedFrame(
+                        f"peer closed mid-frame ({len(self._buf)}/{n} bytes buffered)"
+                    )
+                raise ConnectionClosed("peer closed the connection")
+            self._buf += chunk
+
+    def read_frame(self):
+        """Read and validate one frame; raises typed errors, never hangs on
+        malformed input (a bad frame poisons the stream, so callers close)."""
+        self._fill(_HEADER.size, started=False)
+        magic, version, msg_type, _flags, request_id, length, crc = _HEADER.unpack_from(
+            self._buf, 0
+        )
+        if magic != _MAGIC:
+            raise FrameError(
+                f"bad frame magic {bytes(magic)!r} (expected {_MAGIC!r}) — "
+                "peer is not speaking the mLR memo protocol"
+            )
+        if version != PROTOCOL_VERSION:
+            raise VersionMismatch(
+                f"peer speaks protocol version {version}, this build speaks "
+                f"{PROTOCOL_VERSION} — upgrade the older side"
+            )
+        if length > self._max_payload:
+            raise FrameError(
+                f"declared payload of {length} bytes exceeds the "
+                f"{self._max_payload}-byte limit"
+            )
+        self._fill(_HEADER.size + length, started=True)
+        payload = bytes(self._buf[_HEADER.size : _HEADER.size + length])
+        del self._buf[: _HEADER.size + length]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise ChecksumError("payload crc32 mismatch — frame corrupted in transit")
+        return msg_type, request_id, unpack_obj(payload)
+
+
+# -- typed message bodies ------------------------------------------------------------------
+#
+# The request/response payloads the daemon and clients exchange, as
+# conversions between the core service types (ShardQuery / ShardInsert /
+# QueryOutcome / MemoDBStats) and plain pack_obj trees.  Both ends share
+# these, so a field added here is added to the whole protocol at once.
+
+
+def _meta_to_wire(meta):
+    """Reuse metadata on the wire: ``None`` or the engine's (AC, DC) pair."""
+    if meta is None:
+        return None
+    try:
+        ac, dc = meta
+        return {"ac": float(ac), "dc": complex(dc)}
+    except (TypeError, ValueError):
+        raise MessageError(
+            f"reuse metadata must be None or an (ac, dc) pair, got {meta!r}"
+        ) from None
+
+
+def _meta_from_wire(node):
+    if node is None:
+        return None
+    if not isinstance(node, dict) or "ac" not in node or "dc" not in node:
+        raise MessageError(f"bad reuse-metadata node {node!r}")
+    return float(node["ac"]), complex(node["dc"])
+
+
+def queries_to_wire(queries) -> list[dict]:
+    """MSG_QUERY body: one coalesced key batch."""
+    return [
+        {"op": q.op, "location": int(q.location), "key": np.asarray(q.key)}
+        for q in queries
+    ]
+
+
+def _wire_array(node, what: str) -> np.ndarray:
+    if not isinstance(node, np.ndarray):
+        raise MessageError(f"{what} must be an array payload, got {type(node).__name__}")
+    return node
+
+
+def queries_from_wire(items) -> list[ShardQuery]:
+    try:
+        return [
+            ShardQuery(
+                op=str(it["op"]),
+                location=int(it["location"]),
+                key=_wire_array(it["key"], "query key"),
+            )
+            for it in items
+        ]
+    except (TypeError, KeyError, ValueError) as exc:
+        raise MessageError(f"malformed query batch: {exc!r}") from None
+
+
+def inserts_to_wire(inserts) -> list[dict]:
+    """MSG_INSERT body: one batched (key, value, meta) message."""
+    return [
+        {
+            "op": ins.op,
+            "location": int(ins.location),
+            "key": np.asarray(ins.key),
+            "value": np.asarray(ins.value),
+            "meta": _meta_to_wire(ins.meta),
+        }
+        for ins in inserts
+    ]
+
+
+def inserts_from_wire(items) -> list[ShardInsert]:
+    try:
+        return [
+            ShardInsert(
+                op=str(it["op"]),
+                location=int(it["location"]),
+                key=_wire_array(it["key"], "insert key"),
+                value=_wire_array(it["value"], "insert value"),
+                meta=_meta_from_wire(it["meta"]),
+            )
+            for it in items
+        ]
+    except (TypeError, KeyError, ValueError) as exc:
+        raise MessageError(f"malformed insert batch: {exc!r}") from None
+
+
+def outcomes_to_wire(outcomes) -> list[dict]:
+    """MSG_QUERY_OK body: per-key outcomes, hit values as array payloads."""
+    return [
+        {
+            "value": o.value if o.hit else None,
+            "similarity": float(o.similarity),
+            "matched_id": int(o.matched_id),
+            "n_entries": int(o.n_entries),
+            "meta": _meta_to_wire(o.stored_meta),
+        }
+        for o in outcomes
+    ]
+
+
+def outcomes_from_wire(items) -> list[QueryOutcome]:
+    try:
+        return [
+            QueryOutcome(
+                value=None if it["value"] is None else _wire_array(it["value"], "hit value"),
+                similarity=float(it["similarity"]),
+                matched_id=int(it["matched_id"]),
+                n_entries=int(it["n_entries"]),
+                stored_meta=_meta_from_wire(it["meta"]),
+            )
+            for it in items
+        ]
+    except (TypeError, KeyError) as exc:
+        raise MessageError(f"malformed outcome batch: {exc!r}") from None
+
+
+def stats_to_wire(stats: MemoDBStats) -> dict:
+    return stats.as_dict()
+
+
+def stats_from_wire(node) -> MemoDBStats:
+    try:
+        return MemoDBStats(**{k: int(v) for k, v in node.items()})
+    except (TypeError, AttributeError) as exc:
+        raise MessageError(f"malformed stats node {node!r}: {exc!r}") from None
+
+
+def parse_address(address) -> tuple[str, int]:
+    """Normalize ``"host:port"`` strings and ``(host, port)`` pairs."""
+    if isinstance(address, (tuple, list)) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    if isinstance(address, str):
+        host, sep, port = address.rpartition(":")
+        # a remaining ':' in host means a bare IPv6 literal ('::1') or a
+        # multi-colon typo — misparsing those into (host, port) buys a
+        # confusing connect failure, so fail fast instead (IPv6 endpoints
+        # can be passed as an explicit (host, port) pair)
+        if sep and port.isdigit() and ":" not in host:
+            return host or "127.0.0.1", int(port)
+    raise ValueError(
+        f"expected 'host:port' or a (host, port) pair, got {address!r}"
+    )

@@ -74,11 +74,22 @@ class ServiceConfig:
         explicit ``MLRConfig(memo_snapshot=...)`` is *not* seeded — its
         requested snapshot takes precedence — but its results are still
         absorbed into the shared tier afterwards.
+    memo_transport / memo_server:
+        Where the shared memo tier lives.  ``"inproc"`` (default) holds it
+        in this scheduler's memory; ``"tcp"`` backs it with a
+        :class:`~repro.net.server.MemoServerDaemon` at ``memo_server``
+        (``"host:port"`` or ``(host, port)``) through a
+        :class:`~repro.net.snapshot_store.RemoteSnapshotStore`, so
+        schedulers on *different hosts* seed from and absorb into one
+        tier.  The store is fail-open: an unreachable daemon means cold
+        seeds and dropped absorbs, never failed jobs.
     """
 
     n_workers: int = 2
     max_queue_depth: int | None = None
     share_memo: bool = True
+    memo_transport: str = "inproc"
+    memo_server: str | tuple | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -87,6 +98,13 @@ class ServiceConfig:
             raise ValueError(
                 f"max_queue_depth must be >= 0 or None, got {self.max_queue_depth}"
             )
+        if self.memo_transport not in ("inproc", "tcp"):
+            raise ValueError(
+                f"memo_transport must be 'inproc' or 'tcp', got "
+                f"{self.memo_transport!r}"
+            )
+        if self.memo_transport == "tcp" and self.memo_server is None:
+            raise ValueError("memo_transport='tcp' requires a memo_server address")
 
 
 @dataclass
@@ -113,16 +131,28 @@ class SharedMemoService:
     dropped wholesale, but concurrent updates to the *same* chunk location
     are last-writer-wins).  Thread-safe; snapshot-compatible with
     :mod:`repro.service.snapshot` for durability across processes.
+
+    With ``store`` set (a :class:`~repro.net.snapshot_store.RemoteSnapshotStore`),
+    the tier lives on a memo server daemon instead of in this process:
+    ``seed`` pulls the daemon's merged tier and ``absorb`` pushes the
+    finished job's tier (the daemon merges, partition-level union) — which
+    is what lets schedulers on different hosts warm-start from one shared
+    tier.  The store is fail-open: an unreachable daemon seeds cold and
+    drops absorbs rather than failing jobs.
     """
 
     _tree: dict | None = None
     generation: int = 0
+    store: object | None = None  # RemoteSnapshotStore-shaped: pull()/push()
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def seed(self, executor) -> bool:
         """Install the current tier into ``executor``; False when cold."""
-        with self._lock:
-            tree = self._tree
+        if self.store is not None:
+            tree = self.store.pull()
+        else:
+            with self._lock:
+                tree = self._tree
         if tree is None:
             return False
         executor.load_memo_state(tree)
@@ -131,6 +161,11 @@ class SharedMemoService:
     def absorb(self, executor) -> None:
         """Merge ``executor``'s database tier into the shared state."""
         tree = executor.memo_state()
+        if self.store is not None:
+            if self.store.push(tree):
+                with self._lock:
+                    self.generation += 1
+            return
         with self._lock:
             self._tree = self._merged(self._tree, tree)
             self.generation += 1
@@ -156,27 +191,39 @@ class SharedMemoService:
         return {
             "layout": "single",
             "encoder": new.get("encoder"),
+            "encoder_state": new.get("encoder_state") or old.get("encoder_state"),
             "partitions": new_parts + missing,
         }
 
     def state(self) -> dict | None:
+        if self.store is not None:
+            return self.store.pull()
         with self._lock:
             return self._tree
 
     def save(self, path) -> dict:
         """Persist the tier as a versioned on-disk snapshot."""
-        with self._lock:
-            tree = self._tree
+        tree = self.state()
         if tree is None:
             raise ValueError("shared memo service is cold — nothing to save")
         return write_snapshot(path, tree, kind="memo-state")
 
     def load(self, path) -> None:
-        """Restore the tier from a snapshot directory."""
+        """Restore the tier from a snapshot directory (pushed to the daemon
+        when the tier is remote)."""
         tree = read_snapshot(path, expect_kind="memo-state")
+        if self.store is not None:
+            if self.store.push(tree):
+                with self._lock:
+                    self.generation += 1
+            return
         with self._lock:
             self._tree = tree
             self.generation += 1
+
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.close()
 
 
 class ReconstructionScheduler:
@@ -188,7 +235,17 @@ class ReconstructionScheduler:
         memo_service: SharedMemoService | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
-        self.memo_service = memo_service or SharedMemoService()
+        self._owns_memo_service = memo_service is None
+        if memo_service is None:
+            if self.config.memo_transport == "tcp":
+                from ..net.snapshot_store import RemoteSnapshotStore
+
+                memo_service = SharedMemoService(
+                    store=RemoteSnapshotStore(self.config.memo_server)
+                )
+            else:
+                memo_service = SharedMemoService()
+        self.memo_service = memo_service
         self.stats = SchedulerStats()
         self._cond = threading.Condition()
         self._heap: list[tuple[int, int, JobHandle]] = []
@@ -276,6 +333,12 @@ class ReconstructionScheduler:
         if wait:
             for t in self._workers:
                 t.join()
+        # release the remote tier connection only if this scheduler created
+        # it (an injected service may be shared with other schedulers); with
+        # wait=False workers may still be absorbing, so it must stay open —
+        # the store's client survives a close-under-it anyway (fail-open)
+        if wait and self._owns_memo_service:
+            self.memo_service.close()
 
     def __enter__(self) -> "ReconstructionScheduler":
         return self
@@ -312,6 +375,7 @@ class ReconstructionScheduler:
 
     def _execute(self, handle: JobHandle) -> None:
         spec = handle.spec
+        solver = None
         try:
             d = spec.materialize()
             self._check_cancel(handle)
@@ -319,13 +383,22 @@ class ReconstructionScheduler:
             # an explicit per-job snapshot (already loaded by the solver)
             # takes precedence over the shared tier — seeding on top would
             # overwrite the partitions the user asked for
-            if (
-                self.config.share_memo
-                and spec.config.memo_snapshot is None
-                and self.memo_service.seed(solver.executor)
-            ):
-                handle._add_event("warm_start",
-                                  f"generation {self.memo_service.generation}")
+            if self.config.share_memo and spec.config.memo_snapshot is None:
+                try:
+                    seeded = self.memo_service.seed(solver.executor)
+                except Exception as exc:  # noqa: BLE001 — tier seed only
+                    # a tier incompatible with this job's memo config (tau /
+                    # encoder mismatch) means a cold start, not a dead job —
+                    # mirroring the absorb side of the same contract
+                    handle._add_event(
+                        "seed_failed", f"{type(exc).__name__}: {exc}"
+                    )
+                    seeded = False
+                if seeded:
+                    handle._add_event(
+                        "warm_start",
+                        f"generation {self.memo_service.generation}",
+                    )
             baseline = solver.executor.db_stats_total()
             handle.db_entries_start = solver.executor.db_entries_total()
             self._check_cancel(handle)
@@ -340,7 +413,15 @@ class ReconstructionScheduler:
             handle.memo_delta = solver.executor.db_stats_total().delta(baseline)
             handle.db_entries_end = solver.executor.db_entries_total()
             if self.config.share_memo:
-                self.memo_service.absorb(solver.executor)
+                try:
+                    self.memo_service.absorb(solver.executor)
+                except Exception as exc:  # noqa: BLE001 — tier update only
+                    # the reconstruction succeeded; a rejected/failed tier
+                    # merge (e.g. a remote daemon pinned to another encoder)
+                    # must not turn a DONE job into a FAILED one
+                    handle._add_event(
+                        "absorb_failed", f"{type(exc).__name__}: {exc}"
+                    )
             handle._finish(JobState.DONE)
             with self._cond:
                 self.stats.completed += 1
@@ -353,3 +434,6 @@ class ReconstructionScheduler:
             handle._finish(JobState.FAILED, f"{type(exc).__name__}: {exc}")
             with self._cond:
                 self.stats.failed += 1
+        finally:
+            if solver is not None:
+                solver.close()

@@ -210,15 +210,35 @@ def read_snapshot(path, expect_kind: str | None = None, verify: bool = True) -> 
 # -- memoization-tier snapshots ----------------------------------------------------------
 
 
+_ENCODER_DIR = "encoder"
+
+
 def save_memo_snapshot(path, executor) -> dict:
     """Snapshot an executor's whole database tier (single or sharded — the
-    sharded executor snapshots per shard through its router)."""
-    return write_snapshot(path, executor.memo_state(), kind="memo-state")
+    sharded executor snapshots per shard through its router).
+
+    A trained CNN key encoder rides along twice: embedded in the state tree
+    (``encoder_state``, what warm starts auto-install) and as a standalone
+    :func:`save_encoder` snapshot under ``<path>/encoder/`` so the encoder
+    stays independently loadable."""
+    manifest = write_snapshot(path, executor.memo_state(), kind="memo-state")
+    encoder = getattr(executor, "encoder", None)
+    if isinstance(encoder, CNNKeyEncoder):
+        save_encoder(os.path.join(path, _ENCODER_DIR), encoder)
+    return manifest
 
 
 def load_memo_snapshot(path) -> dict:
-    """Read a database-tier state tree back (not yet installed anywhere)."""
-    return read_snapshot(path, expect_kind="memo-state")
+    """Read a database-tier state tree back (not yet installed anywhere).
+    Snapshots whose tree predates the embedded ``encoder_state`` fall back
+    to the standalone ``<path>/encoder/`` snapshot when one exists."""
+    tree = read_snapshot(path, expect_kind="memo-state")
+    enc_dir = os.path.join(path, _ENCODER_DIR)
+    if not tree.get("encoder_state") and os.path.isfile(
+        os.path.join(enc_dir, _MANIFEST)
+    ):
+        tree["encoder_state"] = read_snapshot(enc_dir, expect_kind="key-encoder")
+    return tree
 
 
 def install_memo_state(executor, snapshot) -> None:

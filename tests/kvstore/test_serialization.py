@@ -1,0 +1,96 @@
+"""encode_array / decode_array round-trip hardening.
+
+These payloads cross host boundaries on the memo wire protocol, so the
+codec must be portable (explicit little-endian), shape-faithful (0-d,
+Fortran order), and loud about the one dtype family that has no stable
+byte representation (object arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kvstore.serialization import decode_array, encode_array, encoded_nbytes
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(12, dtype=np.float32).reshape(3, 4),
+            np.arange(8, dtype=np.complex64) * (1 + 2j),
+            np.array([], dtype=np.float64),
+            np.zeros((0, 5), dtype=np.int32),
+            np.array(True),
+            np.arange(6, dtype=np.uint8),
+        ],
+    )
+    def test_exact(self, arr):
+        out = decode_array(encode_array(arr))
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == arr.dtype and out.shape == arr.shape
+
+    def test_zero_d_keeps_shape(self):
+        z = np.array(2.5 - 1j)
+        out = decode_array(encode_array(z))
+        assert out.shape == () and out.dtype == z.dtype
+        assert out == z
+
+    def test_fortran_order_roundtrips_c_contiguous(self):
+        f = np.asfortranarray(np.arange(24, dtype=np.float32).reshape(4, 6))
+        out = decode_array(encode_array(f))
+        np.testing.assert_array_equal(out, f)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_non_contiguous_view_roundtrips(self):
+        base = np.arange(40, dtype=np.float64).reshape(5, 8)
+        view = base[::2, 1::3]
+        np.testing.assert_array_equal(decode_array(encode_array(view)), view)
+
+    def test_big_endian_normalized_to_little(self):
+        be = np.arange(7, dtype=">f8")
+        raw = encode_array(be)
+        out = decode_array(raw)
+        assert out.dtype.str == "<f8"  # portable wire dtype
+        np.testing.assert_array_equal(out, be.astype("<f8"))
+        # byte-identical to encoding the native-LE equivalent
+        assert raw == encode_array(be.astype("<f8"))
+
+    def test_nbytes_prediction_matches(self):
+        for arr in (np.zeros((3, 3), dtype=np.complex64), np.array(1.0)):
+            assert len(encode_array(arr)) == encoded_nbytes(arr)
+
+
+class TestRejection:
+    def test_object_dtype_raises_typed_on_encode(self):
+        with pytest.raises(TypeError, match="object dtype"):
+            encode_array(np.array([object(), object()]))
+
+    def test_object_dtype_string_refused_on_decode(self):
+        # handcraft a frame that claims dtype 'O' — must never be decoded
+        good = encode_array(np.arange(2, dtype=np.int64))
+        assert b"<i8" in good
+        evil = good.replace(b"<i8", b"|O8")
+        with pytest.raises(ValueError):
+            decode_array(evil)
+
+    def test_truncations_raise_value_error(self):
+        raw = encode_array(np.arange(10, dtype=np.float32))
+        for cut in (0, 3, len(raw) // 2, len(raw) - 1):
+            with pytest.raises(ValueError):
+                decode_array(raw[:cut])
+
+    def test_bad_magic_and_version(self):
+        raw = bytearray(encode_array(np.arange(3)))
+        bad_magic = bytes(b"XXXX") + bytes(raw[4:])
+        with pytest.raises(ValueError, match="magic"):
+            decode_array(bad_magic)
+        raw[4] = 9  # version byte
+        with pytest.raises(ValueError, match="version"):
+            decode_array(bytes(raw))
+
+    def test_undecodable_dtype_string(self):
+        good = encode_array(np.arange(2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            decode_array(good.replace(b"<i8", b"@@@"))
