@@ -10,7 +10,7 @@ def test_fig10_memo_breakdown(benchmark):
         iterations=1, rounds=1,
     )
     emit("fig10_memo_breakdown", result.report())
-    for op, cases in result.data.items():
+    for _op, cases in result.data.items():
         orig = sum(cases["orig"].values())
         fail = sum(cases["fail"].values())
         suc = sum(cases["suc"].values())

@@ -1,0 +1,19 @@
+"""repro.analysis: repo-specific static analysis + runtime lock sanitizer.
+
+The static pass (:func:`run_analysis`, ``python -m repro.analysis``)
+AST-walks the tree and enforces invariants no generic linter knows:
+lock-ordering consistency, ``# guarded-by:`` write discipline, FFT
+backend routing, complex64 hot-path dtype flow, seeded test randomness,
+and wire-protocol / dispatch-table exhaustiveness.  See ``RULES.md`` in
+this package for the rule catalog and rationale.
+
+The runtime side (:mod:`repro.analysis.lockwitness`) is an opt-in
+lock-acquisition witness: it observes real acquisition order per thread
+and raises at the moment an ordering cycle forms, instead of letting the
+deadlock happen on some later unlucky interleaving.
+"""
+
+from .engine import ModuleInfo, run_analysis
+from .findings import Finding, Report
+
+__all__ = ["Finding", "Report", "ModuleInfo", "run_analysis"]

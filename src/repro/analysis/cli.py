@@ -1,0 +1,105 @@
+"""``python -m repro.analysis``: run the invariant checks, gate CI.
+
+Exit status is the contract: 0 when the tree is clean (suppressed
+findings do not fail the build — they are intentional, annotated
+exceptions), 1 when any finding survives, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .engine import DEFAULT_SECTIONS, rule_catalog, run_analysis
+
+__all__ = ["main"]
+
+
+def _find_root(start: Path) -> Path:
+    """The repo root: the nearest ancestor holding a ``src/repro`` tree."""
+    for cand in (start, *start.parents):
+        if (cand / "src" / "repro").is_dir():
+            return cand
+    return start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static analysis of repo-specific invariants: concurrency "
+            "discipline (lock ordering, guarded writes, broad excepts), "
+            "dtype/backend flow (FFT routing, complex128 widening, seeded "
+            "RNG), and cross-module exhaustiveness (wire protocol, sweep "
+            "kernel dispatch)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help=f"files/directories to scan (default: {'/'.join(DEFAULT_SECTIONS)})",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="repo root (default: autodetect from the working directory)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="human diff-style blocks, or the full machine-readable report",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the report here instead of stdout"
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, help="comma-separated rule ids to skip"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, doc in rule_catalog():
+            print(f"{rule_id:24s} {doc}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else _find_root(Path.cwd())
+    known = {rule_id for rule_id, _ in rule_catalog()}
+
+    def parse_ids(raw: str | None, flag: str) -> set[str] | None:
+        if raw is None:
+            return None
+        ids = {part.strip() for part in raw.split(",") if part.strip()}
+        unknown = ids - known
+        if unknown:
+            parser.error(f"{flag}: unknown rule id(s) {sorted(unknown)}")
+        return ids
+
+    report = run_analysis(
+        root,
+        paths=args.paths or None,
+        select=parse_ids(args.select, "--select"),
+        ignore=parse_ids(args.ignore, "--ignore"),
+    )
+
+    if args.format == "json":
+        rendered = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    else:
+        rendered = report.render_text()
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        if args.format == "text":
+            # keep the terminal summary even when the report goes to a file
+            print(rendered.rsplit("\n", 1)[-1])
+    else:
+        print(rendered)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

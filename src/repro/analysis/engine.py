@@ -1,0 +1,230 @@
+"""The analysis engine: file collection, parsing, suppression, rule dispatch.
+
+The engine walks the repo's python trees (``src``, ``tests``,
+``benchmarks``, ``examples``), parses every file once, and hands the
+resulting :class:`ModuleInfo` set to each registered rule.  Rules are
+whole-project by construction — a rule sees *all* modules, which is what
+lets the lock-order graph and the exhaustiveness checks reason across
+module boundaries — and per-module rules simply iterate.
+
+Suppression
+-----------
+A finding is suppressed by a ``# analysis: ignore[rule-id]`` comment on
+the offending line, or on a standalone comment line directly above it.
+``# analysis: ignore`` (no bracket) suppresses every rule on that line.
+Suppressed findings are not dropped: they are counted and reported in
+their own section, so an ignore comment is always visible in the report.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding, Report
+
+__all__ = ["ModuleInfo", "run_analysis", "collect_modules", "DEFAULT_SECTIONS"]
+
+#: Top-level directories scanned by default (relative to the repo root).
+DEFAULT_SECTIONS = ("src", "tests", "benchmarks", "examples")
+
+_SUPPRESS_RE = re.compile(r"#\s*analysis:\s*ignore(?:\[([\w\-, ]*)\])?")
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed python file plus the lexical context rules need."""
+
+    path: Path                      # absolute
+    rel: str                        # posix path relative to the scan root
+    section: str                    # "src" | "tests" | "benchmarks" | ...
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: line -> full comment text (from tokenize, string-literal safe)
+    comments: dict[int, str] = field(default_factory=dict)
+    #: line -> set of suppressed rule ids ("*" = all)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: lines that contain only a comment (suppressions there bind downward)
+    standalone_comment_lines: set[int] = field(default_factory=set)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, lineno: int, rule: str) -> bool:
+        """Is ``rule`` suppressed at ``lineno``? (same line, or a standalone
+        suppression comment on the line directly above)"""
+        for cand in (lineno, lineno - 1):
+            ids = self.suppressions.get(cand)
+            if ids is None:
+                continue
+            if cand != lineno and cand not in self.standalone_comment_lines:
+                continue
+            if "*" in ids or rule in ids:
+                return True
+        return False
+
+
+def _comment_map(source: str) -> tuple[dict[int, str], set[int]]:
+    comments: dict[int, str] = {}
+    standalone: set[int] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        prev_row_has_code: dict[int, bool] = {}
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+                if tok.line.strip().startswith("#"):
+                    standalone.add(tok.start[0])
+            elif tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                prev_row_has_code[tok.start[0]] = True
+    except tokenize.TokenError:
+        pass
+    return comments, standalone
+
+
+def _suppression_map(comments: dict[int, str]) -> dict[int, set[str]]:
+    out: dict[int, set[str]] = {}
+    for line, text in comments.items():
+        m = _SUPPRESS_RE.search(text)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[line] = {"*"}
+        else:
+            out[line] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+    return out
+
+
+def iter_python_files(root: Path, paths: list[str] | None = None) -> list[Path]:
+    """Every ``.py`` file under the requested trees, sorted."""
+    roots: list[Path]
+    if paths:
+        roots = [root / p if not os.path.isabs(p) else Path(p) for p in paths]
+    else:
+        roots = [root / s for s in DEFAULT_SECTIONS]
+    files: list[Path] = []
+    for r in roots:
+        if r.is_file() and r.suffix == ".py":
+            files.append(r)
+        elif r.is_dir():
+            files.extend(p for p in r.rglob("*.py") if "__pycache__" not in p.parts)
+    return sorted(set(files))
+
+
+def collect_modules(
+    root: Path, paths: list[str] | None = None
+) -> tuple[list[ModuleInfo], list[Finding]]:
+    """Parse every scanned file; unparseable files become findings."""
+    modules: list[ModuleInfo] = []
+    errors: list[Finding] = []
+    for path in iter_python_files(root, paths):
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        section = rel.split("/", 1)[0] if "/" in rel else ""
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(
+                Finding(
+                    rule="parse-error",
+                    path=rel,
+                    line=getattr(exc, "lineno", 1) or 1,
+                    col=0,
+                    message=f"cannot analyze file: {exc}",
+                )
+            )
+            continue
+        comments, standalone = _comment_map(source)
+        modules.append(
+            ModuleInfo(
+                path=path,
+                rel=rel,
+                section=section,
+                source=source,
+                tree=tree,
+                lines=source.splitlines(),
+                comments=comments,
+                suppressions=_suppression_map(comments),
+                standalone_comment_lines=standalone,
+            )
+        )
+    return modules, errors
+
+
+def _all_rules():
+    # deferred import: the rule modules import engine types
+    from .rules_concurrency import BroadExceptInThreadRule, GuardedWriteRule, LockOrderRule
+    from .rules_dtype import DirectFFTRule, DtypeWidenRule, UnseededRandomRule
+    from .rules_structure import SweepKernelRule, WireExhaustiveRule
+
+    return [
+        LockOrderRule(),
+        GuardedWriteRule(),
+        BroadExceptInThreadRule(),
+        DirectFFTRule(),
+        DtypeWidenRule(),
+        UnseededRandomRule(),
+        WireExhaustiveRule(),
+        SweepKernelRule(),
+    ]
+
+
+def rule_catalog() -> list:
+    """The registered rules (id + one-line doc), for ``--list-rules``."""
+    return [(r.id, r.__doc__.strip().splitlines()[0]) for r in _all_rules()]
+
+
+def run_analysis(
+    root: str | os.PathLike,
+    paths: list[str] | None = None,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+) -> Report:
+    """Run every rule over the tree at ``root``; returns the full report.
+
+    ``select`` / ``ignore`` filter by rule id.  Suppression comments are
+    honored per finding and reported separately (never silently dropped).
+    """
+    root = Path(root).resolve()
+    modules, parse_errors = collect_modules(root, paths)
+    report = Report(root=str(root), files_scanned=len(modules))
+    report.findings.extend(parse_errors)
+    by_rel = {m.rel: m for m in modules}
+    for rule in _all_rules():
+        if select is not None and rule.id not in select:
+            continue
+        if ignore is not None and rule.id in ignore:
+            continue
+        for finding in rule.run(modules):
+            mod = by_rel.get(finding.path)
+            if mod is not None and not finding.snippet:
+                finding = Finding(
+                    rule=finding.rule,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    message=finding.message,
+                    snippet=mod.line_text(finding.line),
+                )
+            if mod is not None and mod.suppressed(finding.line, rule.id):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    return report

@@ -1,0 +1,105 @@
+"""Typed findings: the machine-readable currency of the analysis pass.
+
+Every rule reports :class:`Finding` objects — never strings — so the CLI
+can render them as human diff-style text *and* as a JSON report with the
+same information, and so the test suite can assert on rule ids and
+locations instead of scraping output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Report"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or suppressed would-be violation).
+
+    rule:
+        The rule id (kebab-case, e.g. ``guarded-write``) — the same token
+        a ``# analysis: ignore[rule]`` comment names.
+    path:
+        Repo-relative posix path of the offending file.
+    line / col:
+        1-based line and 0-based column of the violation.
+    message:
+        Human explanation, specific enough to act on.
+    snippet:
+        The offending source line (stripped), for diff-style output.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        """One diff-style block: location, message, offending line."""
+        loc = f"{self.path}:{self.line}:{self.col + 1}"
+        out = f"{loc}: {self.rule}  {self.message}"
+        if self.snippet:
+            out += f"\n    {self.snippet}"
+        return out
+
+
+@dataclass
+class Report:
+    """The complete result of one analysis run."""
+
+    root: str
+    files_scanned: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self, items: list[Finding]) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in items:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "files_scanned": self.files_scanned,
+            "clean": self.clean,
+            "counts": self.counts(self.findings),
+            "suppressed_counts": self.counts(self.suppressed),
+            "findings": [f.as_dict() for f in sorted_findings(self.findings)],
+            "suppressed": [f.as_dict() for f in sorted_findings(self.suppressed)],
+        }
+
+    def render_text(self) -> str:
+        """Human output: every finding as a diff-style block + a summary."""
+        blocks = [f.render() for f in sorted_findings(self.findings)]
+        summary = (
+            f"{len(self.findings)} finding(s), {len(self.suppressed)} "
+            f"suppressed, {self.files_scanned} file(s) scanned"
+        )
+        if self.findings:
+            per_rule = ", ".join(
+                f"{rule}: {n}" for rule, n in sorted(self.counts(self.findings).items())
+            )
+            summary += f"  [{per_rule}]"
+        return "\n".join([*blocks, summary])
+
+
+def sorted_findings(items: list[Finding]) -> list[Finding]:
+    return sorted(items, key=lambda f: (f.path, f.line, f.col, f.rule))

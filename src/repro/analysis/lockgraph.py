@@ -1,0 +1,364 @@
+"""Lock-acquisition-graph construction for the deadlock-cycle rule.
+
+The graph's nodes are *lock creation sites*, identified as
+``ClassName.attr`` for every ``self.attr = threading.Lock()`` /
+``RLock()`` / ``Condition()`` assignment (dataclass
+``field(default_factory=threading.Lock)`` declarations included).  A
+directed edge ``A -> B`` means "somewhere, B is acquired while A is
+held" — either lexically (a ``with self.b:`` nested inside
+``with self.a:``) or interprocedurally (a method called under ``A``
+transitively acquires ``B``).  Two locks acquired in both orders form a
+cycle: two threads taking the opposite paths can deadlock.
+
+Call resolution is deliberately conservative: ``self.m()`` resolves
+within the class, ``SomeClass(...)`` resolves to its constructor, and a
+plain ``obj.m()`` resolves only when ``m`` names a method of exactly one
+scanned class *and* is not a ubiquitous container/stdlib name (``get``,
+``put``, ``append``, ...) — a phantom edge from resolving ``dict.get``
+to some class's ``get`` would poison the graph with false cycles.
+``Condition(self.other)`` aliases: acquiring the condition *is*
+acquiring the wrapped lock, so both names map to one node.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["LockEdge", "LockGraph", "build_lock_graph", "find_cycles"]
+
+#: threading factory callables whose result is an acquirable lock
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+#: method names too common to resolve by uniqueness — resolving ``d.get``
+#: or ``sock.close`` to whichever single class happens to define the name
+#: would invent edges that do not exist
+_SKIP_METHOD_NAMES = {
+    "acquire", "add", "append", "appendleft", "cancel", "clear", "close",
+    "copy", "count", "debug", "decode", "discard", "done", "encode",
+    "error", "exception", "extend", "flush", "get", "get_nowait", "index",
+    "info", "insert", "items", "join", "keys", "load", "merge", "notify",
+    "notify_all", "open", "pop", "popleft", "put", "put_nowait", "read",
+    "recv", "release", "remove", "result", "run", "save", "seed", "send",
+    "set", "setdefault", "shutdown", "sort", "start", "state", "stats",
+    "submit", "update", "values", "wait", "warning", "write",
+}
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """One observation of ``dst`` being acquired while ``src`` is held."""
+
+    src: str              # lock node, "ClassName.attr"
+    dst: str
+    path: str             # file of the acquiring site
+    line: int
+    via: str = ""         # callee chain when the edge is interprocedural
+
+
+@dataclass
+class LockGraph:
+    nodes: set[str] = field(default_factory=set)
+    edges: list[LockEdge] = field(default_factory=list)
+
+    def successors(self) -> dict[str, set[str]]:
+        out: dict[str, set[str]] = {n: set() for n in self.nodes}
+        for e in self.edges:
+            out.setdefault(e.src, set()).add(e.dst)
+            out.setdefault(e.dst, set())
+        return out
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` -> ``"X"``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_factory_call(node: ast.expr) -> ast.Call | None:
+    """A ``threading.Lock()``-style call (or bare ``Lock()``), else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _LOCK_FACTORIES:
+        return node
+    if isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES:
+        return node
+    return None
+
+
+def collect_lock_attrs(cls: ast.ClassDef) -> dict[str, str]:
+    """attr name -> canonical attr name for every lock attribute of ``cls``
+    (aliases like ``self._idle = threading.Condition(self._lock)`` map to
+    the wrapped lock's name)."""
+    locks: dict[str, str] = {}
+    aliases: dict[str, str] = {}
+    for stmt in cls.body:
+        # dataclass field: _lock: threading.Lock = field(default_factory=threading.Lock)
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            value = stmt.value
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) \
+                    and value.func.id == "field":
+                for kw in value.keywords:
+                    if kw.arg == "default_factory" and (
+                        (isinstance(kw.value, ast.Attribute)
+                         and kw.value.attr in _LOCK_FACTORIES)
+                        or (isinstance(kw.value, ast.Name)
+                            and kw.value.id in _LOCK_FACTORIES)
+                    ):
+                        locks[stmt.target.id] = stmt.target.id
+            elif _lock_factory_call(value) is not None:
+                locks[stmt.target.id] = stmt.target.id
+    for method in [s for s in cls.body if isinstance(s, ast.FunctionDef)]:
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            attr = _self_attr(node.targets[0])
+            if attr is None:
+                continue
+            call = _lock_factory_call(node.value)
+            if call is None:
+                continue
+            wrapped = call.args[0] if call.args else None
+            wrapped_attr = _self_attr(wrapped) if wrapped is not None else None
+            if wrapped_attr is not None:
+                aliases[attr] = wrapped_attr  # Condition(self._lock) et al.
+            else:
+                locks[attr] = attr
+    for alias, target in aliases.items():
+        locks[alias] = locks.get(target, target)
+    return locks
+
+
+@dataclass
+class _MethodSummary:
+    key: str                                   # "Class.method"
+    path: str
+    direct: set[str] = field(default_factory=set)   # locks acquired directly
+    nest_edges: list[LockEdge] = field(default_factory=list)
+    # (held locks, raw callee descriptor, line); resolved at link time
+    calls: list[tuple[tuple[str, ...], tuple, int]] = field(default_factory=list)
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walk one method, tracking the lexical stack of held class locks."""
+
+    def __init__(self, cls_name: str, locks: dict[str, str], path: str, key: str):
+        self.cls = cls_name
+        self.locks = locks
+        self.path = path
+        self.summary = _MethodSummary(key=key, path=path)
+        self._held: list[str] = []
+
+    def _node_for(self, attr: str) -> str:
+        return f"{self.cls}.{self.locks[attr]}"
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: list[str] = []
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.locks:
+                lock_node = self._node_for(attr)
+                self.summary.direct.add(lock_node)
+                for held in self._held:
+                    if held != lock_node:
+                        self.summary.nest_edges.append(
+                            LockEdge(held, lock_node, self.path, item.context_expr.lineno)
+                        )
+                self._held.append(lock_node)
+                acquired.append(lock_node)
+            else:
+                # non-lock context managers may still make calls
+                self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self._held.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = self._describe_callee(node.func)
+        if callee is not None and self._held:
+            self.summary.calls.append((tuple(self._held), callee, node.lineno))
+        elif callee is not None:
+            # calls made lock-free still matter: they extend the caller's
+            # transitive acquire set (the caller may itself be called
+            # under a lock)
+            self.summary.calls.append(((), callee, node.lineno))
+        self.generic_visit(node)
+
+    # nested defs run later/elsewhere; their lock behavior must not be
+    # attributed to this method's held stack
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+    def _describe_callee(self, func: ast.expr) -> tuple | None:
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                return ("self", func.attr)
+            return ("attr", func.attr)
+        if isinstance(func, ast.Name):
+            return ("name", func.id)
+        return None
+
+
+def build_lock_graph(modules) -> LockGraph:
+    """Build the global acquisition graph over every scanned module."""
+    # pass 1: classes, their lock attrs, their methods
+    class_locks: dict[str, dict[str, str]] = {}
+    class_methods: dict[str, set[str]] = {}
+    methods_by_name: dict[str, set[str]] = {}       # method name -> {class}
+    summaries: dict[str, _MethodSummary] = {}
+    classes: list[tuple[str, ast.ClassDef, str]] = []
+    for mod in modules:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ClassDef):
+                classes.append((mod.rel, node, node.name))
+    for rel, cls, name in classes:
+        locks = collect_lock_attrs(cls)
+        if name not in class_locks:
+            class_locks[name] = locks
+        else:
+            class_locks[name].update(locks)
+        for method in [s for s in cls.body if isinstance(s, ast.FunctionDef)]:
+            key = f"{name}.{method.name}"
+            class_methods.setdefault(name, set()).add(method.name)
+            methods_by_name.setdefault(method.name, set()).add(name)
+            visitor = _MethodVisitor(name, class_locks[name], rel, key)
+            for stmt in method.body:
+                visitor.visit(stmt)
+            if key in summaries:                     # same-named class elsewhere
+                summaries[key].direct |= visitor.summary.direct
+                summaries[key].nest_edges += visitor.summary.nest_edges
+                summaries[key].calls += visitor.summary.calls
+            else:
+                summaries[key] = visitor.summary
+
+    def resolve(callee: tuple, own_class: str) -> str | None:
+        kind, name = callee
+        if kind == "self":
+            if name in class_methods.get(own_class, ()):
+                return f"{own_class}.{name}"
+            return None
+        if kind == "name":
+            if name in class_methods and "__init__" in class_methods[name]:
+                return f"{name}.__init__"
+            return None
+        # kind == "attr": unique, non-ubiquitous method names only
+        if name in _SKIP_METHOD_NAMES:
+            return None
+        owners = methods_by_name.get(name, set())
+        if len(owners) == 1:
+            return f"{next(iter(owners))}.{name}"
+        return None
+
+    # pass 2: transitive acquire sets, to a fixpoint
+    acquires: dict[str, set[str]] = {k: set(s.direct) for k, s in summaries.items()}
+    resolved_calls: dict[str, list[tuple[tuple[str, ...], str, int]]] = {}
+    for key, summary in summaries.items():
+        own_class = key.rsplit(".", 1)[0]
+        resolved_calls[key] = [
+            (held, target, line)
+            for held, callee, line in summary.calls
+            if (target := resolve(callee, own_class)) is not None
+        ]
+    changed = True
+    while changed:
+        changed = False
+        for key, calls in resolved_calls.items():
+            for _held, target, _line in calls:
+                extra = acquires.get(target, set()) - acquires[key]
+                if extra:
+                    acquires[key] |= extra
+                    changed = True
+
+    # pass 3: edges
+    graph = LockGraph()
+    for key, summary in summaries.items():
+        graph.nodes |= summary.direct
+        graph.edges.extend(summary.nest_edges)
+        for held, target, line in resolved_calls[key]:
+            for dst in acquires.get(target, ()):
+                for src in held:
+                    if src != dst:
+                        graph.edges.append(
+                            LockEdge(src, dst, summary.path, line, via=target)
+                        )
+    for e in graph.edges:
+        graph.nodes.add(e.src)
+        graph.nodes.add(e.dst)
+    return graph
+
+
+def find_cycles(graph: LockGraph) -> list[list[LockEdge]]:
+    """Every edge participating in an ordering cycle, grouped by strongly
+    connected component (one group per cyclic SCC)."""
+    succ = graph.successors()
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[set[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        # iterative Tarjan (analysis must not depend on recursion depth)
+        work = [(v, iter(sorted(succ.get(v, ()))))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(succ.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc: set[str] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.add(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+
+    for node in sorted(graph.nodes):
+        if node not in index:
+            strongconnect(node)
+
+    groups: list[list[LockEdge]] = []
+    for scc in sccs:
+        if len(scc) < 2:
+            continue
+        edges = [e for e in graph.edges if e.src in scc and e.dst in scc]
+        dedup: dict[tuple, LockEdge] = {}
+        for e in edges:
+            dedup.setdefault((e.src, e.dst, e.path, e.line), e)
+        groups.append(sorted(dedup.values(), key=lambda e: (e.path, e.line, e.src)))
+    return groups

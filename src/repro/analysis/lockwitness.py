@@ -1,0 +1,346 @@
+"""Runtime lock-order witness: catch deadlock cycles as they *form*.
+
+A deadlock needs an unlucky interleaving; the lock-ordering violation
+behind it does not.  This sanitizer wraps ``threading.Lock`` /
+``threading.RLock`` (``Condition`` picks the wrapped ``RLock`` up
+automatically) and maintains, per thread, the stack of currently held
+locks plus a global graph of *lock creation sites*: an edge ``A -> B``
+is recorded the first time a lock created at site B is acquired while
+one created at site A is held.  The moment an acquisition would close a
+cycle in that graph, :class:`LockOrderError` is raised — before the
+acquire blocks — so the test fails with both orders in hand instead of
+hanging.  A plain ``Lock`` re-acquired by its owning thread (guaranteed
+self-deadlock) is reported the same way.
+
+Site-level identity means two instances from the same creation site
+(e.g. every ``JobHandle._lock``) are one node; edges between them are
+ignored rather than reported as one-node cycles.  That forgives the
+common lock-two-shards pattern and costs sensitivity only to
+two-instance inversions within a single site.
+
+Opt-in: set ``REPRO_LOCKWITNESS=1`` and the test suite's ``conftest``
+installs the witness for the whole session, or use :func:`install` /
+:func:`uninstall` / the :func:`witness` context manager directly.
+Locks created *before* :func:`install` are not wrapped.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sys
+import threading
+
+__all__ = [
+    "LockOrderError",
+    "install",
+    "uninstall",
+    "installed",
+    "reset",
+    "witness",
+    "enabled_from_env",
+]
+
+ENV_VAR = "REPRO_LOCKWITNESS"
+
+_real_lock = threading.Lock
+_real_rlock = threading.RLock
+
+
+class LockOrderError(RuntimeError):
+    """An acquisition would close a lock-ordering cycle (or self-deadlock)."""
+
+    def __init__(self, message: str, cycle: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle or []
+
+
+class _Witness:
+    """The global acquisition-order graph and per-thread held stacks."""
+
+    def __init__(self) -> None:
+        self._graph_lock = _real_lock()
+        self._edges: dict[str, set[str]] = {}
+        self._tls = threading.local()
+
+    # -- per-thread held stack -------------------------------------------------------
+
+    def _held(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def holds(self, lock) -> int:
+        return sum(1 for entry in self._held() if entry is lock)
+
+    def push(self, lock) -> None:
+        self._held().append(lock)
+
+    def pop(self, lock) -> None:
+        stack = self._held()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                return
+
+    def pop_all(self, lock) -> int:
+        stack = self._held()
+        n = sum(1 for entry in stack if entry is lock)
+        self._tls.stack = [entry for entry in stack if entry is not lock]
+        return n
+
+    # -- the order graph -------------------------------------------------------------
+
+    def check_acquire(self, lock) -> None:
+        """Record held-site -> lock.site edges; raise if one closes a cycle.
+
+        Runs *before* the real acquire, so a would-be deadlock surfaces as
+        an exception instead of a hang.
+        """
+        held_sites = []
+        seen = set()
+        for entry in self._held():
+            if entry is lock or entry.site == lock.site:
+                continue
+            if entry.site not in seen:
+                seen.add(entry.site)
+                held_sites.append(entry.site)
+        if not held_sites:
+            return
+        with self._graph_lock:
+            for src in held_sites:
+                path = self._path(lock.site, src)
+                if path is not None:
+                    # path runs acquired -> ... -> src; src closes the loop
+                    cycle = [src, *path[:-1]]
+                    raise LockOrderError(
+                        f"lock ordering cycle: acquiring {lock.site} while "
+                        f"holding {src}, but the opposite order was already "
+                        f"witnessed — cycle: {' -> '.join(cycle)} -> {cycle[0]} "
+                        f"(thread {threading.current_thread().name})",
+                        cycle=cycle,
+                    )
+            for src in held_sites:
+                self._edges.setdefault(src, set()).add(lock.site)
+
+    def record_acquire(self, lock) -> None:
+        """Edges without the cycle check — for Condition wait re-acquires,
+        where raising would leave the condition's lock protocol broken."""
+        with self._graph_lock:
+            for entry in self._held():
+                if entry is not lock and entry.site != lock.site:
+                    self._edges.setdefault(entry.site, set()).add(lock.site)
+
+    def _path(self, src: str, dst: str) -> list[str] | None:
+        """A path src -> ... -> dst in the current edge set (BFS), if any."""
+        if src == dst:
+            return [src]
+        prev: dict[str, str] = {src: src}
+        frontier = [src]
+        while frontier:
+            nxt: list[str] = []
+            for node in frontier:
+                for succ in self._edges.get(node, ()):
+                    if succ in prev:
+                        continue
+                    prev[succ] = node
+                    if succ == dst:
+                        path = [succ]
+                        while path[-1] != src:
+                            path.append(prev[path[-1]])
+                        return list(reversed(path))
+                    nxt.append(succ)
+            frontier = nxt
+        return None
+
+    def edges(self) -> dict[str, set[str]]:
+        with self._graph_lock:
+            return {src: set(dsts) for src, dsts in self._edges.items()}
+
+    def reset(self) -> None:
+        with self._graph_lock:
+            self._edges.clear()
+
+
+_witness = _Witness()
+
+
+def _creation_site() -> str:
+    """``path:lineno`` of the frame that created the lock, skipping this
+    module and :mod:`threading` (a Condition's implicit RLock belongs to
+    the ``Condition()`` caller)."""
+    frame = sys._getframe(1)
+    this_file = __file__
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != this_file and not filename.endswith("threading.py"):
+            parts = filename.replace(os.sep, "/").split("/")
+            return f"{'/'.join(parts[-3:])}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class _WitnessLockBase:
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.site = _creation_site()
+
+    def release(self) -> None:
+        self._inner.release()
+        _witness.pop(self)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _at_fork_reinit(self) -> None:
+        # stdlib (concurrent.futures, logging) reinitializes its module
+        # locks in the forked child through this hook
+        self._inner._at_fork_reinit()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} site={self.site}>"
+
+
+class _WitnessLock(_WitnessLockBase):
+    """Witnessed non-reentrant lock (wraps ``threading.Lock``)."""
+
+    def __init__(self) -> None:
+        super().__init__(_real_lock())
+        self._owner: int | None = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if (
+            blocking
+            and timeout == -1
+            and self._owner == threading.get_ident()
+        ):
+            raise LockOrderError(
+                f"self-deadlock: thread {threading.current_thread().name} "
+                f"re-acquiring non-reentrant Lock from {self.site} that it "
+                "already holds"
+            )
+        _witness.check_acquire(self)
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._owner = threading.get_ident()
+            _witness.push(self)
+        return got
+
+    def release(self) -> None:
+        self._owner = None
+        super().release()
+
+    def _at_fork_reinit(self) -> None:
+        self._owner = None
+        super()._at_fork_reinit()
+
+    # Condition-over-Lock protocol
+    def _release_save(self):
+        self.release()
+        return None
+
+    def _acquire_restore(self, _state) -> None:
+        self._inner.acquire()
+        self._owner = threading.get_ident()
+        _witness.record_acquire(self)
+        _witness.push(self)
+
+    def _is_owned(self) -> bool:
+        return self._owner == threading.get_ident()
+
+
+class _WitnessRLock(_WitnessLockBase):
+    """Witnessed reentrant lock (wraps ``threading.RLock``)."""
+
+    def __init__(self) -> None:
+        super().__init__(_real_rlock())
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if _witness.holds(self) == 0:
+            _witness.check_acquire(self)  # reentrant re-acquire adds no edge
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            _witness.push(self)
+        return got
+
+    # Condition-over-RLock protocol: wait() fully releases the lock, so the
+    # held stack must drop every recursion level and restore them after
+    def _release_save(self):
+        inner_state = self._inner._release_save()
+        depth = _witness.pop_all(self)
+        return (inner_state, depth)
+
+    def _acquire_restore(self, state) -> None:
+        inner_state, depth = state
+        self._inner._acquire_restore(inner_state)
+        _witness.record_acquire(self)
+        for _ in range(max(1, depth)):
+            _witness.push(self)
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+    def locked(self) -> bool:  # RLocks have no free/locked query pre-3.12
+        method = getattr(self._inner, "locked", None)
+        return bool(method()) if method is not None else False
+
+
+def _lock_factory():
+    return _WitnessLock()
+
+
+def _rlock_factory():
+    return _WitnessRLock()
+
+
+def install() -> None:
+    """Patch the ``threading`` lock factories (idempotent).  Locks created
+    from here on are witnessed; ``threading.Condition()`` inherits the
+    patched RLock automatically."""
+    threading.Lock = _lock_factory
+    threading.RLock = _rlock_factory
+
+
+def uninstall() -> None:
+    """Restore the real factories and clear the recorded order graph."""
+    threading.Lock = _real_lock
+    threading.RLock = _real_rlock
+    _witness.reset()
+
+
+def installed() -> bool:
+    return threading.Lock is _lock_factory
+
+
+def reset() -> None:
+    """Forget every recorded edge (between tests)."""
+    _witness.reset()
+
+
+def graph_edges() -> dict[str, set[str]]:
+    """The current site-level acquisition-order graph (for assertions)."""
+    return _witness.edges()
+
+
+def enabled_from_env() -> bool:
+    return os.environ.get(ENV_VAR, "").strip() in ("1", "true", "yes", "on")
+
+
+@contextlib.contextmanager
+def witness():
+    """Context manager: install on entry, uninstall on exit."""
+    was = installed()
+    install()
+    try:
+        yield
+    finally:
+        if not was:
+            uninstall()

@@ -1,0 +1,328 @@
+"""Concurrency-discipline rules: lock ordering, guarded writes, broad excepts.
+
+``lock-order``
+    Builds the global lock-acquisition graph (:mod:`.lockgraph`) and
+    reports every acquisition edge that participates in an ordering
+    cycle — two locks ever taken in both orders can deadlock two threads.
+
+``guarded-write``
+    Enforces the ``# guarded-by: self._lock`` annotation convention: an
+    attribute annotated at its initialization site may only be written
+    inside a ``with self._lock:`` block (or a ``Condition`` wrapping the
+    same lock).  ``__init__`` / ``__post_init__`` are exempt (no
+    concurrent observer exists yet), as are methods whose name ends in
+    ``_locked`` (the repo's called-with-the-lock-held convention).
+
+``broad-except-in-thread``
+    Worker loops must not swallow errors blind: a bare ``except:``, or
+    an ``except Exception/BaseException`` whose handler neither raises
+    nor calls anything (no logging, no event record — a pure swallow),
+    hides failures exactly where they are hardest to observe.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .findings import Finding
+from .lockgraph import build_lock_graph, collect_lock_attrs, find_cycles
+
+__all__ = ["LockOrderRule", "GuardedWriteRule", "BroadExceptInThreadRule"]
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([^\s#]+)")
+
+#: container mutators that count as writes to the receiver attribute
+_MUTATORS = {
+    "add", "append", "appendleft", "clear", "discard", "extend", "insert",
+    "pop", "popitem", "popleft", "remove", "reverse", "setdefault", "sort",
+    "update",
+}
+
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__new__"}
+
+
+class LockOrderRule:
+    """Detect lock-acquisition ordering cycles (potential deadlocks)."""
+
+    id = "lock-order"
+
+    def run(self, modules):
+        graph = build_lock_graph(modules)
+        for group in find_cycles(graph):
+            nodes = sorted({e.src for e in group} | {e.dst for e in group})
+            cycle = " <-> ".join(nodes)
+            for edge in group:
+                via = f" via {edge.via}()" if edge.via else ""
+                yield Finding(
+                    rule=self.id,
+                    path=edge.path,
+                    line=edge.line,
+                    col=0,
+                    message=(
+                        f"acquires {edge.dst} while holding {edge.src}{via}, "
+                        f"but the opposite order also exists — ordering cycle "
+                        f"[{cycle}] can deadlock"
+                    ),
+                )
+
+
+class _WriteVisitor(ast.NodeVisitor):
+    """Walk one method tracking held ``with self.X:`` contexts, reporting
+    writes to guarded attributes made without their guard held."""
+
+    def __init__(self, guards: dict[str, str], alias_ok: dict[str, set[str]], mod):
+        self.guards = guards            # attr -> guard attr (e.g. "_lock")
+        self.alias_ok = alias_ok        # guard attr -> acceptable held attrs
+        self.mod = mod
+        self.findings: list[Finding] = []
+        self._held: list[str] = []      # attr names of held self.X contexts
+
+    # -- context tracking ------------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        pushed = 0
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None:
+                self._held.append(attr)
+                pushed += 1
+            else:
+                self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self._held.pop()
+
+    # a nested function does not run under the enclosing with-block's lock
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        held, self._held = self._held, []
+        for stmt in node.body:
+            self.visit(stmt)
+        self._held = held
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    # -- write detection -------------------------------------------------------------
+
+    def _check_write(self, attr: str, lineno: int, col: int) -> None:
+        guard = self.guards.get(attr)
+        if guard is None:
+            return
+        if any(h in self.alias_ok[guard] for h in self._held):
+            return
+        self.findings.append(
+            Finding(
+                rule="guarded-write",
+                path=self.mod.rel,
+                line=lineno,
+                col=col,
+                message=(
+                    f"write to self.{attr} outside 'with self.{guard}:' "
+                    f"(declared guarded-by self.{guard})"
+                ),
+            )
+        )
+
+    def _write_target_attr(self, target: ast.expr) -> ast.Attribute | None:
+        """The ``self.X`` attribute a store target writes through, if any:
+        ``self.X``, ``self.X.field``, or ``self.X[...]``."""
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute) and not (
+            isinstance(node.value, ast.Name) and node.value.id == "self"
+        ):
+            # one nesting level: self.stats.hits += 1 writes through self.stats
+            inner = node.value
+            if isinstance(inner, ast.Attribute) and isinstance(inner.value, ast.Name) \
+                    and inner.value.id == "self":
+                return inner
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return node
+        return None
+
+    def _handle_store(self, target: ast.expr) -> None:
+        attr_node = self._write_target_attr(target)
+        if attr_node is not None:
+            self._check_write(attr_node.attr, target.lineno, target.col_offset)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for el in target.elts:
+                    self._handle_store(el)
+            else:
+                self._handle_store(target)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._handle_store(node.target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._handle_store(node.target)
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            recv = func.value
+            if isinstance(recv, ast.Attribute) and isinstance(recv.value, ast.Name) \
+                    and recv.value.id == "self":
+                self._check_write(recv.attr, node.lineno, node.col_offset)
+        self.generic_visit(node)
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class GuardedWriteRule:
+    """Enforce ``# guarded-by: <lock>`` annotations at attribute writes."""
+
+    id = "guarded-write"
+
+    def run(self, modules):
+        for mod in modules:
+            for cls in [n for n in ast.walk(mod.tree) if isinstance(n, ast.ClassDef)]:
+                yield from self._check_class(mod, cls)
+
+    def _check_class(self, mod, cls: ast.ClassDef):
+        end = getattr(cls, "end_lineno", None) or cls.lineno
+        annotations: dict[int, str] = {}
+        for line in range(cls.lineno, end + 1):
+            comment = mod.comments.get(line)
+            if not comment:
+                continue
+            m = _GUARDED_BY_RE.search(comment)
+            if m:
+                annotations[line] = m.group(1)
+        if not annotations:
+            return
+
+        # associate each annotation with the attribute assigned on its line
+        guards: dict[str, str] = {}
+        matched: set[int] = set()
+        for node in ast.walk(cls):
+            line = getattr(node, "lineno", None)
+            if line not in annotations:
+                continue
+            attr: str | None = None
+            if isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    attr = node.target.id
+                else:
+                    attr = _self_attr(node.target)
+            elif isinstance(node, ast.Assign) and node.targets:
+                attr = _self_attr(node.targets[0])
+            if attr is not None:
+                guard_expr = annotations[line]
+                guard = guard_expr[5:] if guard_expr.startswith("self.") else guard_expr
+                guards[attr] = guard
+                matched.add(line)
+        for line in sorted(set(annotations) - matched):
+            yield Finding(
+                rule=self.id,
+                path=mod.rel,
+                line=line,
+                col=0,
+                message=(
+                    "guarded-by annotation is not attached to an attribute "
+                    "assignment (expected 'self.attr = ...' or a dataclass "
+                    "field on this line)"
+                ),
+            )
+        if not guards:
+            return
+
+        # a Condition wrapping a lock guards the same state as the lock
+        lock_aliases = collect_lock_attrs(cls)
+        alias_ok: dict[str, set[str]] = {}
+        for guard in set(guards.values()):
+            canonical = lock_aliases.get(guard, guard)
+            alias_ok[guard] = {
+                a for a, c in lock_aliases.items() if c == canonical
+            } | {guard}
+
+        for method in [s for s in cls.body if isinstance(s, ast.FunctionDef)]:
+            if method.name in _EXEMPT_METHODS or method.name.endswith("_locked"):
+                continue
+            visitor = _WriteVisitor(guards, alias_ok, mod)
+            for stmt in method.body:
+                visitor.visit(stmt)
+            yield from visitor.findings
+
+
+class BroadExceptInThreadRule:
+    """Flag bare/broad exception handlers that silently swallow errors."""
+
+    id = "broad-except-in-thread"
+
+    def run(self, modules):
+        for mod in modules:
+            if mod.section != "src":
+                continue
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if node.type is None:
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "bare 'except:' also traps KeyboardInterrupt/"
+                            "SystemExit — name the exceptions this code can "
+                            "actually handle"
+                        ),
+                    )
+                    continue
+                if self._is_broad(node.type) and self._swallows(node):
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "broad except silently swallows errors — worker-"
+                            "thread failures become invisible; catch the "
+                            "specific exceptions or log/re-raise"
+                        ),
+                    )
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr) -> bool:
+        names: list[str] = []
+        nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        for n in nodes:
+            if isinstance(n, ast.Name):
+                names.append(n.id)
+        return any(n in ("Exception", "BaseException") for n in names)
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        """A handler swallows the error unless it re-raises, calls anything
+        (logging, event recording), or stores the caught exception object
+        (the capture-and-rethrow-at-join pattern)."""
+        for stmt in handler.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Raise, ast.Call)):
+                    return False
+                if (
+                    handler.name is not None
+                    and isinstance(node, ast.Name)
+                    and node.id == handler.name
+                    and isinstance(node.ctx, ast.Load)
+                ):
+                    return False
+        return True

@@ -1,0 +1,200 @@
+"""Dtype/backend flow rules: FFT routing, precision widening, seeded RNG.
+
+``direct-fft``
+    ``np.fft.*`` may only be used inside ``lamino/usfft.py`` — everything
+    else must route through ``configure_fft`` / ``fft_backend`` so that a
+    single switch controls the backend (scipy pocketfft vs numpy) and the
+    complex64 discipline.  Calling ``np.fft`` directly silently forces
+    numpy's complex128 path and escapes the backend configuration.
+
+``dtype-widen``
+    Flags explicit widening to ``complex128`` in library code
+    (``astype(...)`` with a complex128 operand, or ``dtype=np.complex128``
+    arguments).  The hot path is complex64 end-to-end; a widened slab
+    doubles memory traffic and breaks bit-identity between execution
+    layouts.  ``np.dtype(np.complex128)`` descriptor construction is not
+    a data allocation and is exempt.
+
+``unseeded-random``
+    Tests and benchmarks must be reproducible: any ``np.random.*`` call
+    that draws from unseeded global state (legacy functions, or
+    ``default_rng()`` with no seed) is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+
+__all__ = ["DirectFFTRule", "DtypeWidenRule", "UnseededRandomRule"]
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``np.fft.fftn`` -> ``["np", "fft", "fftn"]`` (empty if not a pure
+    name/attribute chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+def _mentions_complex128(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "complex128":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "complex128":
+            return True
+        if isinstance(sub, ast.Constant) and sub.value == "complex128":
+            return True
+    return False
+
+
+class DirectFFTRule:
+    """Forbid direct ``np.fft`` use outside the FFT backend module."""
+
+    id = "direct-fft"
+
+    #: the one module that owns the backend seam
+    EXEMPT_SUFFIX = "lamino/usfft.py"
+
+    def run(self, modules):
+        for mod in modules:
+            if mod.rel.endswith(self.EXEMPT_SUFFIX):
+                continue
+            # report each np.fft.<fn> chain once, at its outermost attribute
+            inner_nodes = {
+                id(a.value)
+                for a in ast.walk(mod.tree)
+                if isinstance(a, ast.Attribute)
+            }
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Attribute) or id(node) in inner_nodes:
+                    continue
+                chain = _attr_chain(node)
+                if len(chain) >= 2 and chain[0] in ("np", "numpy") \
+                        and chain[1] == "fft":
+                    yield Finding(
+                        rule=self.id,
+                        path=mod.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"direct {'.'.join(chain)} call bypasses "
+                            "configure_fft/fft_backend — route FFTs through "
+                            "repro.lamino.usfft so one switch controls the "
+                            "backend and the complex64 discipline"
+                        ),
+                    )
+
+
+class DtypeWidenRule:
+    """Flag explicit complex128 widening in library (hot-path) code."""
+
+    id = "dtype-widen"
+
+    #: constructors whose second positional argument is a dtype
+    _DTYPE_POSITIONAL = {"zeros", "empty", "ones", "full", "array", "asarray"}
+
+    def run(self, modules):
+        for mod in modules:
+            if mod.section != "src":
+                continue
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                finding = self._check_call(mod, node)
+                if finding is not None:
+                    yield finding
+
+    def _check_call(self, mod, node: ast.Call) -> Finding | None:
+        func = node.func
+        chain = _attr_chain(func)
+        # np.dtype(np.complex128) builds a descriptor, not an array
+        if chain[-1:] == ["dtype"]:
+            return None
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            if any(_mentions_complex128(a) for a in node.args) or any(
+                _mentions_complex128(kw.value) for kw in node.keywords
+            ):
+                return self._finding(mod, node, "astype(...) widens to complex128")
+            return None
+        for kw in node.keywords:
+            if kw.arg == "dtype" and _mentions_complex128(kw.value):
+                return self._finding(
+                    mod, node, f"{'.'.join(chain) or 'call'} allocates complex128"
+                )
+        if (
+            len(chain) >= 1
+            and chain[-1] in self._DTYPE_POSITIONAL
+            and len(node.args) >= 2
+            and _mentions_complex128(node.args[1])
+        ):
+            return self._finding(
+                mod, node, f"{'.'.join(chain)} allocates complex128"
+            )
+        return None
+
+    def _finding(self, mod, node: ast.Call, what: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=mod.rel,
+            line=node.lineno,
+            col=node.col_offset,
+            message=(
+                f"{what} — the hot path is complex64 end-to-end; widening "
+                "doubles memory traffic and breaks layout bit-identity"
+            ),
+        )
+
+
+class UnseededRandomRule:
+    """Forbid unseeded numpy randomness in tests and benchmarks."""
+
+    id = "unseeded-random"
+
+    SECTIONS = ("tests", "benchmarks")
+
+    #: generator/bit-generator constructors: fine when given a seed
+    _CTORS = {
+        "default_rng", "Generator", "SeedSequence", "RandomState",
+        "PCG64", "Philox", "MT19937", "SFC64",
+    }
+
+    def run(self, modules):
+        for mod in modules:
+            if mod.section not in self.SECTIONS:
+                continue
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = _attr_chain(node.func)
+                if len(chain) < 3 or chain[0] not in ("np", "numpy") \
+                        or chain[1] != "random":
+                    continue
+                fn = chain[2]
+                if fn in self._CTORS:
+                    if node.args or node.keywords:
+                        continue
+                    message = (
+                        f"np.random.{fn}() without a seed — pass an explicit "
+                        "seed (or use the shared seeded `rng` fixture) so the "
+                        "run is reproducible"
+                    )
+                else:
+                    message = (
+                        f"np.random.{fn} draws from process-global state — "
+                        "use a seeded np.random.default_rng(seed) Generator "
+                        "so tests/benchmarks are reproducible"
+                    )
+                yield Finding(
+                    rule=self.id,
+                    path=mod.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=message,
+                )

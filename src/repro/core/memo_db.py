@@ -383,6 +383,8 @@ class MemoDatabase:
         )
         meta_has = np.zeros(len(ids), dtype=np.uint8)
         meta_ac = np.zeros(len(ids), dtype=np.float64)
+        # snapshot metadata keeps the DC term at storage precision, off the hot path
+        # analysis: ignore[dtype-widen]
         meta_dc = np.zeros(len(ids), dtype=np.complex128)
         for row, i in enumerate(ids):
             meta = self._meta.get(i)

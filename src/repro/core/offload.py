@@ -236,7 +236,7 @@ class OffloadPlanner:
                 continue
             write_t = self.cost.ssd_write_time(var.nbytes)
             read_t = self.cost.ssd_read_time(var.nbytes)
-            for i, (first, last) in enumerate(windows):
+            for i, (_first, last) in enumerate(windows):
                 nxt_first = (
                     windows[i + 1][0] if i + 1 < len(windows) else windows[0][0] + it_time
                 )
@@ -379,7 +379,7 @@ def greedy_offload(
         windows = schedule.access_times(var.name)
         write_t = cost.ssd_write_time(var.nbytes)
         read_t = cost.ssd_read_time(var.nbytes)
-        for i, (first, last) in enumerate(windows):
+        for i, (_first, last) in enumerate(windows):
             nxt_first = (
                 windows[i + 1][0] if i + 1 < len(windows) else windows[0][0] + it_time
             )

@@ -183,7 +183,8 @@ def simulate_iteration(
             # control messages over bulk stores)
             deferred_inserts: list = []
 
-            def flush_batch(gpu_idx: int):
+            # op/pending_batch rebind every phase; pin this phase's values
+            def flush_batch(gpu_idx: int, op=op, pending_batch=pending_batch):
                 batch = pending_batch[gpu_idx]
                 if not batch:
                     return

@@ -178,5 +178,7 @@ def make_phantom(kind: str, shape: tuple[int, int, int], seed: int = 0) -> np.nd
     try:
         fn = _REGISTRY[kind]
     except KeyError:
-        raise ValueError(f"unknown phantom {kind!r}; choose from {sorted(_REGISTRY)}")
+        raise ValueError(
+            f"unknown phantom {kind!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
     return fn(shape, seed=seed)

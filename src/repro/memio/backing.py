@@ -45,13 +45,14 @@ class SpillManager:
         self._dir = tempfile.mkdtemp(prefix="mlr-spill-") if directory is None else directory
         os.makedirs(self._dir, exist_ok=True)
         self._pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="spill")
-        self._futures: dict[str, Future] = {}
-        self._on_disk: set[str] = set()
+        self._futures: dict[str, Future] = {}  # guarded-by: self._lock
+        self._on_disk: set[str] = set()  # guarded-by: self._lock
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
-        self._active_io = 0  # in-flight spill() writes and fetch() loads
-        self._closed = False
-        self.stats = SpillStats()
+        # in-flight spill() writes and fetch() loads
+        self._active_io = 0  # guarded-by: self._lock
+        self._closed = False  # guarded-by: self._lock
+        self.stats = SpillStats()  # guarded-by: self._lock
 
     # -- core operations ------------------------------------------------------------
 
@@ -76,7 +77,7 @@ class SpillManager:
         if stale is not None and not stale.cancel():
             try:
                 stale.result()
-            except Exception:
+            except (OSError, ValueError, EOFError):
                 pass  # the stale load's outcome is irrelevant — it is discarded
         ok = False
         try:

@@ -68,8 +68,11 @@ def total_bytes(variables: dict[str, TrackedVariable]) -> int:
     return sum(v.nbytes for v in variables.values())
 
 
+_NO_OFFLOAD: frozenset[str] = frozenset()
+
+
 def peak_resident_bytes(
-    variables: dict[str, TrackedVariable], offloaded: set[str] = frozenset()
+    variables: dict[str, TrackedVariable], offloaded: set[str] = _NO_OFFLOAD
 ) -> int:
     """Peak CPU residency if ``offloaded`` variables live on SSD between uses."""
     return sum(v.nbytes for name, v in variables.items() if name not in offloaded)

@@ -130,18 +130,20 @@ class RemoteMemoClient:
         self.backoff_max_s = backoff_max_s
         self.max_inflight = max_inflight
         self.client_name = client_name
-        self.net_stats = NetClientStats()
+        self.net_stats = NetClientStats()  # guarded-by: self._lock
         self.server_info: dict | None = None
         self._n_shards = max(1, int(n_shards_hint))
         self._lock = threading.RLock()
-        self._sock: socket.socket | None = None
-        self._reader: FrameReader | None = None
-        self._pending: deque[int] = deque()  # request ids of unacked inserts
-        self._req_seq = 0
-        self._backoff = backoff_initial_s
-        self._next_attempt = 0.0  # monotonic deadline for the next connect try
-        self._closed = False
-        self._outage_logged = False
+        self._sock: socket.socket | None = None  # guarded-by: self._lock
+        self._reader: FrameReader | None = None  # guarded-by: self._lock
+        # request ids of unacked inserts
+        self._pending: deque[int] = deque()  # guarded-by: self._lock
+        self._req_seq = 0  # guarded-by: self._lock
+        self._backoff = backoff_initial_s  # guarded-by: self._lock
+        # monotonic deadline for the next connect try
+        self._next_attempt = 0.0  # guarded-by: self._lock
+        self._closed = False  # guarded-by: self._lock
+        self._outage_logged = False  # guarded-by: self._lock
         # eager first connect: deterministic misconfiguration (version/tau/
         # value-mode skew) surfaces at construction; a merely-down server
         # follows the fail-open rules like any later call
@@ -403,8 +405,11 @@ class RemoteMemoClient:
             # servers degrade the same way
             if not self.fail_open:
                 raise
-            self.net_stats.degraded_query_batches += 1
-            self.net_stats.degraded_queries += len(queries)
+            # the degraded counters are part of the lock-guarded stats:
+            # solver threads and stats pulls race these increments otherwise
+            with self._lock:
+                self.net_stats.degraded_query_batches += 1
+                self.net_stats.degraded_queries += len(queries)
             return [QueryOutcome(None, -2.0, -1, 0) for _ in queries]
 
     def insert_batch(self, inserts) -> list[int]:
@@ -449,7 +454,8 @@ class RemoteMemoClient:
         except (OSError, ProtocolError):
             if not self.fail_open:
                 raise
-            self.net_stats.degraded_stats_pulls += 1
+            with self._lock:
+                self.net_stats.degraded_stats_pulls += 1
             return None
 
     def stats(self, op: str | None = None) -> MemoDBStats:

@@ -116,16 +116,18 @@ class MemoServerDaemon:
         self.memo = memo or MemoConfig()
         self.name = name
         self.router = MemoShardRouter(n_shards, make_db_factory(self.memo))
-        self.stats = ServerStats()
+        self.stats = ServerStats()  # guarded-by: self._lock
         self.snapshot_path = os.fspath(snapshot_path) if snapshot_path else None
         self.snapshot_interval_s = snapshot_interval_s
         self._max_payload = max_payload
         self._lock = threading.Lock()
-        self._encoder_fp: dict | None = None  # provenance of the stored keys
-        self._encoder_state: dict | None = None  # optional CNN encoder weights
+        # provenance of the stored keys
+        self._encoder_fp: dict | None = None  # guarded-by: self._lock
+        # optional CNN encoder weights
+        self._encoder_state: dict | None = None  # guarded-by: self._lock
         self._stop = threading.Event()
-        self._conns: dict[int, socket.socket] = {}
-        self._conn_seq = 0
+        self._conns: dict[int, socket.socket] = {}  # guarded-by: self._lock
+        self._conn_seq = 0  # guarded-by: self._lock
         # one worker thread per shard: cross-shard concurrency, within-shard
         # serialization — snapshot/stat reads run on the same threads, so
         # they always observe a shard at a batch boundary
@@ -140,7 +142,7 @@ class MemoServerDaemon:
         self._sock.bind((host, port))
         self._sock.listen(64)
         self.address: tuple[str, int] = self._sock.getsockname()[:2]
-        self._threads: list[threading.Thread] = []
+        self._threads: list[threading.Thread] = []  # guarded-by: self._lock
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"{name}-accept", daemon=True
         )
@@ -190,7 +192,9 @@ class MemoServerDaemon:
             except OSError:
                 pass
         self._accept_thread.join(timeout=5.0)
-        for t in list(self._threads):
+        with self._lock:
+            handlers = list(self._threads)
+        for t in handlers:
             t.join(timeout=5.0)
         if self._snapshot_thread is not None:
             self._snapshot_thread.join(timeout=5.0)
@@ -431,8 +435,9 @@ class MemoServerDaemon:
                 name=f"{self.name}-conn{conn_id}",
                 daemon=True,
             )
-            self._threads = [t for t in self._threads if t.is_alive()]
-            self._threads.append(handler)
+            with self._lock:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(handler)
             handler.start()
 
     def _serve_connection(self, conn: socket.socket, conn_id: int, peer) -> None:

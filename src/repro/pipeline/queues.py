@@ -53,10 +53,10 @@ class BoundedQueue:
         if depth < 1:
             raise ValueError(f"queue depth must be >= 1, got {depth}")
         self.depth = depth
-        self._items: deque = deque()
+        self._items: deque = deque()  # guarded-by: self._cond
         self._cond = threading.Condition()
-        self._closed = False
-        self.stats = QueueStats()
+        self._closed = False  # guarded-by: self._cond
+        self.stats = QueueStats()  # guarded-by: self._cond
 
     def put(self, item) -> None:
         """Append ``item``, blocking while the queue is full.

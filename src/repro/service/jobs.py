@@ -127,8 +127,8 @@ class JobHandle:
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._cancel = threading.Event()
-        self._state = JobState.QUEUED
-        self.events: list[JobEvent] = []
+        self._state = JobState.QUEUED  # guarded-by: self._lock
+        self.events: list[JobEvent] = []  # guarded-by: self._lock
         self.result: MLRResult | None = None
         self.error: BaseException | None = None
         #: database traffic this job generated (stats delta over the run)

@@ -141,8 +141,8 @@ class SharedMemoService:
     drops absorbs rather than failing jobs.
     """
 
-    _tree: dict | None = None
-    generation: int = 0
+    _tree: dict | None = None  # guarded-by: self._lock
+    generation: int = 0  # guarded-by: self._lock
     store: object | None = None  # RemoteSnapshotStore-shaped: pull()/push()
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -246,12 +246,12 @@ class ReconstructionScheduler:
             else:
                 memo_service = SharedMemoService()
         self.memo_service = memo_service
-        self.stats = SchedulerStats()
+        self.stats = SchedulerStats()  # guarded-by: self._cond
         self._cond = threading.Condition()
-        self._heap: list[tuple[int, int, JobHandle]] = []
+        self._heap: list[tuple[int, int, JobHandle]] = []  # guarded-by: self._cond
         self._seq = itertools.count()
-        self._shutdown = False
-        self._running = 0
+        self._shutdown = False  # guarded-by: self._cond
+        self._running = 0  # guarded-by: self._cond
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"recon-worker-{i}",
                              daemon=True)

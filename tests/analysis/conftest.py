@@ -1,0 +1,31 @@
+"""Fixture-repo builder for the static-analysis tests.
+
+Each test writes a miniature repo (``src/``, ``tests/``, ...) into
+``tmp_path`` and runs :func:`repro.analysis.run_analysis` over it, so the
+rules are exercised against known-violating and known-clean sources
+without ever depending on the real tree's contents.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+
+@pytest.fixture()
+def mini_repo(tmp_path):
+    """``build({relpath: source, ...}) -> root`` — writes a fixture tree."""
+
+    def build(files: dict[str, str]):
+        for rel, text in files.items():
+            p = tmp_path / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(textwrap.dedent(text), encoding="utf-8")
+        return tmp_path
+
+    return build
+
+
+def rule_ids(report) -> list[str]:
+    return sorted(f.rule for f in report.findings)

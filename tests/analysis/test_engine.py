@@ -1,0 +1,224 @@
+"""Engine behavior: collection, suppression accounting, CLI contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.cli import main
+from repro.analysis.engine import rule_catalog
+
+FFT_BAD = """
+    import numpy as np
+
+    def f(x):
+        return np.fft.fft(x)
+"""
+
+
+class TestCollection:
+    def test_clean_repo(self, mini_repo):
+        root = mini_repo({"src/ok.py": "x = 1\n"})
+        report = run_analysis(root)
+        assert report.clean
+        assert report.files_scanned == 1
+        assert report.findings == [] and report.suppressed == []
+
+    def test_parse_error_is_a_finding(self, mini_repo):
+        root = mini_repo({"src/broken.py": "def f(:\n    pass\n"})
+        report = run_analysis(root)
+        assert [f.rule for f in report.findings] == ["parse-error"]
+        assert not report.clean
+
+    def test_only_known_sections_are_scanned(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/a.py": "x = 1\n",
+                "docs/b.py": "import numpy as np\nnp.fft.fft(0)\n",
+            }
+        )
+        report = run_analysis(root)
+        assert report.files_scanned == 1
+        assert report.clean
+
+    def test_explicit_paths_restrict_the_scan(self, mini_repo):
+        root = mini_repo(
+            {"src/bad.py": FFT_BAD, "src/ok.py": "x = 1\n"}
+        )
+        report = run_analysis(root, paths=["src/ok.py"])
+        assert report.files_scanned == 1
+        assert report.clean
+
+
+class TestSuppression:
+    def test_same_line_suppression(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f(x):
+                    return np.fft.fft(x)  # analysis: ignore[direct-fft]
+                """
+            }
+        )
+        report = run_analysis(root)
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["direct-fft"]
+        assert report.clean  # suppressed findings do not fail the build
+
+    def test_standalone_comment_above_suppresses(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f(x):
+                    # analysis: ignore[direct-fft]
+                    return np.fft.fft(x)
+                """
+            }
+        )
+        report = run_analysis(root)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_comment_two_lines_above_does_not_bind(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f(x):
+                    # analysis: ignore[direct-fft]
+
+                    return np.fft.fft(x)
+                """
+            }
+        )
+        report = run_analysis(root)
+        assert [f.rule for f in report.findings] == ["direct-fft"]
+
+    def test_wrong_rule_id_does_not_suppress(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f(x):
+                    return np.fft.fft(x)  # analysis: ignore[dtype-widen]
+                """
+            }
+        )
+        report = run_analysis(root)
+        assert [f.rule for f in report.findings] == ["direct-fft"]
+        assert report.suppressed == []
+
+    def test_bracketless_ignore_suppresses_all_rules(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f(x):
+                    return np.fft.fft(x).astype(np.complex128)  # analysis: ignore
+                """
+            }
+        )
+        report = run_analysis(root)
+        assert report.findings == []
+        assert sorted(f.rule for f in report.suppressed) == [
+            "direct-fft",
+            "dtype-widen",
+        ]
+
+    def test_suppression_inside_string_literal_is_inert(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": '''
+                import numpy as np
+
+                NOTE = "# analysis: ignore[direct-fft]"
+
+                def f(x):
+                    return np.fft.fft(x)
+                '''
+            }
+        )
+        report = run_analysis(root)
+        assert [f.rule for f in report.findings] == ["direct-fft"]
+
+
+class TestSelection:
+    def test_select_runs_only_named_rules(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f(x):
+                    return np.fft.fft(x).astype(np.complex128)
+                """
+            }
+        )
+        report = run_analysis(root, select={"dtype-widen"})
+        assert [f.rule for f in report.findings] == ["dtype-widen"]
+
+    def test_ignore_skips_named_rules(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f(x):
+                    return np.fft.fft(x).astype(np.complex128)
+                """
+            }
+        )
+        report = run_analysis(root, ignore={"direct-fft"})
+        assert [f.rule for f in report.findings] == ["dtype-widen"]
+
+
+class TestCLI:
+    def test_exit_zero_on_clean(self, mini_repo, capsys):
+        root = mini_repo({"src/ok.py": "x = 1\n"})
+        assert main(["--root", str(root)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, mini_repo, capsys):
+        root = mini_repo({"src/bad.py": FFT_BAD})
+        assert main(["--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "direct-fft" in out and "src/bad.py" in out
+
+    def test_json_report(self, mini_repo, capsys):
+        root = mini_repo({"src/bad.py": FFT_BAD})
+        assert main(["--root", str(root), "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"] == {"direct-fft": 1}
+        assert data["findings"][0]["path"] == "src/bad.py"
+        assert data["suppressed"] == []
+
+    def test_output_file(self, mini_repo, tmp_path, capsys):
+        root = mini_repo({"src/bad.py": FFT_BAD})
+        out_file = tmp_path / "report.json"
+        code = main(
+            ["--root", str(root), "--format", "json", "--output", str(out_file)]
+        )
+        assert code == 1
+        data = json.loads(out_file.read_text())
+        assert data["counts"] == {"direct-fft": 1}
+
+    def test_unknown_rule_id_is_a_usage_error(self, mini_repo):
+        root = mini_repo({"src/ok.py": "x = 1\n"})
+        with pytest.raises(SystemExit) as exc:
+            main(["--root", str(root), "--select", "no-such-rule"])
+        assert exc.value.code == 2
+
+    def test_list_rules_covers_the_catalog(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id, _ in rule_catalog():
+            assert rule_id in out

@@ -1,0 +1,24 @@
+"""The repo must be clean under its own analyzer — CI's gate, as a test."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_is_analysis_clean():
+    report = run_analysis(REPO_ROOT)
+    assert report.files_scanned > 100
+    assert [f.render() for f in report.findings] == []
+
+
+def test_suppressions_are_accounted_for():
+    """Every `# analysis: ignore` in the tree is live — suppressing a real
+    finding — so stale ignores surface here instead of rotting."""
+    report = run_analysis(REPO_ROOT)
+    assert len(report.suppressed) > 0
+    by_rule = sorted({f.rule for f in report.suppressed})
+    assert by_rule == ["direct-fft", "dtype-widen"]

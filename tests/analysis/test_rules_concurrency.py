@@ -1,0 +1,346 @@
+"""Concurrency rules: lock-order cycles, guarded writes, broad excepts."""
+
+from __future__ import annotations
+
+from repro.analysis import run_analysis
+
+LOCK_CYCLE = """
+    import threading
+
+    class Shard:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def forward(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def backward(self):
+            with self._b:
+                with self._a:
+                    pass
+"""
+
+LOCK_CONSISTENT = """
+    import threading
+
+    class Shard:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def forward(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def also_forward(self):
+            with self._a:
+                with self._b:
+                    pass
+"""
+
+LOCK_CYCLE_INTERPROCEDURAL = """
+    import threading
+
+    class Shard:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def outer(self):
+            with self._a:
+                self.take_b()
+
+        def take_b(self):
+            with self._b:
+                pass
+
+        def reversed_order(self):
+            with self._b:
+                with self._a:
+                    pass
+"""
+
+
+class TestLockOrder:
+    def test_cycle_is_reported_on_every_edge(self, mini_repo):
+        root = mini_repo({"src/shard.py": LOCK_CYCLE})
+        report = run_analysis(root, select={"lock-order"})
+        assert len(report.findings) == 2
+        assert {f.rule for f in report.findings} == {"lock-order"}
+        messages = " ".join(f.message for f in report.findings)
+        assert "Shard._a" in messages and "Shard._b" in messages
+        assert "deadlock" in messages
+
+    def test_consistent_order_is_clean(self, mini_repo):
+        root = mini_repo({"src/shard.py": LOCK_CONSISTENT})
+        report = run_analysis(root, select={"lock-order"})
+        assert report.findings == []
+
+    def test_cycle_through_a_method_call(self, mini_repo):
+        root = mini_repo({"src/shard.py": LOCK_CYCLE_INTERPROCEDURAL})
+        report = run_analysis(root, select={"lock-order"})
+        assert len(report.findings) >= 2
+        # the indirect edge carries the callee that takes the second lock
+        assert any("via Shard.take_b()" in f.message for f in report.findings)
+
+    def test_single_lock_never_cycles(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/one.py": """
+                import threading
+
+                class One:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def a(self):
+                        with self._lock:
+                            pass
+                """
+            }
+        )
+        report = run_analysis(root, select={"lock-order"})
+        assert report.findings == []
+
+
+GUARDED = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0  # guarded-by: self._lock
+            self._items = []  # guarded-by: self._lock
+
+        def bump_unlocked(self):
+            self.count += 1
+
+        def bump_locked_properly(self):
+            with self._lock:
+                self.count += 1
+
+        def stash(self, x):
+            self._items.append(x)
+
+        def _drain_locked(self):
+            self.count = 0
+"""
+
+
+class TestGuardedWrite:
+    def test_unlocked_writes_are_flagged(self, mini_repo):
+        root = mini_repo({"src/counter.py": GUARDED})
+        report = run_analysis(root, select={"guarded-write"})
+        assert len(report.findings) == 2
+        lines = {f.snippet for f in report.findings}
+        assert lines == {"self.count += 1", "self._items.append(x)"}
+
+    def test_init_and_locked_suffix_methods_are_exempt(self, mini_repo):
+        # the fixture's __init__ assigns and _drain_locked writes — neither
+        # shows up among the two flagged sites
+        root = mini_repo({"src/counter.py": GUARDED})
+        report = run_analysis(root, select={"guarded-write"})
+        assert all("_drain" not in (f.snippet or "") for f in report.findings)
+
+    def test_condition_wrapping_the_guard_counts_as_holding_it(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/cond.py": """
+                import threading
+
+                class Buffered:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._idle = threading.Condition(self._lock)
+                        self.pending = 0  # guarded-by: self._lock
+
+                    def submit(self):
+                        with self._idle:
+                            self.pending += 1
+                """
+            }
+        )
+        report = run_analysis(root, select={"guarded-write"})
+        assert report.findings == []
+
+    def test_write_through_guarded_attribute_is_checked(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/stats.py": """
+                import threading
+
+                class Stats:
+                    pass
+
+                class Server:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.stats = Stats()  # guarded-by: self._lock
+
+                    def hit(self):
+                        self.stats.hits += 1
+                """
+            }
+        )
+        report = run_analysis(root, select={"guarded-write"})
+        assert len(report.findings) == 1
+        assert "self.stats" in report.findings[0].message
+
+    def test_nested_function_does_not_inherit_the_held_lock(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/closure.py": """
+                import threading
+
+                class Deferred:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.value = 0  # guarded-by: self._lock
+
+                    def schedule(self):
+                        with self._lock:
+                            def later():
+                                self.value = 1
+                            return later
+                """
+            }
+        )
+        report = run_analysis(root, select={"guarded-write"})
+        assert len(report.findings) == 1
+
+    def test_unattached_annotation_is_a_finding(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/dangling.py": """
+                import threading
+
+                class Dangling:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        # guarded-by: self._lock
+                        self.count = 0
+                """
+            }
+        )
+        report = run_analysis(root, select={"guarded-write"})
+        assert len(report.findings) == 1
+        assert "not attached" in report.findings[0].message
+
+    def test_suppression_is_honored_and_counted(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/counter.py": """
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0  # guarded-by: self._lock
+
+                    def racy_by_design(self):
+                        self.count += 1  # analysis: ignore[guarded-write]
+                """
+            }
+        )
+        report = run_analysis(root, select={"guarded-write"})
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["guarded-write"]
+
+
+class TestBroadExcept:
+    def test_bare_except_is_always_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/worker.py": """
+                def run(task):
+                    try:
+                        task()
+                    except:
+                        pass
+                """
+            }
+        )
+        report = run_analysis(root, select={"broad-except-in-thread"})
+        assert len(report.findings) == 1
+        assert "bare" in report.findings[0].message
+
+    def test_silent_broad_except_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/worker.py": """
+                def run(task):
+                    try:
+                        task()
+                    except Exception:
+                        pass
+                """
+            }
+        )
+        report = run_analysis(root, select={"broad-except-in-thread"})
+        assert len(report.findings) == 1
+
+    def test_storing_the_exception_is_not_a_swallow(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/worker.py": """
+                def run(task, box):
+                    try:
+                        task()
+                    except BaseException as exc:
+                        box.error = exc
+                """
+            }
+        )
+        report = run_analysis(root, select={"broad-except-in-thread"})
+        assert report.findings == []
+
+    def test_logging_in_the_handler_is_not_a_swallow(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/worker.py": """
+                import logging
+
+                def run(task):
+                    try:
+                        task()
+                    except Exception:
+                        logging.exception("task died")
+                """
+            }
+        )
+        report = run_analysis(root, select={"broad-except-in-thread"})
+        assert report.findings == []
+
+    def test_narrow_except_is_fine(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/worker.py": """
+                def run(task):
+                    try:
+                        task()
+                    except (OSError, ValueError):
+                        pass
+                """
+            }
+        )
+        report = run_analysis(root, select={"broad-except-in-thread"})
+        assert report.findings == []
+
+    def test_rule_is_scoped_to_src(self, mini_repo):
+        root = mini_repo(
+            {
+                "tests/test_x.py": """
+                def test_tolerant():
+                    try:
+                        pass
+                    except Exception:
+                        pass
+                """
+            }
+        )
+        report = run_analysis(root, select={"broad-except-in-thread"})
+        assert report.findings == []

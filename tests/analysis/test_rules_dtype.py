@@ -1,0 +1,197 @@
+"""Dtype/backend-flow rules: FFT routing, complex128 widening, seeded RNG."""
+
+from __future__ import annotations
+
+from repro.analysis import run_analysis
+
+
+class TestDirectFFT:
+    def test_np_fft_outside_usfft_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/proj.py": """
+                import numpy as np
+
+                def f(x):
+                    return np.fft.fft(x)
+                """
+            }
+        )
+        report = run_analysis(root, select={"direct-fft"})
+        assert len(report.findings) == 1
+        assert "usfft" in report.findings[0].message
+
+    def test_one_finding_per_chain_not_per_attribute(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/proj.py": """
+                import numpy as np
+
+                def f(x):
+                    return np.fft.fftn(x, axes=(0, 1))
+                """
+            }
+        )
+        report = run_analysis(root, select={"direct-fft"})
+        assert len(report.findings) == 1
+
+    def test_usfft_module_is_exempt(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/lamino/usfft.py": """
+                import numpy as np
+
+                def fft_centered(x):
+                    return np.fft.fftshift(np.fft.fft(np.fft.ifftshift(x)))
+                """
+            }
+        )
+        report = run_analysis(root, select={"direct-fft"})
+        assert report.findings == []
+
+
+class TestDtypeWiden:
+    def test_astype_complex128_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def widen(x):
+                    return x.astype(np.complex128)
+                """
+            }
+        )
+        report = run_analysis(root, select={"dtype-widen"})
+        assert len(report.findings) == 1
+
+    def test_dtype_keyword_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def alloc(n):
+                    return np.empty(n, dtype=np.complex128)
+                """
+            }
+        )
+        report = run_analysis(root, select={"dtype-widen"})
+        assert len(report.findings) == 1
+
+    def test_positional_dtype_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def alloc(n):
+                    return np.zeros(n, np.complex128)
+                """
+            }
+        )
+        report = run_analysis(root, select={"dtype-widen"})
+        assert len(report.findings) == 1
+
+    def test_dtype_object_construction_is_exempt(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                WIDE = np.dtype(np.complex128)
+                """
+            }
+        )
+        report = run_analysis(root, select={"dtype-widen"})
+        assert report.findings == []
+
+    def test_complex64_is_fine(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def alloc(n):
+                    return np.zeros(n, dtype=np.complex64)
+                """
+            }
+        )
+        report = run_analysis(root, select={"dtype-widen"})
+        assert report.findings == []
+
+    def test_rule_is_scoped_to_src(self, mini_repo):
+        root = mini_repo(
+            {
+                "tests/test_m.py": """
+                import numpy as np
+
+                def test_reference():
+                    assert np.zeros(3, dtype=np.complex128).size == 3
+                """
+            }
+        )
+        report = run_analysis(root, select={"dtype-widen"})
+        assert report.findings == []
+
+
+class TestUnseededRandom:
+    def test_legacy_module_functions_are_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "tests/test_m.py": """
+                import numpy as np
+
+                def test_noise():
+                    return np.random.rand(3)
+                """
+            }
+        )
+        report = run_analysis(root, select={"unseeded-random"})
+        assert len(report.findings) == 1
+
+    def test_unseeded_generator_constructor_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "benchmarks/bench_m.py": """
+                import numpy as np
+
+                def bench():
+                    rng = np.random.default_rng()
+                    return rng.normal(size=8)
+                """
+            }
+        )
+        report = run_analysis(root, select={"unseeded-random"})
+        assert len(report.findings) == 1
+
+    def test_seeded_generator_is_fine(self, mini_repo):
+        root = mini_repo(
+            {
+                "tests/test_m.py": """
+                import numpy as np
+
+                def test_noise():
+                    rng = np.random.default_rng(1234)
+                    return rng.normal(size=8)
+                """
+            }
+        )
+        report = run_analysis(root, select={"unseeded-random"})
+        assert report.findings == []
+
+    def test_src_is_out_of_scope(self, mini_repo):
+        # library code receives its Generator from the caller; the seeding
+        # discipline is enforced where determinism matters — tests/benchmarks
+        root = mini_repo(
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def jitter(x):
+                    return x + np.random.rand(*x.shape)
+                """
+            }
+        )
+        report = run_analysis(root, select={"unseeded-random"})
+        assert report.findings == []

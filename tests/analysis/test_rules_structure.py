@@ -1,0 +1,235 @@
+"""Cross-module exhaustiveness rules: wire protocol and sweep dispatch."""
+
+from __future__ import annotations
+
+from repro.analysis import run_analysis
+
+WIRE = """
+    MSG_PING = 1
+    MSG_PING_OK = 2
+    MSG_DROP = 3
+    MSG_DROP_OK = 4
+
+    MESSAGE_NAMES = {
+        MSG_PING: "ping",
+        MSG_PING_OK: "ping_ok",
+        MSG_DROP: "drop",
+        MSG_DROP_OK: "drop_ok",
+    }
+"""
+
+SERVER_FULL = """
+    from .wire import MSG_DROP, MSG_DROP_OK, MSG_PING, MSG_PING_OK
+
+    def handle(kind):
+        if kind == MSG_PING:
+            return MSG_PING_OK
+        if kind == MSG_DROP:
+            return MSG_DROP_OK
+        raise ValueError(kind)
+"""
+
+CLIENT_FULL = """
+    from .wire import MSG_DROP, MSG_PING
+
+    def ping():
+        return MSG_PING
+
+    def drop():
+        return MSG_DROP
+"""
+
+
+class TestWireExhaustive:
+    def test_fully_wired_protocol_is_clean(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/net/wire.py": WIRE,
+                "src/net/server.py": SERVER_FULL,
+                "src/net/client.py": CLIENT_FULL,
+            }
+        )
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert report.findings == []
+
+    def test_missing_server_handler_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/net/wire.py": WIRE,
+                "src/net/server.py": """
+                from .wire import MSG_PING, MSG_PING_OK
+
+                def handle(kind):
+                    if kind == MSG_PING:
+                        return MSG_PING_OK
+                """,
+                "src/net/client.py": CLIENT_FULL,
+            }
+        )
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert f.path == "src/net/wire.py"
+        assert "MSG_DROP" in f.message and "server" in f.message
+
+    def test_missing_client_encoder_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/net/wire.py": WIRE,
+                "src/net/server.py": SERVER_FULL,
+                "src/net/client.py": """
+                from .wire import MSG_PING
+
+                def ping():
+                    return MSG_PING
+                """,
+            }
+        )
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert len(report.findings) == 1
+        assert "client encoder" in report.findings[0].message
+
+    def test_unregistered_message_name_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/net/wire.py": """
+                MSG_PING = 1
+                MSG_PING_OK = 2
+
+                MESSAGE_NAMES = {
+                    MSG_PING: "ping",
+                }
+                """,
+                "src/net/server.py": SERVER_FULL,
+                "src/net/client.py": CLIENT_FULL,
+            }
+        )
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert len(report.findings) == 1
+        assert "MESSAGE_NAMES" in report.findings[0].message
+        assert "MSG_PING_OK" in report.findings[0].message
+
+    def test_wire_without_siblings_checks_only_registration(self, mini_repo):
+        root = mini_repo({"src/net/wire.py": WIRE})
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert report.findings == []
+
+
+EXEC_CLEAN = """
+    SWEEP_KERNELS = {"Fu1D": "_run_fu1d", "Fu1D*": "_run_fu1d_adj"}
+    SWEEP_AXIS = {"Fu1D": 0, "Fu1D*": 0}
+
+    class DirectExecutor:
+        def sweep_stream(self, op, chunks):
+            for chunk in chunks:
+                yield chunk
+
+        def _run_fu1d(self, chunk):
+            return chunk
+
+        def _run_fu1d_adj(self, chunk):
+            return chunk
+"""
+
+
+class TestSweepKernel:
+    def test_complete_dispatch_is_clean(self, mini_repo):
+        root = mini_repo({"src/executor.py": EXEC_CLEAN})
+        report = run_analysis(root, select={"sweep-kernel"})
+        assert report.findings == []
+
+    def test_executor_without_the_seam_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/executor.py": """
+                SWEEP_KERNELS = {"Fu1D": "_run_fu1d"}
+                SWEEP_AXIS = {"Fu1D": 0}
+
+                class Seamless:
+                    def _run_fu1d(self, chunk):
+                        return chunk
+                """
+            }
+        )
+        report = run_analysis(root, select={"sweep-kernel"})
+        assert len(report.findings) == 1
+        assert "sweep_stream" in report.findings[0].message
+
+    def test_inherited_seam_satisfies(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/executor.py": """
+                SWEEP_KERNELS = {"Fu1D": "_run_fu1d"}
+                SWEEP_AXIS = {"Fu1D": 0}
+
+                class Base:
+                    def sweep_stream(self, op, chunks):
+                        return chunks
+
+                class Derived(Base):
+                    def _run_fu1d(self, chunk):
+                        return chunk
+                """
+            }
+        )
+        report = run_analysis(root, select={"sweep-kernel"})
+        assert report.findings == []
+
+    def test_getattr_delegation_satisfies(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/executor.py": """
+                SWEEP_KERNELS = {"Fu1D": "_run_fu1d"}
+                SWEEP_AXIS = {"Fu1D": 0}
+
+                class Proxy:
+                    def __getattr__(self, name):
+                        return getattr(object(), name)
+
+                    def _run_fu1d(self, chunk):
+                        return chunk
+                """
+            }
+        )
+        report = run_analysis(root, select={"sweep-kernel"})
+        assert report.findings == []
+
+    def test_unimplemented_kernel_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/executor.py": """
+                SWEEP_KERNELS = {"Fu1D": "_run_fu1d", "Fu2D": "_run_fu2d"}
+                SWEEP_AXIS = {"Fu1D": 0, "Fu2D": 0}
+
+                class DirectExecutor:
+                    def sweep_stream(self, op, chunks):
+                        return chunks
+
+                    def _run_fu1d(self, chunk):
+                        return chunk
+                """
+            }
+        )
+        report = run_analysis(root, select={"sweep-kernel"})
+        assert len(report.findings) == 1
+        assert "_run_fu2d" in report.findings[0].message
+
+    def test_missing_sweep_axis_entry_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/executor.py": """
+                SWEEP_KERNELS = {"Fu1D": "_run_fu1d"}
+                SWEEP_AXIS = {}
+
+                class DirectExecutor:
+                    def sweep_stream(self, op, chunks):
+                        return chunks
+
+                    def _run_fu1d(self, chunk):
+                        return chunk
+                """
+            }
+        )
+        report = run_analysis(root, select={"sweep-kernel"})
+        assert len(report.findings) == 1
+        assert "SWEEP_AXIS" in report.findings[0].message

@@ -139,5 +139,5 @@ class TestSchedulingProperties:
         r = tl.resource("r")
         tasks = [tl.add(f"t{i}", r, d) for i, d in enumerate(durations)]
         spans = sorted((t.start, t.end) for t in tasks)
-        for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+        for (_s0, e0), (s1, _e1) in zip(spans, spans[1:]):
             assert s1 >= e0 - 1e-9

@@ -6,6 +6,15 @@ session-scoped; tests must not mutate them.
 
 from __future__ import annotations
 
+from repro.analysis import lockwitness
+
+# Opt-in runtime lock-order sanitizer (REPRO_LOCKWITNESS=1).  Installed
+# before any repro module imports: a dataclass field declared as
+# ``field(default_factory=threading.Lock)`` binds the factory at class
+# *definition* time, so the patch must be in place first.
+if lockwitness.enabled_from_env():
+    lockwitness.install()
+
 import numpy as np
 import pytest
 

@@ -251,11 +251,14 @@ class TestArrayStore:
         for i, a in enumerate(arrays):
             st_a.put(i, a)
             st_b.put(i, encode_array(a))
-        st_a.get(0), st_b.get(0)
-        st_a.get(99), st_b.get(99)
+        st_a.get(0)
+        st_b.get(0)
+        st_a.get(99)
+        st_b.get(99)
         assert st_a.nbytes == st_b.nbytes
         assert st_a.stats == st_b.stats
-        st_a.delete(1), st_b.delete(1)
+        st_a.delete(1)
+        st_b.delete(1)
         assert st_a.nbytes == st_b.nbytes
 
     def test_eviction_by_encoded_size(self, rng):

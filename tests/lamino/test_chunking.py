@@ -16,7 +16,7 @@ class TestChunkRanges:
         ranges = chunk_ranges(n, size)
         assert ranges[0][0] == 0
         assert ranges[-1][1] == n
-        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+        for (_a0, a1), (b0, _b1) in zip(ranges, ranges[1:]):
             assert a1 == b0  # contiguous, no overlap, no gap
         assert all(hi - lo <= size for lo, hi in ranges)
         assert sum(hi - lo for lo, hi in ranges) == n

@@ -191,7 +191,7 @@ class TestSpillManagerConcurrency:
         import os
         import threading
 
-        for trial in range(4):
+        for _trial in range(4):
             sm = SpillManager()
             directory = sm._dir
             barrier = threading.Barrier(2)

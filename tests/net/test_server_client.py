@@ -309,7 +309,7 @@ class TestClientResilience:
         c.close()
 
     def test_pipelined_inserts_drain_before_sync_requests(self, daemon, client, rng):
-        for batch in range(3):
+        for _batch in range(3):
             client.insert_batch(_mk_items(rng, 2))
         assert client.net_stats.pipelined_inserts == 6
         # the sync stats request drains every outstanding ack first

@@ -131,7 +131,7 @@ class TestPipelineEquivalence:
 
         def produce():
             try:
-                for lo in range(0, 2 * N, 4):
+                for _lo in range(0, 2 * N, 4):
                     ingest.push(np.zeros((4, N, N), dtype=np.complex64))
                 ingest.finish()
             except QueueClosed:
