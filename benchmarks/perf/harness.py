@@ -28,9 +28,25 @@ class Timing:
     best_s: float
     mean_s: float
     repeats: int
+    p50_s: float | None = None
+    p95_s: float | None = None
+    p99_s: float | None = None
 
     def as_dict(self) -> dict:
-        return {"best_s": self.best_s, "mean_s": self.mean_s, "repeats": self.repeats}
+        out = {"best_s": self.best_s, "mean_s": self.mean_s, "repeats": self.repeats}
+        if self.p50_s is not None:
+            out.update({"p50_s": self.p50_s, "p95_s": self.p95_s, "p99_s": self.p99_s})
+        return out
+
+
+def _percentile(sorted_times: list[float], q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sample."""
+    if len(sorted_times) == 1:
+        return sorted_times[0]
+    pos = q * (len(sorted_times) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_times) - 1)
+    return sorted_times[lo] + (sorted_times[hi] - sorted_times[lo]) * (pos - lo)
 
 
 def time_fn(fn, repeat: int = 5, warmup: int = 1) -> Timing:
@@ -42,7 +58,15 @@ def time_fn(fn, repeat: int = 5, warmup: int = 1) -> Timing:
         t0 = time.perf_counter()
         fn()
         times.append(time.perf_counter() - t0)
-    return Timing(best_s=min(times), mean_s=sum(times) / len(times), repeats=repeat)
+    ordered = sorted(times)
+    return Timing(
+        best_s=ordered[0],
+        mean_s=sum(times) / len(times),
+        repeats=repeat,
+        p50_s=_percentile(ordered, 0.50),
+        p95_s=_percentile(ordered, 0.95),
+        p99_s=_percentile(ordered, 0.99),
+    )
 
 
 def pair_entry(baseline: Timing, optimized: Timing, **meta) -> dict:

@@ -50,7 +50,8 @@ def main(argv=None) -> int:
     benchmarks.update(bench_e2e.run(quick=args.quick, repeat=2 if args.quick else 3))
 
     payload = {
-        "schema": "mlr-bench-perf/1",
+        # /2: every timing block additionally carries p50_s/p95_s/p99_s
+        "schema": "mlr-bench-perf/2",
         "generated_unix": int(time.time()),
         "quick": bool(args.quick),
         "machine": machine_info(),

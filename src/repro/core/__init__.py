@@ -4,7 +4,7 @@ multi-worker memoization service (:class:`MemoShardRouter` +
 and the trace-driven performance simulation."""
 
 from .coalescer import CoalesceStats, KeyCoalescer
-from .config import MemoConfig, MLRConfig, PipelineConfig
+from .config import MemoConfig, MLRConfig, ObsConfig, PipelineConfig
 from .distributed import DistributedMemoizedExecutor, WorkerState
 from .keying import CNNKeyEncoder, PoolKeyEncoder, chunk_to_image, chunk_to_stack, pool3d
 from .memo_cache import CacheHit, CacheStats, GlobalMemoCache, PrivateMemoCache
@@ -51,6 +51,7 @@ __all__ = [
     "KeyCoalescer",
     "MemoConfig",
     "MLRConfig",
+    "ObsConfig",
     "PipelineConfig",
     "CNNKeyEncoder",
     "PoolKeyEncoder",

@@ -5,7 +5,9 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-__all__ = ["MemoConfig", "MLRConfig", "PipelineConfig"]
+from ..obs.config import ObsConfig
+
+__all__ = ["MemoConfig", "MLRConfig", "ObsConfig", "PipelineConfig"]
 
 
 @dataclass
@@ -154,6 +156,13 @@ class MLRConfig:
         into the executor at solver construction; ``None`` starts cold.
         The snapshot must have been taken at the same tau / value mode —
         mismatches fail fast with a ``ValueError``.
+    obs:
+        Observability knobs (:class:`~repro.obs.ObsConfig`).  When set, the
+        solver installs it as the process-wide :mod:`repro.obs` runtime at
+        construction — metrics registry, trace spans, JSONL export.
+        ``None`` (the default) leaves the runtime alone, which means
+        observability stays off unless ``REPRO_OBS=1`` is in the
+        environment.
     """
 
     chunk_size: int = 16
@@ -162,6 +171,7 @@ class MLRConfig:
     n_shards: int = 1
     pipeline: PipelineConfig | None = None
     memo_snapshot: str | os.PathLike | dict | None = None
+    obs: ObsConfig | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.memo, MemoConfig):
@@ -185,4 +195,8 @@ class MLRConfig:
             raise ValueError(
                 "memo_snapshot must be a snapshot path, a memo-state tree or "
                 f"None, got {type(self.memo_snapshot).__name__}"
+            )
+        if self.obs is not None and not isinstance(self.obs, ObsConfig):
+            raise ValueError(
+                f"obs must be an ObsConfig or None, got {type(self.obs).__name__}"
             )

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import runtime as obs
 from ..solvers.executor import SWEEP_KERNELS
 from .coalescer import CoalesceStats, KeyCoalescer
 from .config import MemoConfig
@@ -201,7 +202,8 @@ class DistributedMemoizedExecutor(MemoizedExecutor):
         if not worker.pending:
             return
         queries = [q for _slot, q in worker.pending]
-        outcomes = self.router.query_batch(queries)
+        with obs.span("memo.dispatch", worker=worker.worker_id, n=len(queries)):
+            outcomes = self.router.query_batch(queries)
         for (slot, _q), outcome in zip(worker.pending, outcomes):
             slot.outcome = outcome
         worker.pending = []
@@ -322,42 +324,45 @@ class DistributedMemoizedExecutor(MemoizedExecutor):
             # -- phase B: serve hits, compute misses, batch insertions --------------
             for chunk, x, sub, slot in block:
                 shard_id = self.router.shard_of(chunk.index)
-                if not memoized_op or in_warmup:
-                    out = compute(chunk, x)
-                    if memoized_op:
-                        # warmup still populates the database so later iterations hit
-                        key = self.encoder.encode(x)
-                        meta = self._chunk_meta(x)
-                        inserts.append(
-                            ShardInsert(op=op, location=chunk.index, key=key,
-                                        value=out, meta=meta)
-                        )
-                        self._remember_key(op, chunk.index, key)
-                    self._record(op, chunk.index, CASE_DIRECT, -2.0, 0, 0,
-                                 worker=worker_id, shard=shard_id)
-                elif slot.case == CASE_CACHE:
-                    out = self._serve_cache_hit(
-                        op, state, chunk, x, slot.key, slot.hit, slot.meta,
-                        slot.serves, worker=worker_id, shard=shard_id,
-                    )
-                elif slot.outcome is not None and slot.outcome.hit:
-                    out = self._serve_db_hit(
-                        op, state, chunk, x, slot.key, slot.outcome, slot.meta,
-                        slot.serves, worker.caches.get(op),
-                        worker=worker_id, shard=shard_id,
-                    )
-                else:
-                    # miss (or forced refresh): original computation + batched insertion
-                    fresh = compute(chunk, x)
-                    out = self._finish_miss(
-                        op, state, chunk, slot.key, fresh, slot.meta, slot.outcome,
-                        worker.caches.get(op),
-                        store=lambda loc=chunk.index, k=slot.key, v=fresh, m=slot.meta:
+                # the span closes before the yield: consumer time (pipeline
+                # writer, downstream stages) must not bill to the kernel
+                with obs.span(f"sweep.{op}", chunk=chunk.index, worker=worker_id):
+                    if not memoized_op or in_warmup:
+                        out = compute(chunk, x)
+                        if memoized_op:
+                            # warmup still populates the database so later iterations hit
+                            key = self.encoder.encode(x)
+                            meta = self._chunk_meta(x)
                             inserts.append(
-                                ShardInsert(op=op, location=loc, key=k, value=v, meta=m)
-                            ),
-                        worker=worker_id, shard=shard_id,
-                    )
+                                ShardInsert(op=op, location=chunk.index, key=key,
+                                            value=out, meta=meta)
+                            )
+                            self._remember_key(op, chunk.index, key)
+                        self._record(op, chunk.index, CASE_DIRECT, -2.0, 0, 0,
+                                     worker=worker_id, shard=shard_id)
+                    elif slot.case == CASE_CACHE:
+                        out = self._serve_cache_hit(
+                            op, state, chunk, x, slot.key, slot.hit, slot.meta,
+                            slot.serves, worker=worker_id, shard=shard_id,
+                        )
+                    elif slot.outcome is not None and slot.outcome.hit:
+                        out = self._serve_db_hit(
+                            op, state, chunk, x, slot.key, slot.outcome, slot.meta,
+                            slot.serves, worker.caches.get(op),
+                            worker=worker_id, shard=shard_id,
+                        )
+                    else:
+                        # miss (or forced refresh): original computation + batched insertion
+                        fresh = compute(chunk, x)
+                        out = self._finish_miss(
+                            op, state, chunk, slot.key, fresh, slot.meta, slot.outcome,
+                            worker.caches.get(op),
+                            store=lambda loc=chunk.index, k=slot.key, v=fresh, m=slot.meta:
+                                inserts.append(
+                                    ShardInsert(op=op, location=loc, key=k, value=v, meta=m)
+                                ),
+                            worker=worker_id, shard=shard_id,
+                        )
                 yield chunk, out if sub is None else out - sub
 
         for extra in it:

@@ -38,6 +38,7 @@ from ..ann.buffer import GrowableRows
 from ..ann.ivf import IVFFlatIndex
 from ..kvstore.serialization import decode_array, encode_array, encoded_nbytes
 from ..kvstore.store import ArrayStore, KVStore, store_from_state
+from ..obs import runtime as obs
 
 __all__ = ["MemoDBStats", "QueryOutcome", "MemoDatabase"]
 
@@ -104,6 +105,18 @@ class MemoDBStats:
             "query_batches": self.query_batches,
             "insert_batches": self.insert_batches,
         }
+
+    def publish(self, **labels) -> None:
+        """Register these counters as ``memo_db_<field>`` gauges in the
+        :mod:`repro.obs` registry (no-op while observability is disabled).
+        Gauges, not counters: a stats object is a snapshot-valued total, so
+        each publish *sets* the authoritative value — publishing twice is
+        idempotent rather than double-counting."""
+        if not obs.enabled():
+            return
+        for fname, value in self.as_dict().items():
+            obs.gauge(f"memo_db_{fname}", **labels).set(value)
+        obs.gauge("memo_db_hit_rate", **labels).set(self.hit_rate)
 
 
 @dataclass(frozen=True)
@@ -320,7 +333,8 @@ class MemoDatabase:
         if not self.index.is_trained:
             matched, sim = self._cold_best(key)
             return self._resolve(key, matched, sim, n)
-        dists, ids = self.index.search(key[None], k=1)
+        with obs.span("memo.ann_query", n=1):
+            dists, ids = self.index.search(key[None], k=1)
         matched = int(ids[0, 0])
         if matched < 0:
             return QueryOutcome(None, -2.0, -1, n)
@@ -349,9 +363,10 @@ class MemoDatabase:
                 outcomes.append(self._resolve(key, matched, sim, n))
         else:
             Q = np.stack(keys)
-            _dists, ids = self.index.search(Q, k=1)
-            matched = ids[:, 0]
-            sims = self._gate_rows(Q, matched)  # one vectorized Eq. 3 gate
+            with obs.span("memo.ann_query", n=len(keys)):
+                _dists, ids = self.index.search(Q, k=1)
+                matched = ids[:, 0]
+                sims = self._gate_rows(Q, matched)  # one vectorized Eq. 3 gate
             for key, mid, sim in zip(keys, matched, sims):
                 mid = int(mid)
                 if mid < 0:

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import runtime as obs
 from ..solvers.executor import DirectExecutor
 from .coalescer import KeyCoalescer
 from .config import MemoConfig
@@ -364,6 +365,9 @@ class MemoizedExecutor(DirectExecutor):
             self._state[op].key_history.setdefault(location, []).append(key.copy())
 
     def _record(self, op, chunk_idx, case, sim, kb, vb, worker=0, shard=0) -> None:
+        # single funnel for every chunk-op resolution: the live per-op
+        # hit/miss breakdown mirrors case_counts() exactly
+        obs.counter("memo_chunks_total", op=op, case=case).inc()
         self.events.append(
             MemoEvent(
                 outer=self.outer_iteration,

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..lamino.geometry import LaminoGeometry
 from ..lamino.operators import LaminoOperators
+from ..obs import runtime as obs
 from ..solvers.admm import ADMMConfig, ADMMResult, ADMMSolver
 from .config import MLRConfig
 from .keying import CNNKeyEncoder, chunk_to_image, state_digest
@@ -66,6 +67,8 @@ class MLRSolver:
     ) -> None:
         self.geometry = geometry
         self.config = config or MLRConfig()
+        if self.config.obs is not None:
+            obs.configure(self.config.obs)
         self.admm_config = admm or ADMMConfig()
         self.ops = ops if ops is not None else LaminoOperators(geometry)
         snapshot_tree = self._resolve_snapshot(self.config.memo_snapshot)
@@ -211,13 +214,31 @@ class MLRSolver:
 
     # -- reconstruction -----------------------------------------------------------------
 
+    def _publish_memo_stats(self) -> None:
+        """Register the authoritative end-of-run :class:`MemoDBStats` values
+        (per memoized op and merged) into the observability registry, so a
+        ``repro.obs`` dump reconciles *exactly* with the database tier's own
+        counters."""
+        if not obs.enabled():
+            return
+        from .memo_db import MemoDBStats
+
+        per_op = []
+        for op in self.config.memo.memo_ops:
+            stats = self.memo_executor.db_stats(op)
+            stats.publish(op=op)
+            per_op.append(stats)
+        MemoDBStats.merged(per_op).publish(op="all")
+
     def reconstruct(
         self, d: np.ndarray, u0: np.ndarray | None = None, callback=None
     ) -> MLRResult:
         """Run the memoized reconstruction.  ``callback(it, u, info)`` is
         invoked after every outer iteration (the reconstruction service uses
         it for per-job progress events and cooperative cancellation)."""
-        admm_result: ADMMResult = self.solver.run(d, u0=u0, callback=callback)
+        with obs.span("solver.reconstruct"):
+            admm_result: ADMMResult = self.solver.run(d, u0=u0, callback=callback)
+        self._publish_memo_stats()
         return MLRResult(
             u=admm_result.u,
             history=admm_result.history,
@@ -273,12 +294,14 @@ class MLRSolver:
             else:
                 for _ in assemble(iter(ingest)):
                     pass
-            admm_result: ADMMResult = self.solver.run(d, u0=u0, dhat=dhat)
+            with obs.span("solver.reconstruct"):
+                admm_result: ADMMResult = self.solver.run(d, u0=u0, dhat=dhat)
         except BaseException:
             # tear the stream down so a producer blocked in push() sees
             # QueueClosed instead of deadlocking on a vanished consumer
             ingest.abort()
             raise
+        self._publish_memo_stats()
         return MLRResult(
             u=admm_result.u,
             history=admm_result.history,

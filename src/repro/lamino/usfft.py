@@ -84,6 +84,8 @@ import numpy as np
 from scipy import fft as _sfft
 from scipy import sparse
 
+from ..obs import runtime as _obs
+
 __all__ = [
     "USFFT1DPlan",
     "USFFT2DPlan",
@@ -394,8 +396,10 @@ def usfft1d_type2(f: np.ndarray, plan: USFFT1DPlan, axis: int = -1) -> np.ndarra
     # write the corrected interior directly into its ifftshifted position
     np.multiply(moved[..., :half], corr[:half], out=padded[..., plan.fine_n - half :])
     np.multiply(moved[..., half:], corr[half:], out=padded[..., :half])
-    spec = _fftn_raw(padded, axes=(-1,))
-    out = spec @ plan.interp_for(cdtype, transpose=True, raw=True)
+    with _obs.span("usfft.fft", xform="1d_type2"):
+        spec = _fftn_raw(padded, axes=(-1,))
+    with _obs.span("usfft.interp", xform="1d_type2"):
+        out = spec @ plan.interp_for(cdtype, transpose=True, raw=True)
     return np.moveaxis(out, -1, axis)
 
 
@@ -409,8 +413,10 @@ def usfft1d_type1(F: np.ndarray, plan: USFFT1DPlan, axis: int = -1) -> np.ndarra
     moved = np.moveaxis(F, axis, -1)
     rdtype = _real_dtype(moved.dtype)
     cdtype = _complex_dtype(moved.dtype)
-    spec = moved @ plan.interp_for(cdtype, raw=True)  # adjoint of the gather GEMM
-    grid = _ifftn_raw(spec, axes=(-1,), overwrite=True)
+    with _obs.span("usfft.interp", xform="1d_type1"):
+        spec = moved @ plan.interp_for(cdtype, raw=True)  # adjoint of the gather GEMM
+    with _obs.span("usfft.fft", xform="1d_type1"):
+        grid = _ifftn_raw(spec, axes=(-1,), overwrite=True)
     half = plan.n // 2
     corr = plan.corr_for(rdtype, "type1")
     out = np.empty(moved.shape[:-1] + (plan.n,), dtype=cdtype)
@@ -646,9 +652,11 @@ def usfft2d_type2(
     np.multiply(f[:, :h0, h1:], corr[:h0, h1:], out=padded[:, t0:, :h1])
     np.multiply(f[:, h0:, :h1], corr[h0:, :h1], out=padded[:, :h0, t1:])
     np.multiply(f[:, h0:, h1:], corr[h0:, h1:], out=padded[:, :h0, :h1])
-    spec = _fftn_raw(padded, axes=(-2, -1)).reshape(nsl * f0 * f1)
+    with _obs.span("usfft.fft", xform="2d_type2"):
+        spec = _fftn_raw(padded, axes=(-2, -1)).reshape(nsl * f0 * f1)
     gather = plan.block_gather(rows.start, rows.stop, cdtype)
-    out = (gather @ spec).reshape(nsl, plan.npts)
+    with _obs.span("usfft.interp", xform="2d_type2"):
+        out = (gather @ spec).reshape(nsl, plan.npts)
     return out.astype(cdtype, copy=False)
 
 
@@ -671,8 +679,10 @@ def usfft2d_type1(
     t0, t1 = f0 - h0, f1 - h1
     scatter = plan.block_scatter(rows.start, rows.stop, cdtype)
     Fv = np.ascontiguousarray(F, dtype=cdtype).reshape(nsl * plan.npts)
-    spec = scatter @ Fv  # the whole chunk's Gaussian scatter in one SpMV
-    grid = _ifftn_raw(spec.reshape(nsl, f0, f1), axes=(-2, -1), overwrite=True)
+    with _obs.span("usfft.interp", xform="2d_type1"):
+        spec = scatter @ Fv  # the whole chunk's Gaussian scatter in one SpMV
+    with _obs.span("usfft.fft", xform="2d_type1"):
+        grid = _ifftn_raw(spec.reshape(nsl, f0, f1), axes=(-2, -1), overwrite=True)
     out = np.empty((nsl, n0, n1), dtype=cdtype)
     # interior read back out of its ifftshifted quadrants
     np.multiply(grid[:, t0:, t1:], corr[:h0, :h1], out=out[:, :h0, :h1])

@@ -36,11 +36,15 @@ from dataclasses import dataclass
 
 from ..core.memo_db import MemoDBStats, QueryOutcome
 from ..core.memo_shard import shard_of_location
+from ..obs import runtime as obs
 from .wire import (
+    MESSAGE_NAMES,
     MSG_ERROR,
     MSG_HELLO,
     MSG_HELLO_OK,
     MSG_INSERT,
+    MSG_METRICS,
+    MSG_METRICS_OK,
     MSG_QUERY,
     MSG_QUERY_OK,
     MSG_SNAP_PULL,
@@ -85,6 +89,16 @@ class NetClientStats:
     degraded_stats_pulls: int = 0
     pipelined_inserts: int = 0
     drained_acks: int = 0
+
+    def publish(self, **labels) -> None:
+        """Register every counter as a ``net_client_<field>`` gauge.
+
+        Call on a *copy* taken outside the client lock; publishing sets
+        snapshot values, so republishing is idempotent."""
+        if not obs.enabled():
+            return
+        for field_name, value in vars(self).items():
+            obs.gauge(f"net_client_{field_name}", **labels).set(float(value))
 
 
 class RemoteMemoClient:
@@ -341,6 +355,7 @@ class RemoteMemoClient:
                     f"memo server {self.address[0]}:{self.address[1]} is "
                     "unreachable (backing off)"
                 )
+            t0 = time.monotonic()
             try:
                 rid = self._send_locked(msg_type, body)
                 reply_type, reply = self._read_until_locked(rid)
@@ -349,6 +364,13 @@ class RemoteMemoClient:
             except (OSError, ProtocolError) as exc:
                 self._fail_locked(exc)
                 raise
+            finally:
+                # wire round trip as seen by the caller (includes any
+                # pipelined-insert acks drained on the way to this reply)
+                obs.histogram(
+                    "net_client_request_seconds",
+                    type=MESSAGE_NAMES.get(msg_type, str(msg_type)),
+                ).observe(time.monotonic() - t0)
             if reply_type != expect_type:
                 exc = MessageError(
                     f"expected reply type {expect_type}, got {reply_type}"
@@ -410,6 +432,8 @@ class RemoteMemoClient:
             with self._lock:
                 self.net_stats.degraded_query_batches += 1
                 self.net_stats.degraded_queries += len(queries)
+            obs.counter("net_client_degraded_total", kind="query_batch").inc()
+            obs.counter("net_client_degraded_total", kind="query").inc(len(queries))
             return [QueryOutcome(None, -2.0, -1, 0) for _ in queries]
 
     def insert_batch(self, inserts) -> list[int]:
@@ -437,11 +461,13 @@ class RemoteMemoClient:
                 if not self.fail_open:
                     raise
                 self.net_stats.degraded_insert_batches += 1
+                obs.counter("net_client_degraded_total", kind="insert_batch").inc()
             except (OSError, ProtocolError) as exc:
                 self._fail_locked(exc)
                 if not self.fail_open:
                     raise
                 self.net_stats.degraded_insert_batches += 1
+                obs.counter("net_client_degraded_total", kind="insert_batch").inc()
         return [-1] * len(inserts)
 
     # -- statistics ----------------------------------------------------------------------
@@ -456,6 +482,7 @@ class RemoteMemoClient:
                 raise
             with self._lock:
                 self.net_stats.degraded_stats_pulls += 1
+            obs.counter("net_client_degraded_total", kind="stats_pull").inc()
             return None
 
     def stats(self, op: str | None = None) -> MemoDBStats:
@@ -478,6 +505,29 @@ class RemoteMemoClient:
         if body is None:
             return [0] * self._n_shards
         return [int(n) for n in body["per_shard_entries"]]
+
+    def metrics(self) -> dict | None:
+        """Pull the server's observability view: its traffic counters plus
+        its full metric-registry snapshot (request/shard latency histograms
+        when the server process runs with observability enabled).
+
+        Also publishes this client's own transport counters into the *local*
+        registry, so one dump carries both sides of the wire.  Fail-open
+        returns ``None`` when the server is unreachable."""
+        with self._lock:
+            stats_now = NetClientStats(**vars(self.net_stats))
+        stats_now.publish(client=self.client_name)
+        try:
+            return self._sync_request(MSG_METRICS, {}, MSG_METRICS_OK)
+        except (VersionMismatch, RemoteError):
+            raise
+        except (OSError, ProtocolError):
+            if not self.fail_open:
+                raise
+            with self._lock:
+                self.net_stats.degraded_stats_pulls += 1
+            obs.counter("net_client_degraded_total", kind="metrics_pull").inc()
+            return None
 
     # -- snapshot surface (the router's state hooks, over the wire) ----------------------
 

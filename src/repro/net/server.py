@@ -32,6 +32,7 @@ import logging
 import os
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -39,12 +40,16 @@ from ..core.config import MemoConfig
 from ..core.memo_db import MemoDatabase
 from ..core.memo_engine import make_db_factory, memo_state_partitions
 from ..core.memo_shard import MemoShardRouter
+from ..obs import runtime as obs
 from .wire import (
+    MESSAGE_NAMES,
     MSG_ERROR,
     MSG_HELLO,
     MSG_HELLO_OK,
     MSG_INSERT,
     MSG_INSERT_OK,
+    MSG_METRICS,
+    MSG_METRICS_OK,
     MSG_QUERY,
     MSG_QUERY_OK,
     MSG_SNAP_PULL,
@@ -87,11 +92,39 @@ class ServerStats:
     insert_batches: int = 0
     inserts: int = 0
     stats_pulls: int = 0
+    metrics_pulls: int = 0
     snapshot_pushes: int = 0
     snapshot_pulls: int = 0
     protocol_errors: int = 0
     app_errors: int = 0
     snapshots_persisted: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "connections": self.connections,
+            "active_connections": self.active_connections,
+            "query_batches": self.query_batches,
+            "queries": self.queries,
+            "insert_batches": self.insert_batches,
+            "inserts": self.inserts,
+            "stats_pulls": self.stats_pulls,
+            "metrics_pulls": self.metrics_pulls,
+            "snapshot_pushes": self.snapshot_pushes,
+            "snapshot_pulls": self.snapshot_pulls,
+            "protocol_errors": self.protocol_errors,
+            "app_errors": self.app_errors,
+            "snapshots_persisted": self.snapshots_persisted,
+        }
+
+    def publish(self, **labels) -> None:
+        """Register these counters as ``net_server_<field>`` gauges in the
+        :mod:`repro.obs` registry (no-op while observability is off).
+        Call on a copy taken outside the daemon's lock — the registry lock
+        never nests under it."""
+        if not obs.enabled():
+            return
+        for fname, value in self.as_dict().items():
+            obs.gauge(f"net_server_{fname}", **labels).set(value)
 
 
 class MemoServerDaemon:
@@ -260,8 +293,19 @@ class MemoServerDaemon:
         groups: dict[int, list[int]] = {}
         for i, item in enumerate(items):
             groups.setdefault(self.router.shard_of(item.location), []).append(i)
+        if obs.enabled():
+            def timed(sid: int, group: list):
+                t0 = time.monotonic()
+                try:
+                    return service(sid, group)
+                finally:
+                    obs.histogram(
+                        "net_server_shard_seconds", shard=sid
+                    ).observe(time.monotonic() - t0)
+        else:
+            timed = service
         futures = {
-            sid: self._shard_pools[sid].submit(service, sid, [items[i] for i in idxs])
+            sid: self._shard_pools[sid].submit(timed, sid, [items[i] for i in idxs])
             for sid, idxs in groups.items()
         }
         for sid, idxs in groups.items():
@@ -401,6 +445,35 @@ class MemoServerDaemon:
         self._remember_encoder(tree)
         return len(partitions)
 
+    def serve_metrics(self) -> dict:
+        """The daemon's observability view: its own traffic counters plus a
+        full registry snapshot (request/shard latency histograms included
+        when observability is enabled in the server process)."""
+        with self._lock:
+            stats_now = ServerStats(**vars(self.stats))
+        # publish outside the daemon lock, then snapshot, so the returned
+        # registry view already carries the net_server_* gauges just set
+        stats_now.publish(server=self.name)
+        metrics = obs.snapshot()
+        if not metrics:
+            # observability disabled in this process: synthesize the traffic
+            # counters as gauges so a metrics pull is never empty
+            metrics = [
+                {
+                    "kind": "gauge",
+                    "name": f"net_server_{field_name}",
+                    "labels": {"server": self.name},
+                    "value": float(value),
+                    "max": float(value),
+                }
+                for field_name, value in sorted(stats_now.as_dict().items())
+            ]
+        return {
+            "server": stats_now.as_dict(),
+            "obs_enabled": obs.enabled(),
+            "metrics": metrics,
+        }
+
     def serve_stats(self, op: str | None) -> dict:
         """Per-shard statistics, entries and message counters in one body
         (the client derives the merged view)."""
@@ -461,6 +534,7 @@ class MemoServerDaemon:
                     msg_type, request_id, body = reader.read_frame()
                 except ConnectionClosed:
                     return
+                t0 = time.monotonic()
                 try:
                     reply_type, reply = self._dispatch(msg_type, body, conn_fp)
                 except _AppError as exc:
@@ -468,6 +542,11 @@ class MemoServerDaemon:
                         self.stats.app_errors += 1
                     reply_type = MSG_ERROR
                     reply = {"kind": "app", "message": str(exc)}
+                obs.histogram(
+                    "net_server_request_seconds",
+                    type=MESSAGE_NAMES.get(msg_type, str(msg_type)),
+                    conn=conn_id,
+                ).observe(time.monotonic() - t0)
                 send_frame(conn, reply_type, request_id, reply)
         except ProtocolError as exc:
             with self._lock:
@@ -568,10 +647,27 @@ class MemoServerDaemon:
             with self._lock:
                 self.stats.snapshot_pulls += 1
             return MSG_SNAP_PULL_OK, {"tree": tree}
+        if msg_type == MSG_METRICS:
+            with self._lock:
+                self.stats.metrics_pulls += 1
+            return MSG_METRICS_OK, self.serve_metrics()
         raise MessageError(f"unknown request type {msg_type}")
 
 
 # -- standalone entry point ----------------------------------------------------------------
+
+
+def _metrics_dump(address: str) -> int:
+    """Fetch a running server's metrics and print them as Prometheus text."""
+    from ..obs.export import to_prometheus
+    from .client import RemoteMemoClient
+
+    with RemoteMemoClient(
+        address, fail_open=False, client_name="metrics-dump"
+    ) as client:
+        payload = client.metrics()
+    print(to_prometheus(payload["metrics"]), end="")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -595,7 +691,13 @@ def main(argv=None) -> int:
         "--snapshot-interval", type=float, default=300.0,
         help="seconds between periodic snapshots (with --snapshot)",
     )
+    parser.add_argument(
+        "--metrics-dump", default=None, metavar="HOST:PORT",
+        help="fetch a running server's metrics, print Prometheus text, exit",
+    )
     args = parser.parse_args(argv)
+    if args.metrics_dump is not None:
+        return _metrics_dump(args.metrics_dump)
     logging.basicConfig(level=logging.INFO, format="%(asctime)s %(name)s %(message)s")
     daemon = MemoServerDaemon(
         host=args.host,

@@ -55,6 +55,8 @@ __all__ = [
     "MSG_SNAP_PUSH_OK",
     "MSG_SNAP_PULL",
     "MSG_SNAP_PULL_OK",
+    "MSG_METRICS",
+    "MSG_METRICS_OK",
     "MSG_ERROR",
     "MESSAGE_NAMES",
     "ProtocolError",
@@ -103,6 +105,8 @@ MSG_SNAP_PUSH = 9
 MSG_SNAP_PUSH_OK = 10
 MSG_SNAP_PULL = 11
 MSG_SNAP_PULL_OK = 12
+MSG_METRICS = 13
+MSG_METRICS_OK = 14
 MSG_ERROR = 255
 
 MESSAGE_NAMES = {
@@ -118,6 +122,8 @@ MESSAGE_NAMES = {
     MSG_SNAP_PUSH_OK: "snapshot_push_ok",
     MSG_SNAP_PULL: "snapshot_pull",
     MSG_SNAP_PULL_OK: "snapshot_pull_ok",
+    MSG_METRICS: "metrics",
+    MSG_METRICS_OK: "metrics_ok",
     MSG_ERROR: "error",
 }
 

@@ -1,0 +1,66 @@
+"""repro.obs — unified observability for the memo/pipeline/service/net tiers.
+
+Public surface (the instrumentation verbs the rest of the repo uses)::
+
+    from repro import obs
+
+    obs.counter("memo_chunks_total", op="Fu1D", case="hit").inc()
+    obs.gauge("queue_depth", queue="read").set(3)
+    obs.histogram("net_client_request_seconds", type="query").observe(dt)
+    with obs.span("sweep.Fu1D", chunk=i):
+        ...
+
+All of it is free while disabled (the default): enable with
+``REPRO_OBS=1`` or ``MLRConfig(obs=ObsConfig(enabled=True))``.  Export
+with :func:`to_prometheus` / :func:`dump_jsonl`; inspect dumps with
+``python -m repro.obs report``.
+"""
+
+from .config import ObsConfig
+from .export import dump_jsonl, dump_lines, load_jsonl, to_prometheus
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, log_bucket_edges
+from .report import build_report, render_report, report_from_file
+from .runtime import (
+    collector,
+    configure,
+    counter,
+    drain_spans,
+    enabled,
+    gauge,
+    histogram,
+    registry,
+    reset,
+    snapshot,
+    span,
+)
+from .spans import Span, SpanCollector, current_span_id
+
+__all__ = [
+    "ObsConfig",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "log_bucket_edges",
+    "Span",
+    "SpanCollector",
+    "current_span_id",
+    "configure",
+    "enabled",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "registry",
+    "collector",
+    "snapshot",
+    "drain_spans",
+    "reset",
+    "to_prometheus",
+    "dump_jsonl",
+    "dump_lines",
+    "load_jsonl",
+    "build_report",
+    "render_report",
+    "report_from_file",
+]

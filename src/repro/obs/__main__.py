@@ -1,0 +1,42 @@
+"""CLI: ``python -m repro.obs report <dump.jsonl>``.
+
+Prints the per-stage latency / throughput tables for a JSONL
+observability dump (see :mod:`repro.obs.export` for the format and
+:mod:`repro.obs.report` for the aggregation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .export import load_jsonl
+from .report import build_report, render_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser("report", help="print per-stage latency/throughput tables")
+    rep.add_argument("path", help="JSONL dump written by repro.obs.export.dump_jsonl")
+    rep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the aggregated report as JSON instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        report = build_report(load_jsonl(args.path))
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(render_report(report))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

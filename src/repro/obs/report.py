@@ -1,0 +1,194 @@
+"""Per-stage latency / throughput report over a JSONL observability dump.
+
+``python -m repro.obs report run.jsonl`` prints three tables:
+
+- **spans** — per span name: count, total busy time, mean and exact
+  p50/p95/p99 over the recorded durations,
+- **histograms** — per metric series: count, mean, and bucket-resolution
+  p50/p95/p99 (log-interpolated inside the containing bucket),
+- **counters / gauges** — final values, e.g. per-op memo hit/miss
+  breakdowns and queue high-water marks.
+
+This is the artifact every perf PR tunes against: it turns one
+end-to-end ``BENCH_perf.json`` number into a per-phase breakdown.
+"""
+
+from __future__ import annotations
+
+from .export import load_jsonl
+from .registry import _bucket_quantile
+
+__all__ = ["build_report", "render_report", "report_from_file"]
+
+_QUANTILES = (0.50, 0.95, 0.99)
+
+
+def _exact_quantile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    pos = q * (len(sorted_vals) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    frac = pos - lo
+    return sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds == 0.0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def build_report(data: dict) -> dict:
+    """Aggregate a loaded dump into span / histogram / scalar tables."""
+    by_name: dict[str, list[float]] = {}
+    for rec in data["spans"]:
+        by_name.setdefault(rec["name"], []).append(float(rec["dur_s"]))
+    span_rows = []
+    for name in sorted(by_name):
+        durs = sorted(by_name[name])
+        total = sum(durs)
+        row = {
+            "name": name,
+            "count": len(durs),
+            "total_s": total,
+            "mean_s": total / len(durs),
+        }
+        for q in _QUANTILES:
+            row[f"p{int(q * 100)}_s"] = _exact_quantile(durs, q)
+        span_rows.append(row)
+
+    hist_rows = []
+    scalar_rows = []
+    for entry in sorted(
+        data["metrics"], key=lambda e: (e["name"], sorted(e.get("labels", {}).items()))
+    ):
+        labels = entry.get("labels", {})
+        if entry["kind"] == "histogram":
+            count = entry["count"]
+            row = {
+                "name": entry["name"],
+                "labels": labels,
+                "count": count,
+                "mean_s": (entry["sum"] / count) if count else 0.0,
+            }
+            for q in _QUANTILES:
+                row[f"p{int(q * 100)}_s"] = _bucket_quantile(
+                    entry["edges"],
+                    entry["counts"],
+                    count,
+                    entry.get("min", 0.0),
+                    entry.get("max", 0.0),
+                    q,
+                )
+            hist_rows.append(row)
+        else:
+            row = {
+                "name": entry["name"],
+                "labels": labels,
+                "kind": entry["kind"],
+                "value": entry["value"],
+            }
+            if entry["kind"] == "gauge":
+                row["max"] = entry.get("max", entry["value"])
+            scalar_rows.append(row)
+
+    return {
+        "meta": data.get("meta", {}),
+        "spans": span_rows,
+        "histograms": hist_rows,
+        "scalars": scalar_rows,
+    }
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return out
+
+
+def render_report(report: dict) -> str:
+    lines: list[str] = []
+    dropped = report.get("meta", {}).get("dropped_spans", 0)
+    if dropped:
+        lines.append(f"warning: {dropped} spans dropped (ring buffer overflow)")
+        lines.append("")
+
+    if report["spans"]:
+        lines.append("== spans (per-stage latency) ==")
+        lines.extend(
+            _table(
+                ["name", "count", "total", "mean", "p50", "p95", "p99"],
+                [
+                    [
+                        r["name"],
+                        str(r["count"]),
+                        _fmt_s(r["total_s"]),
+                        _fmt_s(r["mean_s"]),
+                        _fmt_s(r["p50_s"]),
+                        _fmt_s(r["p95_s"]),
+                        _fmt_s(r["p99_s"]),
+                    ]
+                    for r in report["spans"]
+                ],
+            )
+        )
+        lines.append("")
+
+    if report["histograms"]:
+        lines.append("== histograms ==")
+        lines.extend(
+            _table(
+                ["name", "labels", "count", "mean", "p50", "p95", "p99"],
+                [
+                    [
+                        r["name"],
+                        _fmt_labels(r["labels"]),
+                        str(r["count"]),
+                        _fmt_s(r["mean_s"]),
+                        _fmt_s(r["p50_s"]),
+                        _fmt_s(r["p95_s"]),
+                        _fmt_s(r["p99_s"]),
+                    ]
+                    for r in report["histograms"]
+                ],
+            )
+        )
+        lines.append("")
+
+    if report["scalars"]:
+        lines.append("== counters / gauges ==")
+        rows = []
+        for r in report["scalars"]:
+            value = f"{r['value']:g}"
+            if r["kind"] == "gauge" and r.get("max", r["value"]) != r["value"]:
+                value += f" (max {r['max']:g})"
+            rows.append([r["name"], _fmt_labels(r["labels"]), r["kind"], value])
+        lines.extend(_table(["name", "labels", "kind", "value"], rows))
+        lines.append("")
+
+    if len(lines) == 0:
+        lines.append("(empty dump: no spans or metrics recorded)")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def report_from_file(path: str) -> str:
+    return render_report(build_report(load_jsonl(path)))

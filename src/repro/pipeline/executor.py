@@ -69,9 +69,13 @@ class PipelinedExecutor:
             sweep=lambda items: self.inner.sweep_stream(op, items, n_chunks),
             sink=SlabAssembler(axis_len=n, axis=axis),
             queue_depth=self.pipeline_config.queue_depth,
+            op=op,
         )
         out = pipe.run()
-        self.stats.setdefault(op, PipelineStats()).merge(pipe.stats)
+        merged = self.stats.setdefault(op, PipelineStats()).merge(pipe.stats)
+        # overwrite the run-local values ChunkPipeline.run just published
+        # with this executor's cumulative per-op totals (same gauge series)
+        merged.publish(op=op)
         return out
 
     # -- the six operations --------------------------------------------------------------

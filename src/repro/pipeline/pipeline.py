@@ -22,10 +22,12 @@ stage can deadlock the others.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from dataclasses import dataclass, field
 
 from ..core.config import PipelineConfig
+from ..obs import runtime as obs
 from .queues import BoundedQueue, QueueClosed, QueueStats
 
 __all__ = ["PipelineConfig", "PipelineStats", "ChunkPipeline"]
@@ -47,18 +49,35 @@ class PipelineStats:
         self.write_queue.merge(other.write_queue)
         return self
 
+    def publish(self, **labels) -> None:
+        """Register these totals as ``pipeline_*`` gauges in the
+        :mod:`repro.obs` registry (no-op while observability is off)."""
+        if not obs.enabled():
+            return
+        obs.gauge("pipeline_sweeps", **labels).set(self.sweeps)
+        obs.gauge("pipeline_items", **labels).set(self.items)
+        self.read_queue.publish(queue="read", **labels)
+        self.write_queue.publish(queue="write", **labels)
+
 
 class _Stage(threading.Thread):
-    """A pipeline stage thread that records, rather than prints, its death."""
+    """A pipeline stage thread that records, rather than prints, its death.
+
+    The stage runs inside a copy of the *launching* thread's context
+    (captured at construction), so trace spans opened in the stage parent
+    to the pipeline's enclosing span instead of floating rootless —
+    contextvars do not otherwise cross thread boundaries.
+    """
 
     def __init__(self, name: str, target) -> None:
         super().__init__(name=f"pipeline-{name}", daemon=True)
         self._target_fn = target
+        self._context = contextvars.copy_context()
         self.error: BaseException | None = None
 
     def run(self) -> None:
         try:
-            self._target_fn()
+            self._context.run(self._target_fn)
         except QueueClosed:
             pass  # a neighbor tore the pipeline down; it will report why
         except BaseException as exc:  # noqa: BLE001 — re-raised at join
@@ -68,56 +87,66 @@ class _Stage(threading.Thread):
 class ChunkPipeline:
     """One overlapped sweep: source -> sweep_stream -> sink."""
 
-    def __init__(self, source, sweep, sink, queue_depth: int = 2) -> None:
+    def __init__(self, source, sweep, sink, queue_depth: int = 2, op: str = "") -> None:
         self.source = source
         self.sweep = sweep
         self.sink = sink
         self.queue_depth = queue_depth
+        self.op = op
         self.stats = PipelineStats(sweeps=1)
 
     def run(self):
         """Execute the pipeline to completion; returns ``sink.result()``
         (or ``None`` for result-less sinks)."""
-        in_q = BoundedQueue(self.queue_depth)
-        out_q = BoundedQueue(self.queue_depth)
+        in_q = BoundedQueue(self.queue_depth, name="read")
+        out_q = BoundedQueue(self.queue_depth, name="write")
 
         def read() -> None:
-            try:
-                for item in self.source:
-                    in_q.put(item)
-            finally:
-                in_q.close()
+            # stage busy time = the stage span minus its queue block time
+            # (pipeline_queue_block_seconds{queue=read, side=put})
+            with obs.span("pipeline.reader", op=self.op):
+                try:
+                    for item in self.source:
+                        in_q.put(item)
+                finally:
+                    in_q.close()
 
         def write() -> None:
-            try:
-                for chunk, value in out_q:
-                    self.sink(chunk, value)
-            finally:
-                out_q.close()
+            with obs.span("pipeline.writer", op=self.op):
+                try:
+                    for chunk, value in out_q:
+                        self.sink(chunk, value)
+                finally:
+                    out_q.close()
 
-        reader = _Stage("reader", read)
-        writer = _Stage("writer", write)
-        reader.start()
-        writer.start()
-        compute_error: BaseException | None = None
-        sweep_iter = self.sweep(iter(in_q))
-        try:
-            for chunk, value in sweep_iter:
-                out_q.put((chunk, value))
-                self.stats.items += 1
-        except BaseException as exc:  # noqa: BLE001 — re-raised below
-            compute_error = exc
-        finally:
-            # a suspended sweep generator holds executor state (buffered
-            # queries, pending inserts); closing it runs its cleanup
-            if hasattr(sweep_iter, "close"):
-                sweep_iter.close()
-            in_q.close()
-            out_q.close()
-        reader.join()
-        writer.join()
+        # opened before the stages are constructed so their copied contexts
+        # inherit it: reader/writer/compute spans all parent to pipeline.run
+        with obs.span("pipeline.run", op=self.op):
+            reader = _Stage("reader", read)
+            writer = _Stage("writer", write)
+            reader.start()
+            writer.start()
+            compute_error: BaseException | None = None
+            sweep_iter = self.sweep(iter(in_q))
+            try:
+                with obs.span("pipeline.compute", op=self.op):
+                    for chunk, value in sweep_iter:
+                        out_q.put((chunk, value))
+                        self.stats.items += 1
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                compute_error = exc
+            finally:
+                # a suspended sweep generator holds executor state (buffered
+                # queries, pending inserts); closing it runs its cleanup
+                if hasattr(sweep_iter, "close"):
+                    sweep_iter.close()
+                in_q.close()
+                out_q.close()
+            reader.join()
+            writer.join()
         self.stats.read_queue.merge(in_q.stats)
         self.stats.write_queue.merge(out_q.stats)
+        self.stats.publish(op=self.op)
 
         # A dead reader starves compute and a dead writer chokes it, so the
         # neighbor's root cause outranks compute's secondary failure.

@@ -17,8 +17,11 @@ pipeline down without deadlocking its neighbors.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
+
+from ..obs import runtime as obs
 
 __all__ = ["QueueClosed", "QueueStats", "BoundedQueue"]
 
@@ -45,14 +48,29 @@ class QueueStats:
         self.max_depth = max(self.max_depth, other.max_depth)
         return self
 
+    def publish(self, **labels) -> None:
+        """Register these counters as ``pipeline_queue_<field>`` gauges in
+        the :mod:`repro.obs` registry (no-op while observability is off).
+        Gauges because a stats object is a snapshot-valued total: each
+        publish sets the authoritative value, so republishing after a
+        merge is idempotent rather than double-counting."""
+        if not obs.enabled():
+            return
+        obs.gauge("pipeline_queue_puts", **labels).set(self.puts)
+        obs.gauge("pipeline_queue_gets", **labels).set(self.gets)
+        obs.gauge("pipeline_queue_producer_blocks", **labels).set(self.producer_blocks)
+        obs.gauge("pipeline_queue_consumer_blocks", **labels).set(self.consumer_blocks)
+        obs.gauge("pipeline_queue_max_depth", **labels).set(self.max_depth)
+
 
 class BoundedQueue:
     """Fixed-depth FIFO with blocking put/get and cooperative shutdown."""
 
-    def __init__(self, depth: int) -> None:
+    def __init__(self, depth: int, name: str = "queue") -> None:
         if depth < 1:
             raise ValueError(f"queue depth must be >= 1, got {depth}")
         self.depth = depth
+        self.name = name
         self._items: deque = deque()  # guarded-by: self._cond
         self._cond = threading.Condition()
         self._closed = False  # guarded-by: self._cond
@@ -66,13 +84,18 @@ class BoundedQueue:
         with self._cond:
             if len(self._items) >= self.depth and not self._closed:
                 self.stats.producer_blocks += 1
-            while len(self._items) >= self.depth and not self._closed:
-                self._cond.wait()
+                t0 = time.monotonic()
+                while len(self._items) >= self.depth and not self._closed:
+                    self._cond.wait()
+                obs.histogram(
+                    "pipeline_queue_block_seconds", queue=self.name, side="put"
+                ).observe(time.monotonic() - t0)
             if self._closed:
                 raise QueueClosed
             self._items.append(item)
             self.stats.puts += 1
             self.stats.max_depth = max(self.stats.max_depth, len(self._items))
+            obs.gauge("pipeline_queue_depth", queue=self.name).set(len(self._items))
             self._cond.notify_all()
 
     def get(self):
@@ -84,12 +107,17 @@ class BoundedQueue:
         with self._cond:
             if not self._items and not self._closed:
                 self.stats.consumer_blocks += 1
-            while not self._items and not self._closed:
-                self._cond.wait()
+                t0 = time.monotonic()
+                while not self._items and not self._closed:
+                    self._cond.wait()
+                obs.histogram(
+                    "pipeline_queue_block_seconds", queue=self.name, side="get"
+                ).observe(time.monotonic() - t0)
             if not self._items:
                 raise QueueClosed
             item = self._items.popleft()
             self.stats.gets += 1
+            obs.gauge("pipeline_queue_depth", queue=self.name).set(len(self._items))
             self._cond.notify_all()
             return item
 

@@ -57,11 +57,22 @@ class JobCancelled(RuntimeError):
 
 @dataclass(frozen=True)
 class JobEvent:
-    """One timestamped lifecycle observation (monotonic clock)."""
+    """One timestamped lifecycle observation.
+
+    ``t`` is ``time.monotonic()`` — the clock every duration (queue wait,
+    run time) is derived from, immune to wall-clock adjustment.  ``wall``
+    is ``time.time()`` at the same instant, kept strictly for display
+    (log correlation, human-readable timelines); never subtract walls.
+    """
 
     t: float
     kind: str
     detail: str = ""
+    wall: float = 0.0
+
+    @classmethod
+    def now(cls, kind: str, detail: str = "") -> "JobEvent":
+        return cls(time.monotonic(), kind, detail, wall=time.time())
 
 
 @dataclass
@@ -174,14 +185,14 @@ class JobHandle:
             if self._state is JobState.QUEUED:
                 self._finish_locked(JobState.CANCELLED, "cancelled while queued")
             else:
-                self.events.append(JobEvent(time.monotonic(), "cancel_requested"))
+                self.events.append(JobEvent.now("cancel_requested"))
         return True
 
     # -- scheduler-side transitions ------------------------------------------------------
 
     def _add_event(self, kind: str, detail: str = "") -> None:
         with self._lock:
-            self.events.append(JobEvent(time.monotonic(), kind, detail))
+            self.events.append(JobEvent.now(kind, detail))
 
     def _claim(self) -> bool:
         """queued -> running, atomically; False if the job was cancelled
@@ -190,12 +201,12 @@ class JobHandle:
             if self._state is not JobState.QUEUED or self._cancel.is_set():
                 return False
             self._state = JobState.RUNNING
-            self.events.append(JobEvent(time.monotonic(), "running"))
+            self.events.append(JobEvent.now("running"))
             return True
 
     def _finish_locked(self, state: JobState, detail: str = "") -> None:
         self._state = state
-        self.events.append(JobEvent(time.monotonic(), state.value, detail))
+        self.events.append(JobEvent.now(state.value, detail))
         self._done.set()
 
     def _finish(self, state: JobState, detail: str = "") -> None:

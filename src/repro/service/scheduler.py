@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 from ..core.memo_engine import memo_state_partitions
 from ..core.mlr_solver import MLRSolver
+from ..obs import runtime as obs
 from .jobs import JobCancelled, JobHandle, JobSpec, JobState
 from .snapshot import read_snapshot, write_snapshot
 
@@ -116,6 +117,21 @@ class SchedulerStats:
     cancelled: int = 0
     peak_queue_depth: int = 0
     peak_running: int = 0
+
+    def publish(self, **labels) -> None:
+        """Register these counters as ``scheduler_<field>`` gauges in the
+        :mod:`repro.obs` registry (no-op while observability is off).
+        Must be called on a copy taken outside the scheduler's condition —
+        the registry lock never nests under it."""
+        if not obs.enabled():
+            return
+        obs.gauge("scheduler_submitted", **labels).set(self.submitted)
+        obs.gauge("scheduler_rejected", **labels).set(self.rejected)
+        obs.gauge("scheduler_completed", **labels).set(self.completed)
+        obs.gauge("scheduler_failed", **labels).set(self.failed)
+        obs.gauge("scheduler_cancelled", **labels).set(self.cancelled)
+        obs.gauge("scheduler_peak_queue_depth", **labels).set(self.peak_queue_depth)
+        obs.gauge("scheduler_peak_running", **labels).set(self.peak_running)
 
 
 @dataclass
@@ -290,9 +306,10 @@ class ReconstructionScheduler:
             handle = JobHandle(spec, job_id=self.stats.submitted)
             self.stats.submitted += 1
             heapq.heappush(self._heap, (-spec.priority, next(self._seq), handle))
-            self.stats.peak_queue_depth = max(self.stats.peak_queue_depth,
-                                              self._live_waiting_locked())
+            depth_now = self._live_waiting_locked()
+            self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, depth_now)
             self._cond.notify()
+        obs.gauge("scheduler_queue_depth").set(depth_now)
         return handle
 
     def _live_waiting_locked(self) -> int:
@@ -362,12 +379,23 @@ class ReconstructionScheduler:
                     continue
                 self._running += 1
                 self.stats.peak_running = max(self.stats.peak_running, self._running)
+                depth_now = self._live_waiting_locked()
+                running_now = self._running
+            obs.gauge("scheduler_queue_depth").set(depth_now)
+            obs.gauge("scheduler_running").set(running_now)
             try:
-                self._execute(handle)
+                with obs.span(
+                    "job.run", job=handle.spec.name, job_id=handle.job_id
+                ):
+                    self._execute(handle)
             finally:
                 with self._cond:
                     self._running -= 1
+                    running_now = self._running
+                    stats_now = SchedulerStats(**vars(self.stats))
                     self._cond.notify_all()
+                obs.gauge("scheduler_running").set(running_now)
+                stats_now.publish()
 
     def _check_cancel(self, handle: JobHandle) -> None:
         if handle.cancel_requested:

@@ -25,6 +25,7 @@ from typing import Callable
 import numpy as np
 
 from ..lamino.operators import LaminoOperators
+from ..obs import runtime as obs
 from .executor import DirectExecutor
 from .grad import div3, grad3, grad_norm
 from .lsp import LSP
@@ -148,64 +149,66 @@ class ADMMSolver:
             k: [] for k in ("loss", "data_loss", "tv", "primal_res", "dual_res", "rho")
         }
         for it in range(cfg.n_outer):
-            self.executor.begin_outer(it)
-            if tracer is not None:
-                tracer.begin_iteration(it)
+            with obs.span("admm.outer", iteration=it):
+                self.executor.begin_outer(it)
+                if tracer is not None:
+                    tracer.begin_iteration(it)
 
-            # -- LSP phase (u update) ---------------------------------------------
-            if tracer is not None:
-                tracer.begin_phase("lsp")
-                tracer.touch("psi", "r")
-                tracer.touch("lam", "r")
-                tracer.touch("g", "w")
-            g = psi - lam / rho  # Algorithm 1 line 1
-            lsp_res = self.lsp.solve(
-                u, g, rho, d=None if cfg.cancellation else d, dhat=dhat, tracer=tracer
-            )
-            u = lsp_res.u
+                # -- LSP phase (u update) -----------------------------------------
+                if tracer is not None:
+                    tracer.begin_phase("lsp")
+                    tracer.touch("psi", "r")
+                    tracer.touch("lam", "r")
+                    tracer.touch("g", "w")
+                g = psi - lam / rho  # Algorithm 1 line 1
+                lsp_res = self.lsp.solve(
+                    u, g, rho, d=None if cfg.cancellation else d, dhat=dhat,
+                    tracer=tracer,
+                )
+                u = lsp_res.u
 
-            # -- RSP phase (psi update) ---------------------------------------------
-            if tracer is not None:
-                tracer.begin_phase("rsp")
-                tracer.touch("u", "r")
-                tracer.touch("lam", "r")
-                tracer.touch("psi", "rw")
-            gu = grad3(u)
-            psi_prev = psi
-            psi = shrink_isotropic(gu + lam / rho, cfg.alpha / rho)
+                # -- RSP phase (psi update) ---------------------------------------
+                if tracer is not None:
+                    tracer.begin_phase("rsp")
+                    tracer.touch("u", "r")
+                    tracer.touch("lam", "r")
+                    tracer.touch("psi", "rw")
+                gu = grad3(u)
+                psi_prev = psi
+                psi = shrink_isotropic(gu + lam / rho, cfg.alpha / rho)
 
-            # -- lambda update phase -------------------------------------------------
-            if tracer is not None:
-                tracer.begin_phase("lambda_update")
-                tracer.touch("psi", "r")
-                tracer.touch("lam", "rw")
-            lam = lam + rho * (gu - psi)
+                # -- lambda update phase ------------------------------------------
+                if tracer is not None:
+                    tracer.begin_phase("lambda_update")
+                    tracer.touch("psi", "r")
+                    tracer.touch("lam", "rw")
+                lam = lam + rho * (gu - psi)
 
-            # -- penalty update phase ---------------------------------------------
-            if tracer is not None:
-                tracer.begin_phase("penalty_update")
-                tracer.touch("psi", "r")
-                tracer.touch("lam", "r")
-            primal = float(np.linalg.norm(gu - psi))
-            dual = float(rho * np.linalg.norm(div3(psi - psi_prev)))
-            if cfg.adaptive_rho:
-                if primal > cfg.rho_mu * dual:
-                    rho *= cfg.rho_scale
-                elif dual > cfg.rho_mu * primal:
-                    rho /= cfg.rho_scale
+                # -- penalty update phase -----------------------------------------
+                if tracer is not None:
+                    tracer.begin_phase("penalty_update")
+                    tracer.touch("psi", "r")
+                    tracer.touch("lam", "r")
+                primal = float(np.linalg.norm(gu - psi))
+                dual = float(rho * np.linalg.norm(div3(psi - psi_prev)))
+                if cfg.adaptive_rho:
+                    if primal > cfg.rho_mu * dual:
+                        rho *= cfg.rho_scale
+                    elif dual > cfg.rho_mu * primal:
+                        rho /= cfg.rho_scale
 
-            # -- bookkeeping ------------------------------------------------------
-            tv_val = float(np.sum(grad_norm(gu)))
-            history["data_loss"].append(lsp_res.data_loss)
-            history["tv"].append(tv_val)
-            history["loss"].append(lsp_res.data_loss + cfg.alpha * tv_val)
-            history["primal_res"].append(primal)
-            history["dual_res"].append(dual)
-            history["rho"].append(rho)
-            if tracer is not None:
-                tracer.end_iteration()
-            if callback is not None:
-                callback(it, u, {k: v[-1] for k, v in history.items()})
+                # -- bookkeeping --------------------------------------------------
+                tv_val = float(np.sum(grad_norm(gu)))
+                history["data_loss"].append(lsp_res.data_loss)
+                history["tv"].append(tv_val)
+                history["loss"].append(lsp_res.data_loss + cfg.alpha * tv_val)
+                history["primal_res"].append(primal)
+                history["dual_res"].append(dual)
+                history["rho"].append(rho)
+                if tracer is not None:
+                    tracer.end_iteration()
+                if callback is not None:
+                    callback(it, u, {k: v[-1] for k, v in history.items()})
 
         return ADMMResult(
             u=u, history=history, op_counts=dict(self.executor.op_counts)

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..lamino.chunking import iter_chunks
 from ..lamino.operators import LaminoOperators
+from ..obs import runtime as obs
 
 __all__ = ["DirectExecutor", "SWEEP_AXIS", "SWEEP_KERNELS"]
 
@@ -117,7 +118,9 @@ class DirectExecutor:
         kernel = self.chunk_kernel(op)
         for chunk, payload in items:
             self.op_counts[op] += 1
-            yield chunk, kernel(chunk, payload)
+            with obs.span(f"sweep.{op}", chunk=chunk.index):
+                out = kernel(chunk, payload)
+            yield chunk, out
 
     # -- the six operations (thin drivers over the streaming sweep, so the
     # monolithic and pipelined paths share one chunk loop) -----------------------------

@@ -115,6 +115,127 @@ class TestWireExhaustive:
         assert report.findings == []
 
 
+WIRE_METRICS = """
+    MSG_PING = 1
+    MSG_PING_OK = 2
+    MSG_METRICS = 13
+    MSG_METRICS_OK = 14
+
+    MESSAGE_NAMES = {
+        MSG_PING: "ping",
+        MSG_PING_OK: "ping_ok",
+        MSG_METRICS: "metrics",
+        MSG_METRICS_OK: "metrics_ok",
+    }
+"""
+
+
+class TestWireExhaustiveMetrics:
+    """The observability pull (``MSG_METRICS``/``MSG_METRICS_OK``) follows
+    the same request/reply contract as every other message pair."""
+
+    def test_fully_wired_metrics_pair_is_clean(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/net/wire.py": WIRE_METRICS,
+                "src/net/server.py": """
+                from .wire import MSG_METRICS, MSG_METRICS_OK, MSG_PING, MSG_PING_OK
+
+                def handle(kind):
+                    if kind == MSG_PING:
+                        return MSG_PING_OK
+                    if kind == MSG_METRICS:
+                        return MSG_METRICS_OK
+                    raise ValueError(kind)
+                """,
+                "src/net/client.py": """
+                from .wire import MSG_METRICS, MSG_PING
+
+                def ping():
+                    return MSG_PING
+
+                def metrics():
+                    return MSG_METRICS
+                """,
+            }
+        )
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert report.findings == []
+
+    def test_metrics_without_client_encoder_is_flagged(self, mini_repo):
+        # server answers metrics pulls, but no client can issue one
+        root = mini_repo(
+            {
+                "src/net/wire.py": WIRE_METRICS,
+                "src/net/server.py": """
+                from .wire import MSG_METRICS, MSG_METRICS_OK, MSG_PING, MSG_PING_OK
+
+                def handle(kind):
+                    if kind == MSG_PING:
+                        return MSG_PING_OK
+                    if kind == MSG_METRICS:
+                        return MSG_METRICS_OK
+                """,
+                "src/net/client.py": """
+                from .wire import MSG_PING
+
+                def ping():
+                    return MSG_PING
+                """,
+            }
+        )
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert "MSG_METRICS" in f.message and "client encoder" in f.message
+
+    def test_metrics_without_server_handler_is_flagged(self, mini_repo):
+        # the pair is declared and the client sends it, but no server branch
+        root = mini_repo(
+            {
+                "src/net/wire.py": WIRE_METRICS,
+                "src/net/server.py": """
+                from .wire import MSG_PING, MSG_PING_OK
+
+                def handle(kind):
+                    if kind == MSG_PING:
+                        return MSG_PING_OK
+                """,
+                "src/net/client.py": """
+                from .wire import MSG_METRICS, MSG_PING
+
+                def ping():
+                    return MSG_PING
+
+                def metrics():
+                    return MSG_METRICS
+                """,
+            }
+        )
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert "MSG_METRICS" in f.message and "server" in f.message
+
+    def test_unregistered_metrics_reply_is_flagged(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/net/wire.py": """
+                MSG_METRICS = 13
+                MSG_METRICS_OK = 14
+
+                MESSAGE_NAMES = {
+                    MSG_METRICS: "metrics",
+                }
+                """,
+            }
+        )
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert len(report.findings) == 1
+        assert "MSG_METRICS_OK" in report.findings[0].message
+        assert "MESSAGE_NAMES" in report.findings[0].message
+
+
 EXEC_CLEAN = """
     SWEEP_KERNELS = {"Fu1D": "_run_fu1d", "Fu1D*": "_run_fu1d_adj"}
     SWEEP_AXIS = {"Fu1D": 0, "Fu1D*": 0}

@@ -1,0 +1,30 @@
+"""obs-suite fixtures: every test starts from a pristine runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ObsConfig
+from repro.obs import runtime as obs
+
+
+@pytest.fixture(autouse=True)
+def pristine_obs():
+    """Fresh registry/collector per test, restored to the env gate after."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture()
+def enabled():
+    """Observability on (default config); returns the runtime module."""
+    obs.configure(ObsConfig())
+    return obs
+
+
+@pytest.fixture()
+def disabled():
+    """Observability explicitly off; returns the runtime module."""
+    obs.configure(ObsConfig(enabled=False))
+    return obs

@@ -1,0 +1,160 @@
+"""The MSG_METRICS pull: daemon-side snapshot over the wire, client
+request-latency histograms, degraded-mode counters, --metrics-dump."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MemoConfig
+from repro.core.memo_shard import ShardInsert, ShardQuery
+from repro.net import MemoServerDaemon, RemoteMemoClient
+from repro.net.server import main as server_main
+from repro.obs import runtime as obs
+
+
+def memo_cfg() -> MemoConfig:
+    return MemoConfig(tau=0.9, index_train_min=4, index_clusters=2, index_nprobe=2)
+
+
+@pytest.fixture()
+def daemon():
+    with MemoServerDaemon(n_shards=2, memo=memo_cfg()) as d:
+        yield d
+
+
+def traffic(client, rng):
+    dim = 16
+    inserts = [
+        ShardInsert("Fu1D", loc, rng.standard_normal(dim).astype(np.float32),
+                    np.ones((2, 2), np.complex64), meta=(1.0, 0j))
+        for loc in range(8)
+    ]
+    client.insert_batch(inserts)
+    client.flush()
+    probes = [ShardQuery("Fu1D", i.location, i.key) for i in inserts]
+    return client.query_batch(probes)
+
+
+class TestMetricsPull:
+    def test_metrics_returns_server_view(self, enabled, daemon, rng):
+        with RemoteMemoClient(daemon.address, expect_tau=memo_cfg().tau) as client:
+            traffic(client, rng)
+            payload = client.metrics()
+        assert payload["obs_enabled"] is True
+        server = payload["server"]
+        assert server["metrics_pulls"] == 1
+        assert server["query_batches"] == 1
+        assert server["insert_batches"] == 1
+        names = {e["name"] for e in payload["metrics"]}
+        # request + shard service-time histograms from the daemon side
+        assert "net_server_request_seconds" in names
+        assert "net_server_shard_seconds" in names
+        assert "net_server_queries" in names
+
+    def test_request_types_label_the_histograms(self, enabled, daemon, rng):
+        with RemoteMemoClient(daemon.address, expect_tau=memo_cfg().tau) as client:
+            traffic(client, rng)
+            payload = client.metrics()
+        types = {
+            e["labels"]["type"]
+            for e in payload["metrics"]
+            if e["name"] == "net_server_request_seconds"
+        }
+        assert {"query_batch", "insert_batch"} <= types
+
+    def test_client_latency_histograms_by_message_type(self, enabled, daemon, rng):
+        with RemoteMemoClient(daemon.address, expect_tau=memo_cfg().tau) as client:
+            traffic(client, rng)
+            client.stats()
+        series = {
+            (e["name"], e["labels"].get("type")): e
+            for e in obs.snapshot()
+            if e["name"] == "net_client_request_seconds"
+        }
+        assert ("net_client_request_seconds", "query_batch") in series
+        assert ("net_client_request_seconds", "stats") in series
+        q = series[("net_client_request_seconds", "query_batch")]
+        assert q["count"] == 1 and q["sum"] > 0.0
+
+    def test_client_publish_rides_along(self, enabled, daemon, rng):
+        with RemoteMemoClient(daemon.address, expect_tau=memo_cfg().tau) as client:
+            traffic(client, rng)
+            client.metrics()
+        local = {e["name"]: e for e in obs.snapshot()}
+        # published before the MSG_METRICS round trip itself is counted
+        assert local["net_client_requests"]["value"] == 2  # insert + query
+        assert local["net_client_pipelined_inserts"]["value"] == 8
+
+    def test_obs_disabled_server_synthesizes_gauges(self, disabled, daemon, rng):
+        with RemoteMemoClient(daemon.address, expect_tau=memo_cfg().tau) as client:
+            traffic(client, rng)
+            payload = client.metrics()
+        assert payload["obs_enabled"] is False
+        names = {e["name"] for e in payload["metrics"]}
+        assert "net_server_query_batches" in names  # synthesized from ServerStats
+        assert "net_server_request_seconds" not in names  # no histograms while off
+        by_name = {e["name"]: e for e in payload["metrics"]}
+        assert by_name["net_server_query_batches"]["value"] == 1.0
+        # the local process allocated nothing
+        assert len(obs.registry()) == 0
+
+
+class TestDegraded:
+    def test_unreachable_server_fail_open(self, enabled):
+        with MemoServerDaemon(n_shards=1, memo=memo_cfg()) as d:
+            addr = d.address
+        client = RemoteMemoClient(addr, fail_open=True)
+        assert client.metrics() is None
+        assert client.net_stats.degraded_stats_pulls == 1
+        degraded = {
+            e["labels"]["kind"]: e["value"]
+            for e in obs.snapshot()
+            if e["name"] == "net_client_degraded_total"
+        }
+        assert degraded.get("metrics_pull") == 1
+        client.close()
+
+    def test_degraded_queries_count_in_registry(self, enabled, rng):
+        with MemoServerDaemon(n_shards=1, memo=memo_cfg()) as d:
+            addr = d.address
+        client = RemoteMemoClient(addr, fail_open=True)
+        probes = [
+            ShardQuery("Fu1D", 0, rng.standard_normal(16).astype(np.float32))
+            for _ in range(5)
+        ]
+        outcomes = client.query_batch(probes)
+        assert all(not o.hit for o in outcomes)
+        degraded = {
+            e["labels"]["kind"]: e["value"]
+            for e in obs.snapshot()
+            if e["name"] == "net_client_degraded_total"
+        }
+        assert degraded == {"query_batch": 1, "query": 5}
+        client.close()
+
+    def test_fail_closed_still_raises(self, enabled):
+        with MemoServerDaemon(n_shards=1, memo=memo_cfg()) as d:
+            addr = d.address
+        client = RemoteMemoClient(addr, fail_open=False)
+        with pytest.raises(OSError):
+            client.metrics()
+        client.close()
+
+
+class TestMetricsDumpCli:
+    def test_metrics_dump_prints_prometheus(self, enabled, daemon, rng, capsys):
+        with RemoteMemoClient(daemon.address, expect_tau=memo_cfg().tau) as client:
+            traffic(client, rng)
+        host, port = daemon.address
+        assert server_main(["--metrics-dump", f"{host}:{port}"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE net_server_query_batches gauge" in out
+        assert 'net_server_query_batches{server="memo-server"} 1' in out
+        assert "net_server_request_seconds_bucket" in out
+
+    def test_metrics_dump_against_dead_server_fails(self, enabled):
+        with MemoServerDaemon(n_shards=1, memo=memo_cfg()) as d:
+            host, port = d.address
+        with pytest.raises((OSError, ValueError)):
+            server_main(["--metrics-dump", f"{host}:{port}"])
