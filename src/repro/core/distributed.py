@@ -130,17 +130,33 @@ class DistributedMemoizedExecutor(MemoizedExecutor):
             state.cache = None
         old_router = getattr(self, "router", None)
         if cfg.transport == "tcp":
-            # the shard service lives in a MemoServerDaemon (possibly on
-            # another host); the client speaks the router's exact surface
+            # the shard service lives in MemoServerDaemons (possibly on other
+            # hosts); both clients speak the router's exact surface.  One
+            # address gets the single client; more (or replication=N) get the
+            # replicated one — insert fan-out, per-shard query failover.
             from ..net.client import RemoteMemoClient
+            from ..net.replicated import ReplicatedMemoClient
+            from ..net.wire import parse_address_list
 
-            self.router = RemoteMemoClient(
-                cfg.server_address,
-                expect_tau=cfg.tau,
-                expect_value_mode=cfg.db_value_mode,
-                encoder_fingerprint=self._encoder_fingerprint(),
-                n_shards_hint=self.n_shards,
-            )
+            addresses = parse_address_list(cfg.server_address)
+            if len(addresses) > 1 or cfg.replication is not None:
+                self.router = ReplicatedMemoClient(
+                    addresses,
+                    replication=cfg.replication,
+                    expect_tau=cfg.tau,
+                    expect_value_mode=cfg.db_value_mode,
+                    encoder_fingerprint=self._encoder_fingerprint(),
+                    n_shards_hint=self.n_shards,
+                    heartbeat_interval_s=cfg.heartbeat_interval_s,
+                )
+            else:
+                self.router = RemoteMemoClient(
+                    addresses[0],
+                    expect_tau=cfg.tau,
+                    expect_value_mode=cfg.db_value_mode,
+                    encoder_fingerprint=self._encoder_fingerprint(),
+                    n_shards_hint=self.n_shards,
+                )
         else:
             self.router = MemoShardRouter(self.n_shards, self._db_factory())
         if old_router is not None and hasattr(old_router, "close"):

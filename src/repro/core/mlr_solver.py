@@ -19,6 +19,7 @@ installs it in the executor.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,6 +33,8 @@ from .keying import CNNKeyEncoder, chunk_to_image, state_digest
 from .memo_engine import MemoEvent, MemoizedExecutor
 
 __all__ = ["MLRResult", "MLRSolver"]
+
+log = logging.getLogger("repro.core.mlr_solver")
 
 
 @dataclass
@@ -71,7 +74,10 @@ class MLRSolver:
             obs.configure(self.config.obs)
         self.admm_config = admm or ADMMConfig()
         self.ops = ops if ops is not None else LaminoOperators(geometry)
-        snapshot_tree = self._resolve_snapshot(self.config.memo_snapshot)
+        #: True when the configured warm-start snapshot failed its checksums
+        #: and was quarantined (this run started cold instead of crashing)
+        self.snapshot_quarantined = False
+        snapshot_tree = self._resolve_snapshot_safe(self.config.memo_snapshot)
         if (
             encoder is None
             and self.config.memo.encoder == "cnn"
@@ -127,6 +133,27 @@ class MLRSolver:
         from ..service.snapshot import load_memo_snapshot
 
         return load_memo_snapshot(snapshot)
+
+    def _resolve_snapshot_safe(self, snapshot) -> dict | None:
+        """Construction-time warm start: a corrupt on-disk snapshot is
+        quarantined (renamed ``.corrupt``) and the run starts cold — warmth
+        is an optimization, and a damaged cache must never take down a
+        reconstruction.  Explicit :meth:`load_memo_snapshot` calls still
+        raise, since there the caller asked for *that* snapshot."""
+        from ..service.snapshot import SnapshotError, quarantine_snapshot
+
+        try:
+            return self._resolve_snapshot(snapshot)
+        except SnapshotError as exc:
+            quarantined = quarantine_snapshot(snapshot)
+            self.snapshot_quarantined = True
+            obs.counter("snapshot_quarantined_total", where="solver-init").inc()
+            log.warning(
+                "warm-start snapshot %s corrupt (%s): quarantined to %s, "
+                "starting cold",
+                snapshot, exc, quarantined,
+            )
+            return None
 
     def load_memo_snapshot(self, snapshot) -> None:
         """Warm-start the memoization database tier from ``snapshot`` — a

@@ -1,0 +1,160 @@
+"""In-process replica-set harness: kill and restart memo daemons on cue.
+
+The chaos suite needs real daemon deaths — not mocked sockets — so this
+module runs N :class:`~repro.net.server.MemoServerDaemon` instances in
+one process, remembers each one's bound port, and can kill / restart any
+replica while clients are connected.  A restart rebinds the *same* port
+(SO_REUSEADDR), so clients holding the address reconnect to the reborn
+daemon without re-resolution.
+
+``DaemonSchedule`` adds timed kill/restart actions for demos; the test
+suite prefers triggering :meth:`ReplicaSet.kill` from solver callbacks,
+which is deterministic with respect to the reconstruction's progress.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.config import MemoConfig
+from ..net.server import MemoServerDaemon
+
+__all__ = ["ReplicaSet", "DaemonSchedule"]
+
+
+class ReplicaSet:
+    """N memo daemons sharing one configuration, individually killable."""
+
+    def __init__(
+        self,
+        n: int = 2,
+        memo: MemoConfig | None = None,
+        n_shards: int = 1,
+        host: str = "127.0.0.1",
+        name: str = "replica",
+        **daemon_kwargs,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"a replica set needs n >= 1 daemons, got {n}")
+        self.memo = memo or MemoConfig()
+        self.n_shards = n_shards
+        self.name = name
+        self._daemon_kwargs = daemon_kwargs
+        self._lock = threading.Lock()
+        self._daemons: list[MemoServerDaemon | None] = []  # guarded-by: self._lock
+        self.addresses: list[tuple[str, int]] = []
+        for i in range(n):
+            daemon = self._spawn(host, 0, i)
+            self._daemons.append(daemon)
+            self.addresses.append(daemon.address)
+
+    def _spawn(self, host: str, port: int, index: int) -> MemoServerDaemon:
+        return MemoServerDaemon(
+            host=host,
+            port=port,
+            n_shards=self.n_shards,
+            memo=self.memo,
+            name=f"{self.name}{index}",
+            **self._daemon_kwargs,
+        )
+
+    # -- observation ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def address_str(self) -> str:
+        """The comma-separated form the CLI / config accept."""
+        return ",".join(f"{h}:{p}" for h, p in self.addresses)
+
+    def daemon(self, index: int) -> MemoServerDaemon | None:
+        """The live daemon at ``index``, or ``None`` while it is dead."""
+        with self._lock:
+            return self._daemons[index]
+
+    def alive(self, index: int) -> bool:
+        with self._lock:
+            d = self._daemons[index]
+        return d is not None and d.running
+
+    # -- chaos ---------------------------------------------------------------------------
+
+    def kill(self, index: int) -> bool:
+        """Tear replica ``index`` down (closes its listener and every
+        connection — clients see resets, exactly like a dead host)."""
+        with self._lock:
+            daemon = self._daemons[index]
+            self._daemons[index] = None
+        if daemon is None:
+            return False
+        daemon.close()
+        return True
+
+    def restart(self, index: int) -> MemoServerDaemon:
+        """Bring replica ``index`` back on its original port (empty tier —
+        rejoin warmth comes from anti-entropy resync, not from here)."""
+        host, port = self.addresses[index]
+        daemon = self._spawn(host, port, index)
+        with self._lock:
+            old = self._daemons[index]
+            self._daemons[index] = daemon
+        if old is not None:
+            old.close()
+        return daemon
+
+    def close(self) -> None:
+        with self._lock:
+            daemons = list(self._daemons)
+            self._daemons = [None] * len(daemons)
+        for daemon in daemons:
+            if daemon is not None:
+                daemon.close()
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class DaemonSchedule:
+    """Timed kill/restart actions against a :class:`ReplicaSet`.
+
+    ``actions`` is a list of ``(delay_s, verb, index)`` with verb ``"kill"``
+    or ``"restart"``; each action fires ``delay_s`` seconds after
+    :meth:`start` on a daemon timer thread.  Wall-clock scheduling is
+    inherently racy against solver progress — demos use this, tests drive
+    :meth:`ReplicaSet.kill` from iteration callbacks instead.
+    """
+
+    def __init__(self, replicas: ReplicaSet, actions) -> None:
+        self.replicas = replicas
+        self.actions = list(actions)
+        for delay_s, verb, index in self.actions:
+            if verb not in ("kill", "restart"):
+                raise ValueError(f"schedule verb must be kill/restart, got {verb!r}")
+            if delay_s < 0:
+                raise ValueError(f"schedule delay must be >= 0, got {delay_s}")
+            if not (0 <= index < len(replicas)):
+                raise ValueError(f"schedule names replica {index}, set has {len(replicas)}")
+        self._timers: list[threading.Timer] = []
+
+    def start(self) -> "DaemonSchedule":
+        for delay_s, verb, index in self.actions:
+            fn = self.replicas.kill if verb == "kill" else self.replicas.restart
+            timer = threading.Timer(delay_s, fn, args=(index,))
+            timer.daemon = True
+            self._timers.append(timer)
+            timer.start()
+        return self
+
+    def cancel(self) -> None:
+        for timer in self._timers:
+            timer.cancel()
+
+    def __enter__(self) -> "DaemonSchedule":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.cancel()

@@ -1,0 +1,214 @@
+"""Seeded fault plans: which fault fires where, decided reproducibly.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` patterns consulted at
+every injection *site* (a string like ``client:127.0.0.1:9876:send`` or
+``server:memo-server:shard1:service``).  Decisions are drawn from a
+**per-site** seeded RNG stream — site streams are independent, so adding
+traffic at one site never perturbs the decisions at another — and every
+injected fault is appended to the plan's trace with a global sequence
+number.  Replaying the same plan seed against the same (single-threaded)
+operation sequence therefore reproduces the same trace, byte for byte.
+
+Fault kinds
+-----------
+``refuse``    connection attempt raises ``ConnectionRefusedError``
+``drop``      the socket operation raises ``ConnectionResetError``
+              (mid-frame when it fires inside a send/recv)
+``delay``     the operation is delayed by ``delay_s`` seconds first
+``truncate``  a send transmits only a prefix, then the stream is poisoned
+``bitflip``   one byte of the payload is flipped (caught by the frame crc)
+``stall``     a server-side shard handler sleeps ``delay_s`` (slow shard)
+``corrupt``   snapshot bytes are truncated or bit-flipped on disk I/O
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import zlib
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+__all__ = ["FaultRule", "FaultEvent", "FaultPlan", "FAULT_KINDS"]
+
+FAULT_KINDS = ("refuse", "drop", "delay", "truncate", "bitflip", "stall", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection pattern.
+
+    site:
+        ``fnmatch`` glob over the injection-site string (e.g.
+        ``"client:*:send"``, ``"server:*:shard*"``, ``"snapshot:read:*"``).
+    kind:
+        One of :data:`FAULT_KINDS`.
+    prob:
+        Per-operation firing probability (1.0 = every matching op).
+    delay_s:
+        Sleep for ``delay``/``stall`` faults.
+    after:
+        Skip the first ``after`` matching operations at each site —
+        lets a plan allow the handshake through and break later frames.
+    max_times:
+        Fire at most this many times per site (``None`` = unlimited).
+    """
+
+    site: str
+    kind: str
+    prob: float = 1.0
+    delay_s: float = 0.0
+    after: int = 0
+    max_times: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if not (0.0 <= self.prob <= 1.0):
+            raise ValueError(f"prob must be in [0, 1], got {self.prob}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.max_times is not None and self.max_times < 1:
+            raise ValueError(f"max_times must be >= 1 or None, got {self.max_times}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the plan's trace."""
+
+    seq: int
+    site: str
+    op_index: int
+    kind: str
+    delay_s: float = 0.0
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "site": self.site,
+            "op_index": self.op_index,
+            "kind": self.kind,
+            "delay_s": self.delay_s,
+            "detail": self.detail,
+        }
+
+
+class _SiteStream:
+    """Per-site decision state: its own seeded RNG and operation counter."""
+
+    __slots__ = ("rng_state", "op_count", "fired")
+
+    def __init__(self, plan_seed: int, site: str) -> None:
+        import random
+
+        rng = random.Random(f"{plan_seed}:{site}")
+        self.rng_state = rng
+        self.op_count = 0
+        self.fired: dict[int, int] = {}  # rule index -> times fired
+
+
+class FaultPlan:
+    """Deterministic fault schedule + replayable trace.  Thread-safe."""
+
+    def __init__(self, seed: int, rules: list[FaultRule] | tuple = ()) -> None:
+        self.seed = int(seed)
+        self.rules = tuple(rules)
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise TypeError(f"rules must be FaultRule, got {type(rule).__name__}")
+        self._lock = threading.Lock()
+        self._sites: dict[str, _SiteStream] = {}  # guarded-by: self._lock
+        self._trace: list[FaultEvent] = []  # guarded-by: self._lock
+        self._seq = 0  # guarded-by: self._lock
+
+    # -- decisions -----------------------------------------------------------------------
+
+    def decide(self, site: str) -> FaultEvent | None:
+        """Consult the plan for one operation at ``site``; returns the
+        fault to inject (already recorded in the trace) or ``None``."""
+        with self._lock:
+            stream = self._sites.get(site)
+            if stream is None:
+                stream = self._sites[site] = _SiteStream(self.seed, site)
+            op_index = stream.op_count
+            stream.op_count += 1
+            for i, rule in enumerate(self.rules):
+                if not fnmatchcase(site, rule.site):
+                    continue
+                if op_index < rule.after:
+                    continue
+                fired = stream.fired.get(i, 0)
+                if rule.max_times is not None and fired >= rule.max_times:
+                    continue
+                # one draw per (matching rule, operation): the stream stays
+                # aligned whether or not earlier rules fired
+                draw = stream.rng_state.random()
+                if draw >= rule.prob:
+                    continue
+                stream.fired[i] = fired + 1
+                event = FaultEvent(
+                    seq=self._seq,
+                    site=site,
+                    op_index=op_index,
+                    kind=rule.kind,
+                    delay_s=rule.delay_s,
+                )
+                self._seq += 1
+                self._trace.append(event)
+                return event
+            return None
+
+    def corrupt_bytes(self, site: str, raw: bytes) -> bytes:
+        """Apply a ``corrupt``/``truncate``/``bitflip`` decision to a byte
+        payload (snapshot I/O seam); returns ``raw`` unchanged when the
+        plan decides not to fire."""
+        event = self.decide(site)
+        if event is None or not raw:
+            return raw
+        if event.kind in ("truncate", "corrupt"):
+            # deterministic cut/flip position derived from plan seed + seq
+            pos = zlib.crc32(f"{self.seed}:{event.seq}".encode()) % max(1, len(raw))
+            if event.kind == "truncate" or pos % 2 == 0:
+                return raw[: max(1, pos)]
+            flipped = bytearray(raw)
+            flipped[pos] ^= 0x40
+            return bytes(flipped)
+        if event.kind == "bitflip":
+            pos = zlib.crc32(f"{self.seed}:{event.seq}".encode()) % len(raw)
+            flipped = bytearray(raw)
+            flipped[pos] ^= 0x01
+            return bytes(flipped)
+        return raw
+
+    # -- the trace -----------------------------------------------------------------------
+
+    @property
+    def trace(self) -> list[FaultEvent]:
+        with self._lock:
+            return list(self._trace)
+
+    def trace_signature(self) -> list[tuple]:
+        """Order-independent, replay-comparable view of the trace: per-site
+        (op_index, kind) tuples sorted — identical across replays even when
+        thread interleaving reorders global sequence numbers."""
+        with self._lock:
+            return sorted(
+                (ev.site, ev.op_index, ev.kind, ev.delay_s) for ev in self._trace
+            )
+
+    def trace_jsonl(self) -> str:
+        """The trace as one JSON object per line (the CI chaos artifact)."""
+        with self._lock:
+            return "".join(json.dumps(ev.as_dict()) + "\n" for ev in self._trace)
+
+    def dump_trace(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.trace_jsonl())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, rules={len(self.rules)}, fired={len(self.trace)})"

@@ -27,7 +27,9 @@ Three behaviors define it:
 
 from __future__ import annotations
 
+import itertools
 import logging
+import os
 import socket
 import threading
 import time
@@ -36,7 +38,9 @@ from dataclasses import dataclass
 
 from ..core.memo_db import MemoDBStats, QueryOutcome
 from ..core.memo_shard import shard_of_location
+from ..faults import runtime as faults
 from ..obs import runtime as obs
+from .policy import RetryPolicy, seed_from_name
 from .wire import (
     MESSAGE_NAMES,
     MSG_ERROR,
@@ -45,6 +49,8 @@ from .wire import (
     MSG_INSERT,
     MSG_METRICS,
     MSG_METRICS_OK,
+    MSG_PING,
+    MSG_PING_OK,
     MSG_QUERY,
     MSG_QUERY_OK,
     MSG_SNAP_PULL,
@@ -71,6 +77,10 @@ __all__ = ["NetClientStats", "RemoteMemoClient", "TransportUnavailable"]
 
 log = logging.getLogger("repro.net.client")
 
+# distinguishes same-named client instances (two solvers sharing one tier)
+# in the insert-batch tags the server dedups replays by
+_instance_seq = itertools.count(1)
+
 
 class TransportUnavailable(ConnectionError):
     """The memo server cannot be reached (raised only with fail_open=False)."""
@@ -89,6 +99,9 @@ class NetClientStats:
     degraded_stats_pulls: int = 0
     pipelined_inserts: int = 0
     drained_acks: int = 0
+    retries: int = 0
+    replayed_insert_batches: int = 0
+    dropped_replays: int = 0
 
     def publish(self, **labels) -> None:
         """Register every counter as a ``net_client_<field>`` gauge.
@@ -132,6 +145,7 @@ class RemoteMemoClient:
         backoff_max_s: float = 5.0,
         max_inflight: int = 8,
         client_name: str = "memo-client",
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.address = parse_address(address)
         self.expect_tau = expect_tau
@@ -144,16 +158,35 @@ class RemoteMemoClient:
         self.backoff_max_s = backoff_max_s
         self.max_inflight = max_inflight
         self.client_name = client_name
+        self.retry_policy = retry_policy or RetryPolicy(
+            backoff_initial_s=backoff_initial_s, backoff_max_s=backoff_max_s
+        )
         self.net_stats = NetClientStats()  # guarded-by: self._lock
         self.server_info: dict | None = None
         self._n_shards = max(1, int(n_shards_hint))
+        # fault-injection site keyed by the client NAME, not host:port — the
+        # chaos suite replays plans across runs whose daemons sit on fresh
+        # ephemeral ports, and the per-site RNG streams must line up
+        self._fault_site = f"client:{client_name}"
+        # insert batches are tagged so the server can skip replayed
+        # duplicates (at-least-once wire delivery, at-most-once application)
+        self._batch_tag = f"{client_name}#{os.getpid()}.{next(_instance_seq)}"
+        self._insert_seq = 0  # guarded-by: self._lock
         self._lock = threading.RLock()
         self._sock: socket.socket | None = None  # guarded-by: self._lock
         self._reader: FrameReader | None = None  # guarded-by: self._lock
-        # request ids of unacked inserts
-        self._pending: deque[int] = deque()  # guarded-by: self._lock
+        # (request id, wire body) of unacked pipelined inserts — the body
+        # rides along so a dropped connection can replay them on reconnect
+        self._pending: deque[tuple[int, dict]] = deque()  # guarded-by: self._lock
+        # unacked insert bodies salvaged from a dropped connection
+        self._replay: list[dict] = []  # guarded-by: self._lock
         self._req_seq = 0  # guarded-by: self._lock
-        self._backoff = backoff_initial_s  # guarded-by: self._lock
+        # seeded decorrelated-jitter schedule: reproducible per client name,
+        # different across clients (no thundering herd on daemon restart)
+        backoff_seed = seed_from_name(
+            f"{client_name}@{self.address[0]}:{self.address[1]}"
+        )
+        self._backoff_state = self.retry_policy.backoff(backoff_seed)  # guarded-by: self._lock
         # monotonic deadline for the next connect try
         self._next_attempt = 0.0  # guarded-by: self._lock
         self._closed = False  # guarded-by: self._lock
@@ -190,13 +223,14 @@ class RemoteMemoClient:
         immediately — for callers that *know* the server just came back
         (tests, operator tooling) rather than waiting out the schedule."""
         with self._lock:
-            self._backoff = self.backoff_initial_s
+            self._backoff_state.reset()
             self._next_attempt = 0.0
 
     def close(self) -> None:
         with self._lock:
             self._closed = True
             self._drop_locked()
+            self._replay.clear()
 
     def __enter__(self) -> "RemoteMemoClient":
         return self
@@ -212,14 +246,36 @@ class RemoteMemoClient:
                 pass
         self._sock = None
         self._reader = None
+        if self._pending:
+            # salvage unacked insert bodies for replay on reconnect — the
+            # server may or may not have applied them; re-applying is safe
+            # (inserts are idempotent at the memo level: same key, same
+            # value) while dropping them silently cools the shared tier
+            self._replay.extend(body for _rid, body in self._pending)
+            cap = 4 * self.max_inflight
+            if len(self._replay) > cap:
+                dropped = len(self._replay) - cap
+                self._replay = self._replay[-cap:]
+                self.net_stats.dropped_replays += dropped
         self._pending.clear()
 
-    def _fail_locked(self, exc: Exception) -> None:
-        """Connection-level failure: drop the socket, arm the backoff."""
+    def _fail_locked(self, exc: Exception, arm_backoff: bool = True) -> None:
+        """Connection-level failure: drop the socket and — for failed
+        *connect* attempts — arm the backoff window (decorrelated jitter
+        under the hard cap, see RetryPolicy).  A dropped *established*
+        connection passes ``arm_backoff=False``: the server may be
+        perfectly healthy (a faulted frame, a reset), so the next request
+        reconnects immediately; only if that connect itself fails does the
+        window arm.  This is what keeps a recoverable fault from degrading
+        queries that a live server would have answered."""
         self._drop_locked()
         self.net_stats.connect_failures += 1
-        self._next_attempt = time.monotonic() + self._backoff
-        self._backoff = min(self._backoff * 2.0, self.backoff_max_s)
+        if arm_backoff:
+            self._next_attempt = time.monotonic() + self._backoff_state.next_delay(
+                self.backoff_initial_s, self.backoff_max_s
+            )
+        else:
+            self._next_attempt = 0.0
         if not self._outage_logged:
             log.warning(
                 "%s: memo server %s:%d unavailable (%s) — degrading to cold "
@@ -238,10 +294,12 @@ class RemoteMemoClient:
         if time.monotonic() < self._next_attempt:
             return False
         try:
+            faults.on_connect(self._fault_site)
             sock = socket.create_connection(self.address, timeout=self.connect_timeout)
         except OSError as exc:
             self._fail_locked(exc)
             return False
+        sock = faults.wrap_socket(sock, self._fault_site)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock.settimeout(self.connect_timeout)
@@ -282,9 +340,26 @@ class RemoteMemoClient:
         self._reader = reader
         self.server_info = body
         self._n_shards = max(1, int(body.get("n_shards", self._n_shards)))
-        self._backoff = self.backoff_initial_s
+        self._backoff_state.reset()
         self._outage_logged = False
         self.net_stats.connects += 1
+        if self._replay:
+            # re-transmit insert bodies that were in flight when the last
+            # connection died — this is what keeps a faulted run's tier
+            # identical to the fault-free run's (re-applying an already
+            # applied insert is harmless: same key, same value)
+            replay, self._replay = self._replay, []
+            for i, replay_body in enumerate(replay):
+                try:
+                    rid = self._send_locked(MSG_INSERT, replay_body)
+                except (OSError, ProtocolError) as exc:
+                    # _fail_locked salvages the already-sent bodies (they
+                    # sit in _pending); the unsent remainder goes back too
+                    self._fail_locked(exc, arm_backoff=False)
+                    self._replay.extend(replay[i:])
+                    return False
+                self._pending.append((rid, replay_body))
+                self.net_stats.replayed_insert_batches += 1
         return True
 
     def _check_server(self, info: dict) -> None:
@@ -333,7 +408,7 @@ class RemoteMemoClient:
         while True:
             msg_type, got_rid, body = self._reader.read_frame()
             if got_rid != rid:
-                if self._pending and got_rid == self._pending[0]:
+                if self._pending and got_rid == self._pending[0][0]:
                     self._pending.popleft()
                     self.net_stats.drained_acks += 1
                     if msg_type == MSG_ERROR:
@@ -348,58 +423,109 @@ class RemoteMemoClient:
 
     def _sync_request(self, msg_type: int, body, expect_type: int):
         """One synchronous round trip under the lock; transport failures
-        propagate as the underlying exception (callers decide fail-open)."""
+        propagate as the underlying exception (callers decide fail-open).
+
+        Failures on an *established* connection are retried under
+        ``retry_policy`` (reconnect after the jittered backoff window, up
+        to ``max_attempts`` within ``deadline_s``) — a mid-frame drop or a
+        recv timeout recovers transparently.  An initially unreachable
+        server is NOT retried here: that is the fail-open path, and the
+        backoff window already rations connect attempts."""
+        policy = self.retry_policy
         with self._lock:
             if not self._ensure_locked():
                 raise TransportUnavailable(
                     f"memo server {self.address[0]}:{self.address[1]} is "
                     "unreachable (backing off)"
                 )
-            t0 = time.monotonic()
-            try:
-                rid = self._send_locked(msg_type, body)
-                reply_type, reply = self._read_until_locked(rid)
-            except RemoteError:
-                raise  # the connection is fine; the request was rejected
-            except (OSError, ProtocolError) as exc:
-                self._fail_locked(exc)
-                raise
-            finally:
-                # wire round trip as seen by the caller (includes any
-                # pipelined-insert acks drained on the way to this reply)
-                obs.histogram(
-                    "net_client_request_seconds",
-                    type=MESSAGE_NAMES.get(msg_type, str(msg_type)),
-                ).observe(time.monotonic() - t0)
-            if reply_type != expect_type:
-                exc = MessageError(
-                    f"expected reply type {expect_type}, got {reply_type}"
-                )
-                self._fail_locked(exc)
-                raise exc
-            return reply
+            deadline = (
+                None
+                if policy.deadline_s is None
+                else time.monotonic() + policy.deadline_s
+            )
+            last_exc: Exception | None = None
+            for attempt in range(1, policy.max_attempts + 1):
+                if self._sock is None:
+                    # reconnect for a retry attempt: wait out the (short,
+                    # jittered) backoff window unless that blows the deadline
+                    delay = max(0.0, self._next_attempt - time.monotonic())
+                    if deadline is not None and time.monotonic() + delay > deadline:
+                        break
+                    if delay > 0:
+                        time.sleep(delay)
+                    self._next_attempt = 0.0
+                    if not self._ensure_locked():
+                        last_exc = TransportUnavailable(
+                            f"memo server {self.address[0]}:{self.address[1]} "
+                            "refused the retry reconnect"
+                        )
+                        continue
+                    self.net_stats.retries += 1
+                    obs.counter(
+                        "net_client_retries_total",
+                        type=MESSAGE_NAMES.get(msg_type, str(msg_type)),
+                    ).inc()
+                t0 = time.monotonic()
+                try:
+                    rid = self._send_locked(msg_type, body)
+                    reply_type, reply = self._read_until_locked(rid)
+                except RemoteError:
+                    raise  # the connection is fine; the request was rejected
+                except (OSError, ProtocolError) as exc:
+                    self._fail_locked(exc, arm_backoff=False)
+                    if attempt >= policy.max_attempts:
+                        raise
+                    last_exc = exc
+                    continue
+                finally:
+                    # wire round trip as seen by the caller (includes any
+                    # pipelined-insert acks drained on the way to this reply)
+                    obs.histogram(
+                        "net_client_request_seconds",
+                        type=MESSAGE_NAMES.get(msg_type, str(msg_type)),
+                    ).observe(time.monotonic() - t0)
+                if reply_type != expect_type:
+                    exc = MessageError(
+                        f"expected reply type {expect_type}, got {reply_type}"
+                    )
+                    self._fail_locked(exc, arm_backoff=False)
+                    raise exc
+                return reply
+            raise last_exc if last_exc is not None else TransportUnavailable(
+                f"memo server {self.address[0]}:{self.address[1]}: "
+                f"{policy.max_attempts} attempts exhausted"
+            )
 
     def _drain_one_locked(self) -> None:
         """Block until the oldest pipelined insert is acknowledged."""
-        rid = self._pending[0]
+        rid = self._pending[0][0]
         try:
             self._read_until_locked(rid)
         except RemoteError as exc:
             log.warning("pipelined insert %d rejected: %s", rid, exc)
-        if self._pending and self._pending[0] == rid:
+        if self._pending and self._pending[0][0] == rid:
             self._pending.popleft()
             self.net_stats.drained_acks += 1
 
     def flush(self) -> None:
-        """Drain every outstanding pipelined insert acknowledgement."""
+        """Drain every outstanding pipelined insert acknowledgement.  With
+        ``fail_open=False`` an undrainable connection raises (the replicated
+        tier uses that to mark the replica dirty for resync); fail-open
+        callers just lose the acks, like every other degraded path."""
         with self._lock:
             if self._sock is None:
+                if self._replay and not self.fail_open:
+                    raise TransportUnavailable(
+                        f"{len(self._replay)} unacked insert batches await replay"
+                    )
                 return
             try:
                 while self._pending:
                     self._drain_one_locked()
             except (OSError, ProtocolError) as exc:
-                self._fail_locked(exc)
+                self._fail_locked(exc, arm_backoff=False)
+                if not self.fail_open:
+                    raise
 
     # -- the batched memo service surface ------------------------------------------------
 
@@ -445,15 +571,23 @@ class RemoteMemoClient:
         if not inserts:
             return []
         with self._lock:
+            # serialized (and tagged) up front so a mid-transmission failure
+            # can still park the exact batch for replay — losing it would
+            # cool the shared tier and make a faulted run's hit/miss
+            # decisions diverge from fault-free; the tag lets the server
+            # skip the replay if the original actually arrived
+            self._insert_seq += 1
+            wire_body = {
+                "inserts": inserts_to_wire(inserts),
+                "batch": f"{self._batch_tag}:{self._insert_seq}",
+            }
             try:
                 if not self._ensure_locked():
                     raise TransportUnavailable("backing off")
                 while len(self._pending) >= self.max_inflight:
                     self._drain_one_locked()
-                rid = self._send_locked(
-                    MSG_INSERT, {"inserts": inserts_to_wire(inserts)}
-                )
-                self._pending.append(rid)
+                rid = self._send_locked(MSG_INSERT, wire_body)
+                self._pending.append((rid, wire_body))
                 self.net_stats.pipelined_inserts += len(inserts)
             except (VersionMismatch, RemoteError):
                 raise
@@ -463,12 +597,35 @@ class RemoteMemoClient:
                 self.net_stats.degraded_insert_batches += 1
                 obs.counter("net_client_degraded_total", kind="insert_batch").inc()
             except (OSError, ProtocolError) as exc:
-                self._fail_locked(exc)
+                self._fail_locked(exc, arm_backoff=False)
+                # the batch was never acknowledged: park it so the next
+                # reconnect replays it (idempotent server-side)
+                self._replay.append(wire_body)
+                cap = 4 * self.max_inflight
+                if len(self._replay) > cap:
+                    self._replay = self._replay[-cap:]
+                    self.net_stats.dropped_replays += 1
                 if not self.fail_open:
                     raise
                 self.net_stats.degraded_insert_batches += 1
                 obs.counter("net_client_degraded_total", kind="insert_batch").inc()
         return [-1] * len(inserts)
+
+    # -- liveness ------------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """One MSG_PING/MSG_PING_OK heartbeat round trip.  ``True`` means
+        the server answered; ``False`` (fail-open) that it is unreachable.
+        Deterministic rejections raise, like every other request."""
+        try:
+            reply = self._sync_request(MSG_PING, {}, MSG_PING_OK)
+            return isinstance(reply, dict)
+        except (VersionMismatch, RemoteError):
+            raise
+        except (OSError, ProtocolError):
+            if not self.fail_open:
+                raise
+            return False
 
     # -- statistics ----------------------------------------------------------------------
 

@@ -40,6 +40,7 @@ from ..core.config import MemoConfig
 from ..core.memo_db import MemoDatabase
 from ..core.memo_engine import make_db_factory, memo_state_partitions
 from ..core.memo_shard import MemoShardRouter
+from ..faults import runtime as faults
 from ..obs import runtime as obs
 from .wire import (
     MESSAGE_NAMES,
@@ -50,6 +51,8 @@ from .wire import (
     MSG_INSERT_OK,
     MSG_METRICS,
     MSG_METRICS_OK,
+    MSG_PING,
+    MSG_PING_OK,
     MSG_QUERY,
     MSG_QUERY_OK,
     MSG_SNAP_PULL,
@@ -61,11 +64,13 @@ from .wire import (
     PROTOCOL_VERSION,
     ConnectionClosed,
     FrameReader,
+    FrameTimeout,
     MessageError,
     ProtocolError,
     VersionMismatch,
     inserts_from_wire,
     outcomes_to_wire,
+    parse_address_list,
     queries_from_wire,
     send_frame,
     stats_to_wire,
@@ -98,6 +103,10 @@ class ServerStats:
     protocol_errors: int = 0
     app_errors: int = 0
     snapshots_persisted: int = 0
+    pings: int = 0
+    idle_reaped: int = 0
+    snapshots_quarantined: int = 0
+    duplicate_insert_batches: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -114,6 +123,10 @@ class ServerStats:
             "protocol_errors": self.protocol_errors,
             "app_errors": self.app_errors,
             "snapshots_persisted": self.snapshots_persisted,
+            "pings": self.pings,
+            "idle_reaped": self.idle_reaped,
+            "snapshots_quarantined": self.snapshots_quarantined,
+            "duplicate_insert_batches": self.duplicate_insert_batches,
         }
 
     def publish(self, **labels) -> None:
@@ -145,7 +158,10 @@ class MemoServerDaemon:
         snapshot_interval_s: float | None = None,
         name: str = "memo-server",
         max_payload: int | None = None,
+        idle_timeout_s: float | None = None,
     ) -> None:
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ValueError(f"idle_timeout_s must be positive, got {idle_timeout_s}")
         self.memo = memo or MemoConfig()
         self.name = name
         self.router = MemoShardRouter(n_shards, make_db_factory(self.memo))
@@ -153,6 +169,9 @@ class MemoServerDaemon:
         self.snapshot_path = os.fspath(snapshot_path) if snapshot_path else None
         self.snapshot_interval_s = snapshot_interval_s
         self._max_payload = max_payload
+        #: reap a connection that sends nothing for this long (None = never);
+        #: clients heartbeat with MSG_PING to stay alive across quiet spans
+        self.idle_timeout_s = idle_timeout_s
         self._lock = threading.Lock()
         # provenance of the stored keys
         self._encoder_fp: dict | None = None  # guarded-by: self._lock
@@ -161,6 +180,14 @@ class MemoServerDaemon:
         self._stop = threading.Event()
         self._conns: dict[int, socket.socket] = {}  # guarded-by: self._lock
         self._conn_seq = 0  # guarded-by: self._lock
+        # recently applied insert-batch tags (dict as FIFO set): a client
+        # that lost the ack replays the batch on reconnect — at-least-once
+        # delivery on the wire, at-most-once application here.  Without
+        # this, a replayed batch double-inserts its keys and the duplicate
+        # keys perturb index training, so a faulted run's miss
+        # similarities drift off the fault-free run's.
+        self._applied_batches: dict[str, None] = {}  # guarded-by: self._lock
+        self._dedup_window = 4096
         # one worker thread per shard: cross-shard concurrency, within-shard
         # serialization — snapshot/stat reads run on the same threads, so
         # they always observe a shard at a batch boundary
@@ -246,7 +273,7 @@ class MemoServerDaemon:
     # -- persistence ---------------------------------------------------------------------
 
     def _load_boot_snapshot(self) -> None:
-        from ..service.snapshot import SnapshotError, read_snapshot
+        from ..service.snapshot import SnapshotError, quarantine_snapshot, read_snapshot
 
         manifest = os.path.join(self.snapshot_path, "manifest.json")
         if not os.path.isfile(manifest):
@@ -254,7 +281,18 @@ class MemoServerDaemon:
         try:
             tree = read_snapshot(self.snapshot_path, expect_kind="memo-state")
         except SnapshotError as exc:
-            log.warning("boot snapshot at %s unusable: %s", self.snapshot_path, exc)
+            # a corrupt snapshot must neither kill the daemon nor be
+            # overwritten by the next periodic save: move it aside
+            # (<path>.corrupt) and cold-start
+            quarantined = quarantine_snapshot(self.snapshot_path)
+            with self._lock:
+                self.stats.snapshots_quarantined += 1
+            obs.counter("snapshot_quarantined_total", where="server-boot").inc()
+            log.warning(
+                "boot snapshot at %s unusable (%s) — quarantined to %s, "
+                "starting cold",
+                self.snapshot_path, exc, quarantined,
+            )
             return
         self._check_push(tree)
         self.router.load_state(tree)
@@ -293,6 +331,16 @@ class MemoServerDaemon:
         groups: dict[int, list[int]] = {}
         for i, item in enumerate(items):
             groups.setdefault(self.router.shard_of(item.location), []).append(i)
+        if faults.installed():
+            inner = service
+
+            def stalled(sid: int, group: list):
+                # slow-shard injection point: the stall runs on the shard's
+                # own worker thread, so one slow shard delays only its group
+                faults.maybe_stall(f"server:{self.name}:shard{sid}")
+                return inner(sid, group)
+
+            service = stalled
         if obs.enabled():
             def timed(sid: int, group: list):
                 t0 = time.monotonic()
@@ -445,6 +493,43 @@ class MemoServerDaemon:
         self._remember_encoder(tree)
         return len(partitions)
 
+    def resync_from(self, peers) -> int:
+        """Anti-entropy resync: pull a peer replica's merged tier and merge
+        it into this daemon (partition-level union, peer's partitions win
+        for conflicts — the rejoining side is the stale one by definition).
+
+        ``peers`` is anything :func:`parse_address_list` accepts; peers are
+        tried in order and the first reachable one is used.  Returns the
+        number of partitions installed (0 when every peer is down or the
+        first reachable peer is cold — a rejoin must come up regardless)."""
+        from .client import RemoteMemoClient
+
+        installed = 0
+        for host, port in parse_address_list(peers):
+            if (host, port) == tuple(self.address):
+                continue  # resyncing from ourselves is a no-op
+            try:
+                with RemoteMemoClient(
+                    (host, port),
+                    expect_tau=self.memo.tau,
+                    expect_value_mode=self.memo.db_value_mode,
+                    fail_open=False,
+                    client_name=f"{self.name}-resync",
+                ) as peer_client:
+                    tree = peer_client.state_dict()
+            except (OSError, ProtocolError) as exc:
+                log.info("resync peer %s:%d unreachable: %s", host, port, exc)
+                continue
+            if memo_state_partitions(tree) or tree.get("encoder_state"):
+                installed = self.push_state(tree)
+            log.info(
+                "resynced %d partitions from peer %s:%d", installed, host, port
+            )
+            obs.counter("net_server_resync_total", server=self.name).inc()
+            return installed
+        log.info("%s: no reachable resync peer — serving cold", self.name)
+        return 0
+
     def serve_metrics(self) -> dict:
         """The daemon's observability view: its own traffic counters plus a
         full registry snapshot (request/shard latency histograms included
@@ -515,6 +600,12 @@ class MemoServerDaemon:
 
     def _serve_connection(self, conn: socket.socket, conn_id: int, peer) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self.idle_timeout_s is not None:
+            # a hung or vanished peer can then never park this handler (or,
+            # through a blocking read, a shard worker) forever: the recv
+            # deadline turns silence into a FrameTimeout we reap below
+            conn.settimeout(self.idle_timeout_s)
+        conn = faults.wrap_socket(conn, f"server:{self.name}:conn{conn_id}")
         reader = (
             FrameReader(conn)
             if self._max_payload is None
@@ -548,6 +639,16 @@ class MemoServerDaemon:
                     conn=conn_id,
                 ).observe(time.monotonic() - t0)
                 send_frame(conn, reply_type, request_id, reply)
+        except FrameTimeout as exc:
+            # idle-connection reaping: quiet-between-frames is an expected
+            # liveness event (the client reconnects on demand), mid-frame
+            # silence is logged like any poisoned stream
+            with self._lock:
+                self.stats.idle_reaped += 1
+            obs.counter("net_server_idle_reaped_total", server=self.name).inc()
+            if exc.mid_frame:
+                log.info("connection %d (%s): reaped %s", conn_id, peer, exc)
+            self._bail(conn, exc)
         except ProtocolError as exc:
             with self._lock:
                 self.stats.protocol_errors += 1
@@ -626,6 +727,20 @@ class MemoServerDaemon:
             return MSG_QUERY_OK, {"outcomes": outcomes_to_wire(outcomes)}
         if msg_type == MSG_INSERT:
             self.check_client_encoder(conn_fp, pin=True)  # first data pins
+            batch_tag = body.get("batch") if isinstance(body, dict) else None
+            if batch_tag is not None:
+                with self._lock:
+                    if batch_tag in self._applied_batches:
+                        self.stats.duplicate_insert_batches += 1
+                        obs.counter(
+                            "net_server_duplicate_batches_total", server=self.name
+                        ).inc()
+                        return MSG_INSERT_OK, {"ids": [], "duplicate": True}
+                    # reserve before applying: a replay racing the original
+                    # connection's in-flight application must not apply twice
+                    self._applied_batches[str(batch_tag)] = None
+                    while len(self._applied_batches) > self._dedup_window:
+                        self._applied_batches.pop(next(iter(self._applied_batches)))
             inserts = inserts_from_wire(self._body_field(body, "inserts"))
             ids = self.serve_insert_batch(inserts)
             with self._lock:
@@ -651,6 +766,10 @@ class MemoServerDaemon:
             with self._lock:
                 self.stats.metrics_pulls += 1
             return MSG_METRICS_OK, self.serve_metrics()
+        if msg_type == MSG_PING:
+            with self._lock:
+                self.stats.pings += 1
+            return MSG_PING_OK, {"server": self.name}
         raise MessageError(f"unknown request type {msg_type}")
 
 
@@ -695,9 +814,23 @@ def main(argv=None) -> int:
         "--metrics-dump", default=None, metavar="HOST:PORT",
         help="fetch a running server's metrics, print Prometheus text, exit",
     )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="reap connections idle longer than this (clients heartbeat "
+             "with MSG_PING; default: never reap)",
+    )
+    parser.add_argument(
+        "--peer", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+        help="replica peer(s) to anti-entropy resync from at boot "
+             "(first reachable peer wins; unreachable peers are skipped)",
+    )
     args = parser.parse_args(argv)
     if args.metrics_dump is not None:
         return _metrics_dump(args.metrics_dump)
+    if args.peer is not None:
+        # fail fast on a malformed list (the error names the bad element)
+        # before binding a port the operator then has to clean up
+        parse_address_list(args.peer)
     logging.basicConfig(level=logging.INFO, format="%(asctime)s %(name)s %(message)s")
     daemon = MemoServerDaemon(
         host=args.host,
@@ -706,7 +839,13 @@ def main(argv=None) -> int:
         memo=MemoConfig(tau=args.tau, db_value_mode=args.value_mode),
         snapshot_path=args.snapshot,
         snapshot_interval_s=args.snapshot_interval if args.snapshot else None,
+        idle_timeout_s=args.idle_timeout,
     )
+    if args.peer is not None:
+        try:
+            daemon.resync_from(args.peer)
+        except Exception as exc:  # noqa: BLE001 — a failed resync must not kill boot
+            log.warning("peer resync failed (%s) — serving with local state", exc)
     host, port = daemon.address
     log.info(
         "memo server listening on %s:%d (%d shards, tau=%g, %s values)",

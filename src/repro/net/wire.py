@@ -57,11 +57,15 @@ __all__ = [
     "MSG_SNAP_PULL_OK",
     "MSG_METRICS",
     "MSG_METRICS_OK",
+    "MSG_PING",
+    "MSG_PING_OK",
+    "MSG_PONG",
     "MSG_ERROR",
     "MESSAGE_NAMES",
     "ProtocolError",
     "FrameError",
     "TruncatedFrame",
+    "FrameTimeout",
     "ChecksumError",
     "MessageError",
     "VersionMismatch",
@@ -73,6 +77,7 @@ __all__ = [
     "send_frame",
     "FrameReader",
     "parse_address",
+    "parse_address_list",
     "queries_to_wire",
     "queries_from_wire",
     "inserts_to_wire",
@@ -107,7 +112,12 @@ MSG_SNAP_PULL = 11
 MSG_SNAP_PULL_OK = 12
 MSG_METRICS = 13
 MSG_METRICS_OK = 14
+MSG_PING = 15
+MSG_PING_OK = 16
 MSG_ERROR = 255
+
+#: heartbeats read better as ping/pong; the pong *is* the ping's ok-reply
+MSG_PONG = MSG_PING_OK
 
 MESSAGE_NAMES = {
     MSG_HELLO: "hello",
@@ -124,6 +134,8 @@ MESSAGE_NAMES = {
     MSG_SNAP_PULL_OK: "snapshot_pull_ok",
     MSG_METRICS: "metrics",
     MSG_METRICS_OK: "metrics_ok",
+    MSG_PING: "ping",
+    MSG_PING_OK: "pong",
     MSG_ERROR: "error",
 }
 
@@ -141,6 +153,19 @@ class FrameError(ProtocolError):
 
 class TruncatedFrame(ProtocolError):
     """The stream ended (or errored) in the middle of a frame."""
+
+
+class FrameTimeout(ProtocolError):
+    """The socket's recv deadline expired while waiting for frame bytes.
+
+    Carries ``mid_frame``: ``False`` means the peer simply went quiet
+    between frames (idle — the server reaps such connections), ``True``
+    means it hung *inside* a frame, which poisons the stream exactly like
+    a truncation would."""
+
+    def __init__(self, message: str, mid_frame: bool = False) -> None:
+        super().__init__(message)
+        self.mid_frame = mid_frame
 
 
 class ChecksumError(ProtocolError):
@@ -368,6 +393,17 @@ class FrameReader:
         while len(self._buf) < n:
             try:
                 chunk = self._sock.recv(1 << 18)
+            except TimeoutError as exc:
+                # a recv deadline expiring is a *liveness* signal, not a
+                # malformed stream: between frames it means the peer is idle
+                # (reapable), inside one it means the peer hung mid-message
+                mid = started or bool(self._buf)
+                raise FrameTimeout(
+                    f"recv deadline expired "
+                    f"{'mid-frame' if mid else 'between frames'} "
+                    f"({len(self._buf)}/{n} bytes buffered)",
+                    mid_frame=mid,
+                ) from exc
             except OSError as exc:
                 raise TruncatedFrame(f"connection lost mid-frame: {exc}") from exc
             if not chunk:
@@ -551,3 +587,46 @@ def parse_address(address) -> tuple[str, int]:
     raise ValueError(
         f"expected 'host:port' or a (host, port) pair, got {address!r}"
     )
+
+
+def parse_address_list(addresses) -> list[tuple[str, int]]:
+    """Normalize every accepted replica-list spelling into address pairs.
+
+    Accepts a single ``"host:port"`` string, a comma-separated
+    ``"h1:p1,h2:p2"`` string, one ``(host, port)`` pair, or a list/tuple
+    mixing any single-address form.  Validation errors name the element
+    that failed, so ``--server a:1,b`` reports ``'b'``, not the whole
+    list.  Duplicate addresses are rejected: a replica set with the same
+    endpoint twice silently halves its real redundancy."""
+    if isinstance(addresses, str):
+        items = [part.strip() for part in addresses.split(",") if part.strip()]
+        if not items:
+            raise ValueError(f"empty address list {addresses!r}")
+    elif isinstance(addresses, (tuple, list)):
+        if (
+            len(addresses) == 2
+            and isinstance(addresses[0], str)
+            and isinstance(addresses[1], int)
+        ):
+            items = [addresses]  # one (host, port) pair, not two addresses
+        else:
+            items = list(addresses)
+            if not items:
+                raise ValueError("empty address list")
+    else:
+        raise ValueError(
+            f"expected an address or list of addresses, got {addresses!r}"
+        )
+    parsed: list[tuple[str, int]] = []
+    for item in items:
+        try:
+            addr = parse_address(item)
+        except ValueError as exc:
+            raise ValueError(f"bad address element {item!r}: {exc}") from None
+        if addr in parsed:
+            raise ValueError(
+                f"duplicate address element {item!r} — each replica must be a "
+                "distinct endpoint"
+            )
+        parsed.append(addr)
+    return parsed

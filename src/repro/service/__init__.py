@@ -25,6 +25,7 @@ from .snapshot import (
     load_encoder,
     load_index,
     load_memo_snapshot,
+    quarantine_snapshot,
     read_snapshot,
     save_database,
     save_encoder,
@@ -52,6 +53,7 @@ __all__ = [
     "load_encoder",
     "load_index",
     "load_memo_snapshot",
+    "quarantine_snapshot",
     "read_snapshot",
     "save_database",
     "save_encoder",

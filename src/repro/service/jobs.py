@@ -85,6 +85,13 @@ class JobSpec:
         submit time).
     priority:
         Larger runs earlier; ties break FIFO by submission order.
+    max_retries:
+        How many times a *failed* attempt is re-run before the job goes
+        ``failed`` (0 = the historical run-once behavior).  Retried jobs
+        keep one event log across attempts (each retry appends a ``retry``
+        event) and re-seed from the shared memo tier, so work the failed
+        attempt already inserted is not recomputed.  Cancellation is never
+        retried.
     """
 
     name: str
@@ -94,6 +101,7 @@ class JobSpec:
     admm: ADMMConfig | None = None
     priority: int = 0
     u0: np.ndarray | None = None
+    max_retries: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -117,6 +125,14 @@ class JobSpec:
             )
         if isinstance(self.priority, bool) or not isinstance(self.priority, int):
             raise ValueError(f"priority must be an int, got {self.priority!r}")
+        if (
+            isinstance(self.max_retries, bool)
+            or not isinstance(self.max_retries, int)
+            or self.max_retries < 0
+        ):
+            raise ValueError(
+                f"max_retries must be an int >= 0, got {self.max_retries!r}"
+            )
 
     def materialize(self) -> np.ndarray:
         """Resolve the projections source (runs the callable, if any)."""

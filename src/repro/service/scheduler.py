@@ -79,18 +79,20 @@ class ServiceConfig:
         Where the shared memo tier lives.  ``"inproc"`` (default) holds it
         in this scheduler's memory; ``"tcp"`` backs it with a
         :class:`~repro.net.server.MemoServerDaemon` at ``memo_server``
-        (``"host:port"`` or ``(host, port)``) through a
+        (``"host:port"``, ``(host, port)``, a comma-separated replica list
+        or a list of addresses) through a
         :class:`~repro.net.snapshot_store.RemoteSnapshotStore`, so
         schedulers on *different hosts* seed from and absorb into one
-        tier.  The store is fail-open: an unreachable daemon means cold
-        seeds and dropped absorbs, never failed jobs.
+        tier.  The store is fail-open: a daemon that stays unreachable
+        past the store's retry policy means cold seeds and dropped
+        absorbs, never failed jobs.
     """
 
     n_workers: int = 2
     max_queue_depth: int | None = None
     share_memo: bool = True
     memo_transport: str = "inproc"
-    memo_server: str | tuple | None = None
+    memo_server: str | tuple | list | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -104,8 +106,12 @@ class ServiceConfig:
                 f"memo_transport must be 'inproc' or 'tcp', got "
                 f"{self.memo_transport!r}"
             )
-        if self.memo_transport == "tcp" and self.memo_server is None:
-            raise ValueError("memo_transport='tcp' requires a memo_server address")
+        if self.memo_transport == "tcp":
+            if self.memo_server is None:
+                raise ValueError("memo_transport='tcp' requires a memo_server address")
+            from ..net.wire import parse_address_list
+
+            parse_address_list(self.memo_server)  # fail fast, naming bad elements
 
 
 @dataclass
@@ -402,12 +408,56 @@ class ReconstructionScheduler:
             raise JobCancelled(handle.spec.name)
 
     def _execute(self, handle: JobHandle) -> None:
+        """Run one claimed job, retrying failed attempts up to the spec's
+        ``max_retries``.  The handle — and with it the event log — spans
+        every attempt, each retry re-seeds from the shared tier (so the
+        failed attempt's absorbed-or-inserted work carries forward), and
+        cancellation is honored immediately, never retried."""
+        spec = handle.spec
+        last_exc: BaseException | None = None
+        for attempt in range(spec.max_retries + 1):
+            if attempt:
+                handle._add_event(
+                    "retry",
+                    f"attempt {attempt + 1}/{spec.max_retries + 1} after "
+                    f"{type(last_exc).__name__}",
+                )
+                obs.counter("job_retries_total", job=spec.name).inc()
+            try:
+                self._run_attempt(handle)
+                return
+            except JobCancelled:
+                handle._finish(JobState.CANCELLED, "cancelled while running")
+                with self._cond:
+                    self.stats.cancelled += 1
+                return
+            except BaseException as exc:  # noqa: BLE001 — job isolation boundary
+                last_exc = exc
+                handle.error = exc
+                if attempt >= spec.max_retries:
+                    handle._finish(JobState.FAILED, f"{type(exc).__name__}: {exc}")
+                    with self._cond:
+                        self.stats.failed += 1
+                    return
+                handle._add_event(
+                    "attempt_failed", f"{type(exc).__name__}: {exc}"
+                )
+
+    def _run_attempt(self, handle: JobHandle) -> None:
+        """One solver construction + reconstruction + absorb cycle."""
         spec = handle.spec
         solver = None
         try:
             d = spec.materialize()
             self._check_cancel(handle)
             solver = MLRSolver(spec.geometry, spec.config, admm=spec.admm)
+            if solver.snapshot_quarantined:
+                # the job's requested warm-start snapshot was corrupt; the
+                # solver quarantined it and started cold — record it where
+                # operators look first (the job's own event log)
+                handle._add_event(
+                    "snapshot_quarantined", str(spec.config.memo_snapshot)
+                )
             # an explicit per-job snapshot (already loaded by the solver)
             # takes precedence over the shared tier — seeding on top would
             # overwrite the partitions the user asked for
@@ -421,6 +471,7 @@ class ReconstructionScheduler:
                     handle._add_event(
                         "seed_failed", f"{type(exc).__name__}: {exc}"
                     )
+                    obs.counter("job_seed_failed_total", job=spec.name).inc()
                     seeded = False
                 if seeded:
                     handle._add_event(
@@ -453,15 +504,6 @@ class ReconstructionScheduler:
             handle._finish(JobState.DONE)
             with self._cond:
                 self.stats.completed += 1
-        except JobCancelled:
-            handle._finish(JobState.CANCELLED, "cancelled while running")
-            with self._cond:
-                self.stats.cancelled += 1
-        except BaseException as exc:  # noqa: BLE001 — job isolation boundary
-            handle.error = exc
-            handle._finish(JobState.FAILED, f"{type(exc).__name__}: {exc}")
-            with self._cond:
-                self.stats.failed += 1
         finally:
             if solver is not None:
                 solver.close()

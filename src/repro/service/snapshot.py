@@ -37,7 +37,9 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import logging
 import os
+import zipfile
 
 import numpy as np
 
@@ -46,6 +48,7 @@ from ..ann.hnsw import HNSWIndex
 from ..ann.ivf import IVFFlatIndex
 from ..core.keying import CNNKeyEncoder
 from ..core.memo_db import MemoDatabase
+from ..faults import runtime as faults
 
 __all__ = [
     "SNAPSHOT_FORMAT",
@@ -53,6 +56,7 @@ __all__ = [
     "SnapshotError",
     "write_snapshot",
     "read_snapshot",
+    "quarantine_snapshot",
     "save_memo_snapshot",
     "load_memo_snapshot",
     "install_memo_state",
@@ -63,6 +67,8 @@ __all__ = [
     "save_encoder",
     "load_encoder",
 ]
+
+log = logging.getLogger("repro.service.snapshot")
 
 SNAPSHOT_FORMAT = "mlr-snapshot"
 SNAPSHOT_VERSION = 1
@@ -148,6 +154,37 @@ def _load_array(name: str, arrays, meta: dict, verify: bool) -> np.ndarray:
     return arr
 
 
+def _write_durable(target: str, raw: bytes) -> None:
+    """Crash-safe file publish: write to a unique temp sibling, fsync the
+    data, atomically replace, then fsync the directory so the rename itself
+    survives power loss.  A crash at any point leaves either the old file
+    or no file — never a torn one."""
+    directory = os.path.dirname(target) or "."
+    tmp = f"{target}.tmp.{os.getpid()}"
+    fh = open(tmp, "wb")
+    try:
+        fh.write(raw)
+        fh.flush()
+        os.fsync(fh.fileno())
+    finally:
+        fh.close()
+    try:
+        os.replace(tmp, target)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # some filesystems reject directory fsync; best effort
+        pass
+    finally:
+        os.close(dir_fd)
+
+
 def write_snapshot(path, tree: dict, kind: str) -> dict:
     """Persist one state tree under ``path`` (a directory, created as
     needed); returns the manifest written alongside the arrays."""
@@ -169,28 +206,36 @@ def write_snapshot(path, tree: dict, kind: str) -> dict:
         },
         "tree": packed,
     }
-    # write-then-rename so a crashed save never masquerades as a snapshot
-    tmp = os.path.join(path, _ARRAYS + ".tmp")
     buf = io.BytesIO()
     np.savez_compressed(buf, **arrays)
-    with open(tmp, "wb") as fh:
-        fh.write(buf.getvalue())
-    os.replace(tmp, os.path.join(path, _ARRAYS))
-    tmp = os.path.join(path, _MANIFEST + ".tmp")
-    with open(tmp, "w") as fh:
-        json.dump(manifest, fh, indent=1)
-    os.replace(tmp, os.path.join(path, _MANIFEST))
+    # arrays land first: a crash between the two writes leaves the OLD
+    # manifest pointing at old arrays (stale-but-consistent) or — on a
+    # fresh directory — no manifest at all, which reads as "no snapshot"
+    arrays_raw = faults.on_snapshot_write(str(path), buf.getvalue())
+    _write_durable(os.path.join(path, _ARRAYS), arrays_raw)
+    manifest_raw = json.dumps(manifest, indent=1).encode("utf-8")
+    manifest_raw = faults.on_snapshot_write(f"{path}:{_MANIFEST}", manifest_raw)
+    _write_durable(os.path.join(path, _MANIFEST), manifest_raw)
     return manifest
 
 
 def read_snapshot(path, expect_kind: str | None = None, verify: bool = True) -> dict:
     """Load a state tree written by :func:`write_snapshot`, verifying the
-    format version, per-array dtype/shape metadata, and content checksums."""
+    format version, per-array dtype/shape metadata, and content checksums.
+    Every way a snapshot can be broken — missing files, undecodable JSON,
+    a torn npz, checksum drift — surfaces as :class:`SnapshotError`."""
     manifest_path = os.path.join(path, _MANIFEST)
     if not os.path.isfile(manifest_path):
         raise SnapshotError(f"no snapshot at {path!r} (missing {_MANIFEST})")
-    with open(manifest_path) as fh:
-        manifest = json.load(fh)
+    try:
+        with open(manifest_path, "rb") as fh:
+            manifest_raw = fh.read()
+        manifest_raw = faults.on_snapshot_read(f"{path}:{_MANIFEST}", manifest_raw)
+        manifest = json.loads(manifest_raw.decode("utf-8"))
+    except (OSError, ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotError(f"unreadable manifest at {path!r}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise SnapshotError(f"manifest at {path!r} is not a JSON object")
     if manifest.get("format") != SNAPSHOT_FORMAT:
         raise SnapshotError(f"not an mLR snapshot: format {manifest.get('format')!r}")
     if manifest.get("version") != SNAPSHOT_VERSION:
@@ -202,9 +247,42 @@ def read_snapshot(path, expect_kind: str | None = None, verify: bool = True) -> 
         raise SnapshotError(
             f"snapshot kind {manifest.get('kind')!r}, expected {expect_kind!r}"
         )
-    with np.load(os.path.join(path, _ARRAYS)) as npz:
-        arrays = {name: npz[name] for name in npz.files}
-    return _unpack(manifest["tree"], arrays, manifest["arrays"], verify)
+    arrays_path = os.path.join(path, _ARRAYS)
+    try:
+        with open(arrays_path, "rb") as fh:
+            arrays_raw = fh.read()
+        arrays_raw = faults.on_snapshot_read(str(path), arrays_raw)
+        with np.load(io.BytesIO(arrays_raw)) as npz:
+            arrays = {name: npz[name] for name in npz.files}
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError) as exc:
+        raise SnapshotError(f"unreadable arrays at {arrays_path!r}: {exc}") from exc
+    try:
+        return _unpack(manifest["tree"], arrays, manifest["arrays"], verify)
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise SnapshotError(f"malformed snapshot tree at {path!r}: {exc!r}") from exc
+
+
+def quarantine_snapshot(path) -> str | None:
+    """Move a corrupt snapshot directory (or file) aside as ``<path>.corrupt``
+    so the next boot cold-starts instead of tripping on it again; the evidence
+    stays on disk for inspection.  Returns the quarantine path, or ``None``
+    when there was nothing to move.  Never raises — quarantine runs on error
+    paths where a second failure must not mask the first."""
+    path = str(path)
+    if not os.path.exists(path):
+        return None
+    dest = f"{path}.corrupt"
+    n = 1
+    while os.path.exists(dest):
+        n += 1
+        dest = f"{path}.corrupt.{n}"
+    try:
+        os.replace(path, dest)
+    except OSError as exc:
+        log.warning("could not quarantine snapshot %s: %s", path, exc)
+        return None
+    log.warning("quarantined corrupt snapshot %s -> %s", path, dest)
+    return dest
 
 
 # -- memoization-tier snapshots ----------------------------------------------------------

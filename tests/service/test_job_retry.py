@@ -1,0 +1,187 @@
+"""Scheduler-level job retry under the unified retry policy semantics.
+
+``JobSpec(max_retries=N)``: a failed attempt is retried up to N times on
+the same handle — one event log spanning every attempt, each retry
+re-seeding from the shared tier so earlier work carries forward — while
+cancellation stays terminal (never retried) and the final failure keeps
+the original exception.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import MemoConfig, MLRConfig, MLRSolver
+from repro.lamino import LaminoGeometry, brain_like, simulate_data
+from repro.obs import ObsConfig
+from repro.obs import runtime as obs
+from repro.service import (
+    JobSpec,
+    JobState,
+    ReconstructionScheduler,
+    ServiceConfig,
+)
+from repro.solvers import ADMMConfig
+
+WAIT = 120.0
+MEMO = dict(tau=0.9, warmup_iterations=1, index_train_min=8,
+            index_clusters=4, index_nprobe=2)
+ADMM = ADMMConfig(n_outer=2, n_inner=2, step_max_rel=4.0)
+
+
+@pytest.fixture(autouse=True)
+def pristine_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture(scope="module")
+def problem():
+    n = 12
+    geometry = LaminoGeometry((n, n, n), n_angles=8, det_shape=(n, n), tilt_deg=61.0)
+    data = simulate_data(brain_like(geometry.vol_shape, seed=7), geometry,
+                         noise_level=0.02, seed=1)
+    return geometry, data
+
+
+class Flaky:
+    """A projections source that fails its first ``failures`` calls —
+    the transient-beamline-storage model the retry knob exists for."""
+
+    def __init__(self, data: np.ndarray, failures: int) -> None:
+        self.data = data
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self) -> np.ndarray:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise OSError(f"scan volume unavailable (attempt {self.calls})")
+        return self.data
+
+
+def spec(problem, name: str, projections=None, **over) -> JobSpec:
+    geometry, data = problem
+    return JobSpec(
+        name=name, geometry=geometry,
+        projections=data if projections is None else projections,
+        config=MLRConfig(chunk_size=4, memo=MemoConfig(**MEMO)),
+        admm=ADMM, **over,
+    )
+
+
+def kinds(handle) -> list[str]:
+    return [ev.kind for ev in handle.events]
+
+
+class TestRetrySucceeds:
+    def test_flaky_job_retries_to_done_on_one_event_log(self, problem):
+        obs.configure(ObsConfig())
+        _geometry, data = problem
+        flaky = Flaky(data, failures=2)
+        with ReconstructionScheduler(ServiceConfig(n_workers=1)) as sched:
+            handle = sched.submit(
+                spec(problem, "flaky", projections=flaky, max_retries=3)
+            )
+            assert handle.wait(WAIT)
+        assert handle.state is JobState.DONE
+        assert flaky.calls == 3
+        ks = kinds(handle)
+        # the whole saga lives on one handle: two failures, two retries,
+        # then the successful attempt's full lifecycle
+        assert ks.count("attempt_failed") == 2
+        assert ks.count("retry") == 2
+        assert ks[0] == "submitted" and ks[-1] == "done"
+        retries = sum(
+            e["value"] for e in obs.snapshot() if e["name"] == "job_retries_total"
+        )
+        assert retries == 2
+        assert sched.stats.completed == 1 and sched.stats.failed == 0
+
+    def test_retry_reseeds_from_shared_tier(self, problem):
+        """The retried attempt warm-starts from work absorbed before it —
+        a retry resumes the tier, it does not restart the world."""
+        _geometry, data = problem
+        flaky = Flaky(data, failures=1)
+        with ReconstructionScheduler(
+            ServiceConfig(n_workers=1, share_memo=True)
+        ) as sched:
+            builder = sched.submit(spec(problem, "builder"))
+            assert builder.wait(WAIT)
+            retried = sched.submit(
+                spec(problem, "retried", projections=flaky, max_retries=1)
+            )
+            assert retried.wait(WAIT)
+        assert retried.state is JobState.DONE
+        assert "warm_start" in kinds(retried)
+        assert retried.db_entries_start > 0
+
+
+class TestRetryExhausts:
+    def test_exhausted_retries_fail_with_original_error(self, problem):
+        _geometry, data = problem
+        flaky = Flaky(data, failures=10)
+        with ReconstructionScheduler(ServiceConfig(n_workers=1)) as sched:
+            handle = sched.submit(
+                spec(problem, "doomed", projections=flaky, max_retries=2)
+            )
+            assert handle.wait(WAIT)
+        assert handle.state is JobState.FAILED
+        assert isinstance(handle.error, OSError)
+        assert flaky.calls == 3  # 1 try + 2 retries, then give up
+        ks = kinds(handle)
+        assert ks.count("retry") == 2
+        # the terminal failure is the finish event, not another attempt_failed
+        assert ks.count("attempt_failed") == 2
+        assert sched.stats.failed == 1
+
+    def test_default_is_no_retry(self, problem):
+        _geometry, data = problem
+        flaky = Flaky(data, failures=1)
+        with ReconstructionScheduler(ServiceConfig(n_workers=1)) as sched:
+            handle = sched.submit(spec(problem, "one-shot", projections=flaky))
+            assert handle.wait(WAIT)
+        assert handle.state is JobState.FAILED
+        assert flaky.calls == 1
+        assert "retry" not in kinds(handle)
+
+
+class TestCancellationIsTerminal:
+    def test_cancel_mid_run_is_never_retried(self, problem):
+        geometry, data = problem
+        long_spec = JobSpec(
+            name="cancel-me", geometry=geometry, projections=data,
+            config=MLRConfig(chunk_size=4, memo=MemoConfig(**MEMO)),
+            admm=ADMMConfig(n_outer=400, n_inner=2, step_max_rel=4.0),
+            max_retries=5,
+        )
+        with ReconstructionScheduler(ServiceConfig(n_workers=1)) as sched:
+            handle = sched.submit(long_spec)
+            waiter = threading.Event()
+            for _ in range(int(WAIT * 100)):
+                if handle.iterations >= 1:
+                    break
+                waiter.wait(0.01)
+            assert handle.iterations >= 1
+            assert handle.cancel()
+            assert handle.wait(WAIT)
+        assert handle.state is JobState.CANCELLED
+        assert "retry" not in kinds(handle)
+        assert sched.stats.cancelled == 1 and sched.stats.failed == 0
+
+
+class TestValidation:
+    def test_max_retries_validation(self, problem):
+        geometry, data = problem
+        ok = dict(geometry=geometry, projections=data)
+        with pytest.raises(ValueError, match="max_retries"):
+            JobSpec(name="j", max_retries=-1, **ok)
+        with pytest.raises(ValueError, match="max_retries"):
+            JobSpec(name="j", max_retries=True, **ok)
+        with pytest.raises(ValueError, match="max_retries"):
+            JobSpec(name="j", max_retries=1.5, **ok)
+        assert JobSpec(name="j", max_retries=0, **ok).max_retries == 0
