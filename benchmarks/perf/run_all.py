@@ -24,6 +24,7 @@ sys.path.insert(0, os.path.join(_HERE, "..", ".."))  # make `benchmarks` importa
 
 from benchmarks.perf import bench_e2e, bench_memo, bench_net, bench_usfft  # noqa: E402
 from benchmarks.perf.harness import RESULTS_DIR, ROOT_JSON, machine_info, write_json  # noqa: E402
+from benchmarks.perf.trend import HISTORY_PATH, append_history  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -66,6 +67,9 @@ def main(argv=None) -> int:
         paths.append(args.output)
     for path in write_json(payload, paths):
         print(f"[perf] wrote {path}")
+    # append-only perf trail: `python -m benchmarks.perf.trend` gates on it
+    append_history(payload)
+    print(f"[perf] appended history entry to {os.path.abspath(HISTORY_PATH)}")
     for name, entry in benchmarks.items():
         print(
             f"[perf] {name}: baseline {entry['baseline']['best_s']*1e3:8.2f} ms"

@@ -14,17 +14,29 @@ tables (the same output as ``python -m repro.obs report run.jsonl``), the
 server's Prometheus text view, and cross-checks that the published
 ``memo_db_*`` gauges reconcile exactly with ``MemoDBStats``.
 
-Run:  python examples/observability_demo.py [--quick] [--out DIR]
+With ``--distributed`` the daemon instead runs as a separate *process*
+(``python -m repro.net.server``): trace context rides the request frames,
+the daemon's spans are drained over ``MSG_TRACE_PULL``, and the two JSONL
+dumps are merged into one stitched cross-process trace tree with the
+per-hop wire-cost table.
+
+Run:  python examples/observability_demo.py [--quick] [--distributed] [--out DIR]
 """
 
 import argparse
 import os
+import socket
+import subprocess
+import sys
+import time
 
 from repro.core import MemoConfig, MLRConfig, MLRSolver, ObsConfig, PipelineConfig
 from repro.lamino import LaminoGeometry, LaminoOperators, brain_like, simulate_data
 from repro.net import MemoServerDaemon
 from repro.obs import build_report, dump_jsonl, load_jsonl, render_report, to_prometheus
 from repro.obs import runtime as obs
+from repro.obs.export import dump_lines
+from repro.obs.report import merge_dumps
 from repro.solvers import ADMMConfig
 
 
@@ -46,13 +58,97 @@ def memo_cfg(**over) -> MemoConfig:
     return MemoConfig(**base)
 
 
+def spawn_server(port: int) -> subprocess.Popen:
+    """Start ``python -m repro.net.server`` with tracing enabled and wait
+    until its listener accepts."""
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(repo, "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    env["REPRO_OBS"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.net.server",
+         "--host", "127.0.0.1", "--port", str(port),
+         "--shards", "2", "--tau", "0.9"],
+        env=env, cwd=repo,
+    )
+    deadline = time.monotonic() + 20.0
+    while time.monotonic() < deadline:
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=1.0).close()
+            return proc
+        except OSError:
+            time.sleep(0.1)
+    proc.terminate()
+    raise RuntimeError("memo server subprocess never came up")
+
+
+def run_distributed(args) -> int:
+    g, ops, data = build_problem(args.quick)
+    admm = ADMMConfig(n_outer=5 if args.quick else 8, n_inner=2,
+                      step_max_rel=4.0)
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+
+    print("== cross-process traced reconstruction ==")
+    proc = spawn_server(port)
+    print(f"spawned `python -m repro.net.server` (pid {proc.pid}) "
+          f"on 127.0.0.1:{port}")
+    try:
+        cfg = MLRConfig(
+            chunk_size=4,
+            memo=memo_cfg(transport="tcp", server_address=("127.0.0.1", port)),
+            pipeline=PipelineConfig(queue_depth=2),
+            obs=ObsConfig(),
+        )
+        solver = MLRSolver(g, cfg, admm=admm, ops=ops)
+        result = solver.reconstruct(data)
+        print(f"reconstructed: {result.u.shape}, "
+              f"memoized fraction {100 * result.memoized_fraction:.0f}%")
+        # drain the daemon's span rings over the wire before closing
+        pulled = solver.memo_executor.router.trace_pull()
+        solver.close()
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+    out_dir = args.out or "."
+    os.makedirs(out_dir, exist_ok=True)
+    local_path = os.path.join(out_dir, "observability_demo_client.jsonl")
+    n_lines = dump_jsonl(local_path)
+    server_path = os.path.join(out_dir, "observability_demo_server.jsonl")
+    with open(server_path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(dump_lines([], pulled["spans"],
+                                      pulled["dropped"])) + "\n")
+    print(f"\nwrote {n_lines} client records to {local_path}")
+    print(f"wrote {len(pulled['spans'])} server spans from "
+          f"'{pulled['server']}' to {server_path}")
+
+    print("\n== stitched cross-process report "
+          "(python -m repro.obs report client.jsonl server.jsonl) ==")
+    merged = merge_dumps([load_jsonl(local_path), load_jsonl(server_path)])
+    report = render_report(build_report(merged))
+    print(report)
+    assert "processes" in report and " 2 processes" in report, \
+        "expected the trace tree to span both processes"
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small problem + few iterations (the CI configuration)")
+    parser.add_argument("--distributed", action="store_true",
+                        help="run the memo daemon as a separate process and "
+                             "stitch the cross-process trace")
     parser.add_argument("--out", default=None,
                         help="directory for the JSONL dump (default: cwd)")
     args = parser.parse_args()
+
+    if args.distributed:
+        return run_distributed(args)
 
     g, ops, data = build_problem(args.quick)
     admm = ADMMConfig(n_outer=5 if args.quick else 8, n_inner=2,

@@ -148,6 +148,12 @@ class MLRSolver:
             quarantined = quarantine_snapshot(snapshot)
             self.snapshot_quarantined = True
             obs.counter("snapshot_quarantined_total", where="solver-init").inc()
+            obs.flight_dump(
+                "snapshot-quarantine",
+                where="solver-init",
+                snapshot=str(snapshot),
+                error=str(exc),
+            )
             log.warning(
                 "warm-start snapshot %s corrupt (%s): quarantined to %s, "
                 "starting cold",

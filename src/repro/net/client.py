@@ -42,6 +42,7 @@ from ..faults import runtime as faults
 from ..obs import runtime as obs
 from .policy import RetryPolicy, seed_from_name
 from .wire import (
+    FEATURE_TRACE,
     MESSAGE_NAMES,
     MSG_ERROR,
     MSG_HELLO,
@@ -59,6 +60,8 @@ from .wire import (
     MSG_SNAP_PUSH_OK,
     MSG_STATS,
     MSG_STATS_OK,
+    MSG_TRACE_PULL,
+    MSG_TRACE_PULL_OK,
     PROTOCOL_VERSION,
     FrameReader,
     MessageError,
@@ -71,6 +74,7 @@ from .wire import (
     queries_to_wire,
     send_frame,
     stats_from_wire,
+    trace_ctx_to_wire,
 )
 
 __all__ = ["NetClientStats", "RemoteMemoClient", "TransportUnavailable"]
@@ -351,7 +355,11 @@ class RemoteMemoClient:
             replay, self._replay = self._replay, []
             for i, replay_body in enumerate(replay):
                 try:
-                    rid = self._send_locked(MSG_INSERT, replay_body)
+                    with obs.span(
+                        "net_client.request", type="insert_batch",
+                        pipelined=True, replayed=True,
+                    ):
+                        rid = self._send_locked(MSG_INSERT, replay_body)
                 except (OSError, ProtocolError) as exc:
                     # _fail_locked salvages the already-sent bodies (they
                     # sit in _pending); the unsent remainder goes back too
@@ -393,7 +401,25 @@ class RemoteMemoClient:
 
     # -- request plumbing ----------------------------------------------------------------
 
+    def _trace_field_locked(self) -> dict | None:
+        """The outgoing request's optional trace-context field.
+
+        Attached only when observability is enabled, a span is open in
+        this context, AND the server advertised :data:`FEATURE_TRACE` at
+        handshake — so old servers never see the key (interop is gated on
+        the handshake, not a protocol-version bump) and tracing-off runs
+        put byte-identical frames on the wire."""
+        if not obs.enabled():
+            return None
+        info = self.server_info
+        if not info or FEATURE_TRACE not in (info.get("features") or ()):
+            return None
+        return trace_ctx_to_wire(obs.current_trace_context())
+
     def _send_locked(self, msg_type: int, body) -> int:
+        trace = self._trace_field_locked()
+        if trace is not None and isinstance(body, dict):
+            body = {**body, "trace": trace}
         self._req_seq += 1
         rid = self._req_seq
         send_frame(self._sock, msg_type, rid, body)
@@ -432,6 +458,7 @@ class RemoteMemoClient:
         server is NOT retried here: that is the fail-open path, and the
         backoff window already rations connect attempts."""
         policy = self.retry_policy
+        type_name = MESSAGE_NAMES.get(msg_type, str(msg_type))
         with self._lock:
             if not self._ensure_locked():
                 raise TransportUnavailable(
@@ -462,13 +489,20 @@ class RemoteMemoClient:
                         continue
                     self.net_stats.retries += 1
                     obs.counter(
-                        "net_client_retries_total",
-                        type=MESSAGE_NAMES.get(msg_type, str(msg_type)),
+                        "net_client_retries_total", type=type_name
                     ).inc()
                 t0 = time.monotonic()
                 try:
-                    rid = self._send_locked(msg_type, body)
-                    reply_type, reply = self._read_until_locked(rid)
+                    # the request span is the hop's client-side half: the
+                    # server span it parents (via the trace field read
+                    # INSIDE it by _send_locked) subtracts out to the
+                    # wire+queue cost in the stitched report.  Each retry
+                    # attempt is its own span; all share the caller's trace
+                    with obs.span(
+                        "net_client.request", type=type_name, attempt=attempt
+                    ):
+                        rid = self._send_locked(msg_type, body)
+                        reply_type, reply = self._read_until_locked(rid)
                 except RemoteError:
                     raise  # the connection is fine; the request was rejected
                 except (OSError, ProtocolError) as exc:
@@ -481,8 +515,7 @@ class RemoteMemoClient:
                     # wire round trip as seen by the caller (includes any
                     # pipelined-insert acks drained on the way to this reply)
                     obs.histogram(
-                        "net_client_request_seconds",
-                        type=MESSAGE_NAMES.get(msg_type, str(msg_type)),
+                        "net_client_request_seconds", type=type_name
                     ).observe(time.monotonic() - t0)
                 if reply_type != expect_type:
                     exc = MessageError(
@@ -586,7 +619,13 @@ class RemoteMemoClient:
                     raise TransportUnavailable("backing off")
                 while len(self._pending) >= self.max_inflight:
                     self._drain_one_locked()
-                rid = self._send_locked(MSG_INSERT, wire_body)
+                # pipelined: the span covers only the transmit (the ack is
+                # drained later by whoever's _read_until_locked passes it);
+                # the server-side handler span still parents under it via
+                # the trace field, so stitched trees show fire-and-forget
+                # inserts as near-zero client spans with real server work
+                with obs.span("net_client.request", type="insert", pipelined=True):
+                    rid = self._send_locked(MSG_INSERT, wire_body)
                 self._pending.append((rid, wire_body))
                 self.net_stats.pipelined_inserts += len(inserts)
             except (VersionMismatch, RemoteError):
@@ -684,6 +723,26 @@ class RemoteMemoClient:
             with self._lock:
                 self.net_stats.degraded_stats_pulls += 1
             obs.counter("net_client_degraded_total", kind="metrics_pull").inc()
+            return None
+
+    def trace_pull(self) -> dict | None:
+        """Drain the server's span ring buffers (one-shot: spans transfer,
+        they are not copied).  Returns ``{"server", "obs_enabled", "spans",
+        "dropped"}``, or ``None`` when the server predates the trace
+        feature (it would reject the unknown message and kill the
+        connection) or is unreachable under fail-open."""
+        info = self.server_info
+        if info is not None and FEATURE_TRACE not in (info.get("features") or ()):
+            return None
+        try:
+            reply = self._sync_request(MSG_TRACE_PULL, {}, MSG_TRACE_PULL_OK)
+            return reply if isinstance(reply, dict) else None
+        except (VersionMismatch, RemoteError):
+            raise
+        except (OSError, ProtocolError):
+            if not self.fail_open:
+                raise
+            obs.counter("net_client_degraded_total", kind="trace_pull").inc()
             return None
 
     # -- snapshot surface (the router's state hooks, over the wire) ----------------------

@@ -166,9 +166,22 @@ class ReplicatedMemoClient:
         self._publish_circuit(r)
 
     def _failure(self, r: int, exc: Exception) -> None:
-        self._breakers[r].record_failure()
+        breaker = self._breakers[r]
+        was_open = breaker.state == CIRCUIT_OPEN
+        breaker.record_failure()
         self._publish_circuit(r)
         host, port = self.addresses[r]
+        if not was_open and breaker.state == CIRCUIT_OPEN:
+            # flight-record the moment the set loses a replica: the recent
+            # spans show exactly what traffic was in flight when the breaker
+            # tripped (a failed half-open probe re-dumps — each re-open is
+            # its own incident)
+            obs.flight_dump(
+                "circuit-open",
+                replica=f"{host}:{port}",
+                client=self.client_name,
+                error=f"{type(exc).__name__}: {exc}",
+            )
         log.debug("%s: replica %s:%d failed: %s", self.client_name, host, port, exc)
 
     def _mark_dirty(self, r: int) -> None:
@@ -360,14 +373,94 @@ class ReplicatedMemoClient:
         return [int(n) for n in body["per_shard_entries"]]
 
     def metrics(self) -> dict | None:
-        try:
-            return self._first_live(lambda c: c.metrics(), what="metrics")
-        except (VersionMismatch, RemoteError, ValueError):
-            raise
-        except (OSError, ProtocolError):
-            if not self.fail_open:
+        """Every live replica's observability view, merged into one body:
+        each replica's metric entries gain a ``replica="host:port"`` label
+        (the replicas run identical workloads, so unlabeled copies would
+        collide in a report), and the per-replica daemon counters ride under
+        ``"replicas"``.  Pulls fail open *per replica* — a dead replica is
+        skipped, not fatal; ``None`` only when no replica answered at all.
+        The single-server ``"server"`` key keeps the first replica's
+        counters so existing callers read the merged body unchanged."""
+        merged: list[dict] = []
+        per_replica: dict[str, dict] = {}
+        obs_any = False
+        first_server: dict | None = None
+        for r, client in enumerate(self._clients):
+            if not self._allow(r):
+                continue
+            host, port = self.addresses[r]
+            tag = f"{host}:{port}"
+            try:
+                payload = client.metrics()
+            except (VersionMismatch, RemoteError, ValueError):
                 raise
+            except (OSError, ProtocolError) as exc:
+                self._failure(r, exc)
+                continue
+            self._success(r)
+            if not isinstance(payload, dict):
+                continue
+            if first_server is None:
+                first_server = payload.get("server")
+            per_replica[tag] = payload.get("server") or {}
+            obs_any = obs_any or bool(payload.get("obs_enabled"))
+            for entry in payload.get("metrics") or []:
+                if isinstance(entry, dict):
+                    entry = dict(entry)
+                    entry["labels"] = {**(entry.get("labels") or {}), "replica": tag}
+                    merged.append(entry)
+        if not per_replica:
+            if not self.fail_open:
+                raise TransportUnavailable("no live replica for metrics")
             return None
+        return {
+            "server": first_server,
+            "replicas": per_replica,
+            "obs_enabled": obs_any,
+            "metrics": merged,
+        }
+
+    def trace_pull(self) -> dict | None:
+        """Drain the span buffers of every live replica into one body.
+        Spans already carry their origin process (the ``proc`` field), so
+        the merge is a plain concatenation; replicas that predate the trace
+        feature contribute nothing.  ``None`` when no replica answered."""
+        spans: list[dict] = []
+        servers: list[str] = []
+        dropped = 0
+        obs_any = False
+        answered = False
+        for r, client in enumerate(self._clients):
+            if not self._allow(r):
+                continue
+            try:
+                reply = client.trace_pull()
+            except (VersionMismatch, RemoteError, ValueError):
+                raise
+            except (OSError, ProtocolError) as exc:
+                self._failure(r, exc)
+                continue
+            self._success(r)
+            if not isinstance(reply, dict):
+                continue  # pre-trace replica: nothing to drain
+            answered = True
+            servers.append(str(reply.get("server")))
+            obs_any = obs_any or bool(reply.get("obs_enabled"))
+            spans.extend(
+                s for s in (reply.get("spans") or []) if isinstance(s, dict)
+            )
+            dropped += int(reply.get("dropped") or 0)
+        if not answered:
+            if not self.fail_open:
+                raise TransportUnavailable("no live replica for trace pull")
+            return None
+        return {
+            "server": ",".join(servers),
+            "servers": servers,
+            "obs_enabled": obs_any,
+            "spans": spans,
+            "dropped": dropped,
+        }
 
     @property
     def net_stats(self) -> NetClientStats:

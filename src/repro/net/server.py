@@ -28,9 +28,11 @@ Run standalone with ``python -m repro.net.server --port 9876 --shards 4``.
 from __future__ import annotations
 
 import argparse
+import contextvars
 import logging
 import os
 import socket
+import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -43,6 +45,7 @@ from ..core.memo_shard import MemoShardRouter
 from ..faults import runtime as faults
 from ..obs import runtime as obs
 from .wire import (
+    FEATURE_TRACE,
     MESSAGE_NAMES,
     MSG_ERROR,
     MSG_HELLO,
@@ -61,6 +64,8 @@ from .wire import (
     MSG_SNAP_PUSH_OK,
     MSG_STATS,
     MSG_STATS_OK,
+    MSG_TRACE_PULL,
+    MSG_TRACE_PULL_OK,
     PROTOCOL_VERSION,
     ConnectionClosed,
     FrameReader,
@@ -74,6 +79,7 @@ from .wire import (
     queries_from_wire,
     send_frame,
     stats_to_wire,
+    trace_ctx_from_wire,
 )
 
 __all__ = ["ServerStats", "MemoServerDaemon", "main"]
@@ -107,6 +113,7 @@ class ServerStats:
     idle_reaped: int = 0
     snapshots_quarantined: int = 0
     duplicate_insert_batches: int = 0
+    trace_pulls: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -127,6 +134,7 @@ class ServerStats:
             "idle_reaped": self.idle_reaped,
             "snapshots_quarantined": self.snapshots_quarantined,
             "duplicate_insert_batches": self.duplicate_insert_batches,
+            "trace_pulls": self.trace_pulls,
         }
 
     def publish(self, **labels) -> None:
@@ -288,6 +296,13 @@ class MemoServerDaemon:
             with self._lock:
                 self.stats.snapshots_quarantined += 1
             obs.counter("snapshot_quarantined_total", where="server-boot").inc()
+            obs.flight_dump(
+                "snapshot-quarantine",
+                where="server-boot",
+                server=self.name,
+                snapshot=str(self.snapshot_path),
+                error=str(exc),
+            )
             log.warning(
                 "boot snapshot at %s unusable (%s) — quarantined to %s, "
                 "starting cold",
@@ -342,20 +357,39 @@ class MemoServerDaemon:
 
             service = stalled
         if obs.enabled():
+            traced = service
+
             def timed(sid: int, group: list):
                 t0 = time.monotonic()
                 try:
-                    return service(sid, group)
+                    with obs.span("net_server.shard", shard=sid, items=len(group)):
+                        return traced(sid, group)
                 finally:
                     obs.histogram(
                         "net_server_shard_seconds", shard=sid
                     ).observe(time.monotonic() - t0)
+
+            # each submission runs under a fresh copy of this handler
+            # thread's contextvars, so the shard span parents under the
+            # request span even though pool threads start with an empty
+            # context.  One copy per submission: a Context object cannot
+            # be entered concurrently from two threads
+            futures = {
+                sid: self._shard_pools[sid].submit(
+                    contextvars.copy_context().run,
+                    timed,
+                    sid,
+                    [items[i] for i in idxs],
+                )
+                for sid, idxs in groups.items()
+            }
         else:
-            timed = service
-        futures = {
-            sid: self._shard_pools[sid].submit(timed, sid, [items[i] for i in idxs])
-            for sid, idxs in groups.items()
-        }
+            futures = {
+                sid: self._shard_pools[sid].submit(
+                    service, sid, [items[i] for i in idxs]
+                )
+                for sid, idxs in groups.items()
+            }
         for sid, idxs in groups.items():
             for i, res in zip(idxs, futures[sid].result()):
                 results[i] = res
@@ -626,8 +660,20 @@ class MemoServerDaemon:
                 except ConnectionClosed:
                     return
                 t0 = time.monotonic()
+                type_name = MESSAGE_NAMES.get(msg_type, str(msg_type))
+                # the optional trace field stitches this handler span (and
+                # its shard children) under the client's request span in a
+                # merged dump; absent/malformed context -> a local root
+                trace_ctx = (
+                    trace_ctx_from_wire(body.get("trace"))
+                    if isinstance(body, dict)
+                    else None
+                )
                 try:
-                    reply_type, reply = self._dispatch(msg_type, body, conn_fp)
+                    with obs.server_span(
+                        "net_server.request", trace_ctx, type=type_name, conn=conn_id
+                    ):
+                        reply_type, reply = self._dispatch(msg_type, body, conn_fp)
                 except _AppError as exc:
                     with self._lock:
                         self.stats.app_errors += 1
@@ -635,7 +681,7 @@ class MemoServerDaemon:
                     reply = {"kind": "app", "message": str(exc)}
                 obs.histogram(
                     "net_server_request_seconds",
-                    type=MESSAGE_NAMES.get(msg_type, str(msg_type)),
+                    type=type_name,
                     conn=conn_id,
                 ).observe(time.monotonic() - t0)
                 send_frame(conn, reply_type, request_id, reply)
@@ -695,6 +741,9 @@ class MemoServerDaemon:
                 "n_shards": self.router.n_shards,
                 "tau": self.memo.tau,
                 "value_mode": self.memo.db_value_mode,
+                # capability advert: clients attach trace context only when
+                # the feature is listed, so old servers never see the key
+                "features": [FEATURE_TRACE],
             },
         )
         return conn_fp
@@ -766,6 +815,20 @@ class MemoServerDaemon:
             with self._lock:
                 self.stats.metrics_pulls += 1
             return MSG_METRICS_OK, self.serve_metrics()
+        if msg_type == MSG_TRACE_PULL:
+            # one-shot drain (not a copy): spans transfer to the puller, so
+            # repeated pulls never re-ship the same records.  The handler's
+            # own request span finishes after the drain and rides the next
+            # pull — a stitched report is always one pull behind on itself
+            spans, dropped = obs.drain_spans()
+            with self._lock:
+                self.stats.trace_pulls += 1
+            return MSG_TRACE_PULL_OK, {
+                "server": self.name,
+                "obs_enabled": obs.enabled(),
+                "spans": spans,
+                "dropped": int(dropped),
+            }
         if msg_type == MSG_PING:
             with self._lock:
                 self.stats.pings += 1
@@ -786,6 +849,39 @@ def _metrics_dump(address: str) -> int:
     ) as client:
         payload = client.metrics()
     print(to_prometheus(payload["metrics"]), end="")
+    return 0
+
+
+def _trace_dump(address: str, out: str | None) -> int:
+    """Drain a running server's span rings into a JSONL dump — the same
+    format :func:`repro.obs.dump_jsonl` writes locally, so ``python -m
+    repro.obs report local.jsonl server.jsonl`` stitches both sides of the
+    wire into one cross-process trace tree."""
+    from ..obs.export import dump_lines
+    from .client import RemoteMemoClient
+
+    with RemoteMemoClient(
+        address, fail_open=False, client_name="trace-dump"
+    ) as client:
+        reply = client.trace_pull()
+        payload = client.metrics()
+    if reply is None:
+        print(
+            f"server at {address} does not advertise the trace feature",
+            file=sys.stderr,
+        )
+        return 1
+    lines = dump_lines(
+        (payload or {}).get("metrics") or [],
+        reply.get("spans") or [],
+        int(reply.get("dropped") or 0),
+    )
+    text = "\n".join(lines) + "\n"
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -815,6 +911,15 @@ def main(argv=None) -> int:
         help="fetch a running server's metrics, print Prometheus text, exit",
     )
     parser.add_argument(
+        "--trace-dump", default=None, metavar="HOST:PORT",
+        help="drain a running server's span buffers into a JSONL dump "
+             "(stdout or --out), stitchable with `python -m repro.obs report`",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="destination file for --trace-dump (default: stdout)",
+    )
+    parser.add_argument(
         "--idle-timeout", type=float, default=None, metavar="SECONDS",
         help="reap connections idle longer than this (clients heartbeat "
              "with MSG_PING; default: never reap)",
@@ -827,6 +932,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.metrics_dump is not None:
         return _metrics_dump(args.metrics_dump)
+    if args.trace_dump is not None:
+        return _trace_dump(args.trace_dump, args.out)
     if args.peer is not None:
         # fail fast on a malformed list (the error names the bad element)
         # before binding a port the operator then has to clean up

@@ -60,8 +60,13 @@ __all__ = [
     "MSG_PING",
     "MSG_PING_OK",
     "MSG_PONG",
+    "MSG_TRACE_PULL",
+    "MSG_TRACE_PULL_OK",
     "MSG_ERROR",
     "MESSAGE_NAMES",
+    "FEATURE_TRACE",
+    "trace_ctx_to_wire",
+    "trace_ctx_from_wire",
     "ProtocolError",
     "FrameError",
     "TruncatedFrame",
@@ -114,6 +119,8 @@ MSG_METRICS = 13
 MSG_METRICS_OK = 14
 MSG_PING = 15
 MSG_PING_OK = 16
+MSG_TRACE_PULL = 17
+MSG_TRACE_PULL_OK = 18
 MSG_ERROR = 255
 
 #: heartbeats read better as ping/pong; the pong *is* the ping's ok-reply
@@ -136,8 +143,50 @@ MESSAGE_NAMES = {
     MSG_METRICS_OK: "metrics_ok",
     MSG_PING: "ping",
     MSG_PING_OK: "pong",
+    MSG_TRACE_PULL: "trace_pull",
+    MSG_TRACE_PULL_OK: "trace_pull_ok",
     MSG_ERROR: "error",
 }
+
+# -- trace-context propagation -------------------------------------------------------------
+#
+# Distributed tracing rides requests as an OPTIONAL "trace" dict in the
+# message body — never a new header field — so frames without it are
+# byte-identical to pre-trace builds (observability off costs zero wire
+# bytes) and old peers interop: servers advertise FEATURE_TRACE in their
+# HELLO_OK "features" list, and clients only attach the field to servers
+# that advertised it; dict bodies tolerate unknown keys on both sides.
+
+#: HELLO_OK feature token: this server understands the "trace" request
+#: field and answers MSG_TRACE_PULL
+FEATURE_TRACE = "trace"
+
+
+def trace_ctx_to_wire(ctx) -> dict | None:
+    """Encode a ``(trace_id, span_id)`` pair as the request's optional
+    ``"trace"`` field (``None`` passes through: nothing to propagate)."""
+    if ctx is None:
+        return None
+    trace_id, span_id = ctx
+    return {"tid": int(trace_id), "sid": int(span_id)}
+
+
+def trace_ctx_from_wire(node) -> dict | None:
+    """Validate an incoming ``"trace"`` field: both ids must be ints
+    (bools excluded — they pack as ints' cousins but are never span ids).
+    Anything malformed returns ``None``; a hostile peer must not be able
+    to break a request handler through its trace annotation."""
+    if not isinstance(node, dict):
+        return None
+    tid, sid = node.get("tid"), node.get("sid")
+    if (
+        isinstance(tid, int)
+        and isinstance(sid, int)
+        and not isinstance(tid, bool)
+        and not isinstance(sid, bool)
+    ):
+        return {"tid": tid, "sid": sid}
+    return None
 
 
 # -- typed protocol errors -----------------------------------------------------------------

@@ -19,21 +19,31 @@ with :func:`to_prometheus` / :func:`dump_jsonl`; inspect dumps with
 from .config import ObsConfig
 from .export import dump_jsonl, dump_lines, load_jsonl, to_prometheus
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, log_bucket_edges
-from .report import build_report, render_report, report_from_file
+from .report import build_report, merge_dumps, render_report, report_from_file
 from .runtime import (
     collector,
     configure,
     counter,
     drain_spans,
     enabled,
+    flight_dir,
+    flight_dump,
     gauge,
     histogram,
+    peek_spans,
     registry,
     reset,
+    server_span,
     snapshot,
     span,
 )
-from .spans import Span, SpanCollector, current_span_id
+from .spans import (
+    Span,
+    SpanCollector,
+    current_span_id,
+    current_trace_context,
+    current_trace_id,
+)
 
 __all__ = [
     "ObsConfig",
@@ -45,22 +55,29 @@ __all__ = [
     "Span",
     "SpanCollector",
     "current_span_id",
+    "current_trace_id",
+    "current_trace_context",
     "configure",
     "enabled",
     "counter",
     "gauge",
     "histogram",
     "span",
+    "server_span",
     "registry",
     "collector",
     "snapshot",
     "drain_spans",
+    "peek_spans",
+    "flight_dir",
+    "flight_dump",
     "reset",
     "to_prometheus",
     "dump_jsonl",
     "dump_lines",
     "load_jsonl",
     "build_report",
+    "merge_dumps",
     "render_report",
     "report_from_file",
 ]

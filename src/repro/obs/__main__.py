@@ -1,8 +1,10 @@
-"""CLI: ``python -m repro.obs report <dump.jsonl>``.
+"""CLI: ``python -m repro.obs report <dump.jsonl> [more.jsonl ...]``.
 
 Prints the per-stage latency / throughput tables for a JSONL
 observability dump (see :mod:`repro.obs.export` for the format and
-:mod:`repro.obs.report` for the aggregation).
+:mod:`repro.obs.report` for the aggregation).  Several dumps — a run's
+local one plus each memo daemon's ``--trace-dump`` — are merged into one
+stitched cross-process trace report.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ import json
 import sys
 
 from .export import load_jsonl
-from .report import build_report, render_report
+from .report import build_report, merge_dumps, render_report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -21,7 +23,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     rep = sub.add_parser("report", help="print per-stage latency/throughput tables")
-    rep.add_argument("path", help="JSONL dump written by repro.obs.export.dump_jsonl")
+    rep.add_argument(
+        "paths",
+        nargs="+",
+        metavar="path",
+        help="JSONL dump(s) written by repro.obs.export.dump_jsonl or "
+             "`python -m repro.net.server --trace-dump`; several dumps are "
+             "merged into one stitched cross-process report",
+    )
     rep.add_argument(
         "--json",
         action="store_true",
@@ -30,7 +39,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "report":
-        report = build_report(load_jsonl(args.path))
+        if len(args.paths) == 1:
+            data = load_jsonl(args.paths[0])
+        else:
+            data = merge_dumps(load_jsonl(p) for p in args.paths)
+        report = build_report(data)
         if args.json:
             print(json.dumps(report, indent=2, sort_keys=True))
         else:

@@ -34,6 +34,12 @@ class ObsConfig:
         ``histogram_min_s`` up to ``histogram_max_s``.  Fixed buckets (no
         raw sample lists) keep per-metric memory constant regardless of
         traffic.
+    flight_dir:
+        Directory for black-box flight-recorder dumps
+        (:func:`repro.obs.runtime.flight_dump` artifacts, written on job
+        failure / snapshot quarantine / circuit-breaker open).  ``None``
+        falls back to the ``REPRO_FLIGHT_DIR`` environment variable; with
+        neither set, fault paths skip the dump entirely.
     """
 
     enabled: bool = True
@@ -41,6 +47,7 @@ class ObsConfig:
     histogram_min_s: float = 1e-6
     histogram_max_s: float = 100.0
     buckets_per_decade: int = 4
+    flight_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.span_buffer < 1:

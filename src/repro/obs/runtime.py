@@ -16,12 +16,22 @@ Enable by either route:
 
 from __future__ import annotations
 
+import itertools
+import json
+import logging
 import os
 import threading
+import time
 
 from .config import ObsConfig
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, log_bucket_edges
-from .spans import NULL_SPAN, Span, SpanCollector
+from .spans import (
+    NULL_SPAN,
+    Span,
+    SpanCollector,
+    current_trace_context,
+    current_trace_id,
+)
 
 __all__ = [
     "configure",
@@ -30,12 +40,20 @@ __all__ = [
     "gauge",
     "histogram",
     "span",
+    "server_span",
+    "current_trace_context",
+    "current_trace_id",
     "registry",
     "collector",
     "snapshot",
     "drain_spans",
+    "peek_spans",
+    "flight_dir",
+    "flight_dump",
     "reset",
 ]
+
+log = logging.getLogger("repro.obs")
 
 
 class _NullCounter:
@@ -95,7 +113,11 @@ def _fresh_state(cfg: ObsConfig, enabled_flag: bool) -> dict:
     }
 
 
-_ENV_ENABLED = os.environ.get("REPRO_OBS", "") not in ("", "0")
+# REPRO_FLIGHT_DIR alone also enables the runtime: a flight recorder with
+# nothing in its rings would dump empty evidence, which defeats its point
+_ENV_ENABLED = os.environ.get("REPRO_OBS", "") not in ("", "0") or bool(
+    os.environ.get("REPRO_FLIGHT_DIR")
+)
 
 # Swapped atomically as a whole dict by configure()/reset(); readers grab
 # one entry per call, so a concurrent reconfigure is safe (they just keep
@@ -171,6 +193,29 @@ def span(name: str, **attrs):
     return Span(name, attrs, state["collector"])
 
 
+def server_span(name: str, ctx, **attrs):
+    """A span parented under a *remote* trace context.
+
+    ``ctx`` is the optional ``{"tid": ..., "sid": ...}`` dict a request
+    frame carried (trace id + the client-side span to parent under).  A
+    missing or malformed context — old clients, hostile peers — degrades
+    to a plain root :func:`span`; it must never fail a request handler."""
+    state = _STATE
+    if not state["enabled"]:
+        return NULL_SPAN
+    remote = None
+    if isinstance(ctx, dict):
+        tid, sid = ctx.get("tid"), ctx.get("sid")
+        if (
+            isinstance(tid, int)
+            and isinstance(sid, int)
+            and not isinstance(tid, bool)
+            and not isinstance(sid, bool)
+        ):
+            remote = (tid, sid)
+    return Span(name, attrs, state["collector"], remote=remote)
+
+
 def snapshot() -> list[dict]:
     """Point-in-time snapshot of every registered metric."""
     return _STATE["registry"].snapshot()
@@ -179,3 +224,67 @@ def snapshot() -> list[dict]:
 def drain_spans() -> tuple[list[dict], int]:
     """All finished spans so far plus the ring-overflow drop count."""
     return _STATE["collector"].drain()
+
+
+def peek_spans() -> tuple[list[dict], int]:
+    """Non-destructive view of the span rings (the flight recorder's read)."""
+    return _STATE["collector"].peek()
+
+
+# -- flight recorder ------------------------------------------------------------------------
+#
+# The span rings double as a black-box flight recorder: always on while
+# observability is enabled, bounded, overwriting oldest-first.  On a fault
+# (job failure, snapshot quarantine, circuit-breaker open) flight_dump()
+# writes the recent spans plus a full metrics snapshot to a JSONL artifact
+# — the same format `python -m repro.obs report` reads — so a chaos-suite
+# failure ships its own evidence.
+
+_FLIGHT_SEQ = itertools.count(1)
+
+
+def flight_dir() -> str | None:
+    """Where flight dumps go: ``ObsConfig.flight_dir`` if set, else the
+    ``REPRO_FLIGHT_DIR`` environment variable; ``None`` (no recorder)
+    while observability is disabled or neither is configured."""
+    state = _STATE
+    if not state["enabled"]:
+        return None
+    return state["config"].flight_dir or os.environ.get("REPRO_FLIGHT_DIR") or None
+
+
+def flight_dump(reason: str, **attrs) -> str | None:
+    """Dump the black box: recent spans (peeked, not drained) plus a full
+    metrics snapshot, as ``flight-<reason>-<pid>-<seq>.jsonl`` under
+    :func:`flight_dir`.  Returns the artifact path, or ``None`` when the
+    recorder is off.  Never raises — this runs on fault paths, and a full
+    disk must not break the failure handling that called it."""
+    out_dir = flight_dir()
+    if out_dir is None:
+        return None
+    state = _STATE
+    # local import: export imports this module at load time, so the
+    # reverse edge must stay function-scoped
+    from .export import dump_lines
+
+    spans, dropped = state["collector"].peek()
+    try:
+        lines = dump_lines(state["registry"].snapshot(), spans, dropped)
+        meta = json.loads(lines[0])
+        meta["flight"] = {"reason": reason, "attrs": attrs, "unix": time.time()}
+        lines[0] = json.dumps(meta, sort_keys=True, default=str)
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(
+            out_dir, f"flight-{reason}-{os.getpid()}-{next(_FLIGHT_SEQ)}.jsonl"
+        )
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+    except (OSError, TypeError, ValueError) as exc:
+        log.warning("flight recorder: dump for %r failed: %s", reason, exc)
+        return None
+    counter("flight_dumps_total", reason=reason).inc()
+    log.warning(
+        "flight recorder: %s — %d spans + %d metrics dumped to %s",
+        reason, len(spans), len(lines) - len(spans) - 1, path,
+    )
+    return path

@@ -438,6 +438,15 @@ class ReconstructionScheduler:
                     handle._finish(JobState.FAILED, f"{type(exc).__name__}: {exc}")
                     with self._cond:
                         self.stats.failed += 1
+                    # black-box dump: the span rings hold the last thing
+                    # every stage was doing when the job gave up (no-op
+                    # unless a flight dir is configured)
+                    obs.flight_dump(
+                        "job-failure",
+                        job=spec.name,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempt + 1,
+                    )
                     return
                 handle._add_event(
                     "attempt_failed", f"{type(exc).__name__}: {exc}"
@@ -457,6 +466,11 @@ class ReconstructionScheduler:
                 # operators look first (the job's own event log)
                 handle._add_event(
                     "snapshot_quarantined", str(spec.config.memo_snapshot)
+                )
+                obs.flight_dump(
+                    "snapshot-quarantine",
+                    job=spec.name,
+                    snapshot=str(spec.config.memo_snapshot),
                 )
             # an explicit per-job snapshot (already loaded by the solver)
             # takes precedence over the shared tier — seeding on top would

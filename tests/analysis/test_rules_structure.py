@@ -354,3 +354,105 @@ class TestSweepKernel:
         report = run_analysis(root, select={"sweep-kernel"})
         assert len(report.findings) == 1
         assert "SWEEP_AXIS" in report.findings[0].message
+
+WIRE_TRACE = """
+    MSG_PING = 1
+    MSG_PING_OK = 2
+    MSG_TRACE_PULL = 17
+    MSG_TRACE_PULL_OK = 18
+
+    MESSAGE_NAMES = {
+        MSG_PING: "ping",
+        MSG_PING_OK: "ping_ok",
+        MSG_TRACE_PULL: "trace_pull",
+        MSG_TRACE_PULL_OK: "trace_pull_ok",
+    }
+"""
+
+
+class TestWireExhaustiveTracePull:
+    """The span drain (``MSG_TRACE_PULL``/``MSG_TRACE_PULL_OK``) follows
+    the same request/reply contract as every other message pair."""
+
+    def test_fully_wired_trace_pair_is_clean(self, mini_repo):
+        root = mini_repo(
+            {
+                "src/net/wire.py": WIRE_TRACE,
+                "src/net/server.py": """
+                from .wire import MSG_PING, MSG_PING_OK, MSG_TRACE_PULL, MSG_TRACE_PULL_OK
+
+                def handle(kind):
+                    if kind == MSG_PING:
+                        return MSG_PING_OK
+                    if kind == MSG_TRACE_PULL:
+                        return MSG_TRACE_PULL_OK
+                    raise ValueError(kind)
+                """,
+                "src/net/client.py": """
+                from .wire import MSG_PING, MSG_TRACE_PULL
+
+                def ping():
+                    return MSG_PING
+
+                def trace_pull():
+                    return MSG_TRACE_PULL
+                """,
+            }
+        )
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert report.findings == []
+
+    def test_trace_pull_without_client_encoder_is_flagged(self, mini_repo):
+        # server drains spans, but no client can ask for them
+        root = mini_repo(
+            {
+                "src/net/wire.py": WIRE_TRACE,
+                "src/net/server.py": """
+                from .wire import MSG_PING, MSG_PING_OK, MSG_TRACE_PULL, MSG_TRACE_PULL_OK
+
+                def handle(kind):
+                    if kind == MSG_PING:
+                        return MSG_PING_OK
+                    if kind == MSG_TRACE_PULL:
+                        return MSG_TRACE_PULL_OK
+                """,
+                "src/net/client.py": """
+                from .wire import MSG_PING
+
+                def ping():
+                    return MSG_PING
+                """,
+            }
+        )
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert "MSG_TRACE_PULL" in f.message and "client encoder" in f.message
+
+    def test_trace_pull_without_server_handler_is_flagged(self, mini_repo):
+        # declared and sent, but the daemon never answers it
+        root = mini_repo(
+            {
+                "src/net/wire.py": WIRE_TRACE,
+                "src/net/server.py": """
+                from .wire import MSG_PING, MSG_PING_OK
+
+                def handle(kind):
+                    if kind == MSG_PING:
+                        return MSG_PING_OK
+                """,
+                "src/net/client.py": """
+                from .wire import MSG_PING, MSG_TRACE_PULL
+
+                def ping():
+                    return MSG_PING
+
+                def trace_pull():
+                    return MSG_TRACE_PULL
+                """,
+            }
+        )
+        report = run_analysis(root, select={"wire-exhaustive"})
+        assert len(report.findings) == 1
+        f = report.findings[0]
+        assert "MSG_TRACE_PULL" in f.message and "server" in f.message
