@@ -14,6 +14,12 @@ tables (the same output as ``python -m repro.obs report run.jsonl``), the
 server's Prometheus text view, and cross-checks that the published
 ``memo_db_*`` gauges reconcile exactly with ``MemoDBStats``.
 
+The daemon also brings up its live telemetry plane (``telemetry_port=0``):
+the demo scrapes ``/metrics`` and ``/healthz`` over HTTP while the daemon
+is serving, asserts the scrape reconciles exactly with the in-process
+registry (and that histogram buckets are cumulative), and writes the
+memo-tier heat report (``python -m repro.obs heat``) next to the dump.
+
 With ``--distributed`` the daemon instead runs as a separate *process*
 (``python -m repro.net.server``): trace context rides the request frames,
 the daemon's spans are drained over ``MSG_TRACE_PULL``, and the two JSONL
@@ -25,10 +31,12 @@ Run:  python examples/observability_demo.py [--quick] [--distributed] [--out DIR
 
 import argparse
 import os
+import re
 import socket
 import subprocess
 import sys
 import time
+import urllib.request
 
 from repro.core import MemoConfig, MLRConfig, MLRSolver, ObsConfig, PipelineConfig
 from repro.lamino import LaminoGeometry, LaminoOperators, brain_like, simulate_data
@@ -36,6 +44,7 @@ from repro.net import MemoServerDaemon
 from repro.obs import build_report, dump_jsonl, load_jsonl, render_report, to_prometheus
 from repro.obs import runtime as obs
 from repro.obs.export import dump_lines
+from repro.obs.heat import build_heat_report, entry_records, render_heat_report
 from repro.obs.report import merge_dumps
 from repro.solvers import ADMMConfig
 
@@ -56,6 +65,42 @@ def memo_cfg(**over) -> MemoConfig:
                 index_clusters=2, index_nprobe=2)
     base.update(over)
     return MemoConfig(**base)
+
+
+def _http_get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        assert resp.status == 200, (url, resp.status)
+        return resp.read()
+
+
+def _series(text: str) -> dict:
+    """{sample-line-without-value: value} for every non-heat series.
+
+    ``memo_entry_*`` heat histograms age with the wall clock between the
+    scrape and the local render, so they are excluded from the exact-match
+    reconciliation (their bucket shape is still validated)."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#") or line.startswith("memo_entry_"):
+            continue
+        key, val = line.rsplit(" ", 1)
+        out[key] = val
+    return out
+
+
+def _assert_cumulative_buckets(text: str) -> int:
+    """Every histogram's buckets must be non-decreasing in le-order."""
+    last: dict = {}
+    n = 0
+    for line in text.splitlines():
+        if "_bucket{" not in line:
+            continue
+        key = re.sub(r'le="[^"]*",?', "", line.rsplit(" ", 1)[0])
+        val = float(line.rsplit(" ", 1)[1])
+        assert val >= last.get(key, 0.0), f"non-cumulative bucket: {line}"
+        last[key] = val
+        n += 1
+    return n
 
 
 def spawn_server(port: int) -> subprocess.Popen:
@@ -155,9 +200,11 @@ def main() -> int:
                       step_max_rel=4.0)
 
     print("== instrumented pipelined reconstruction over loopback TCP ==")
-    with MemoServerDaemon(n_shards=2, memo=memo_cfg(), name="obs-demo") as daemon:
+    with MemoServerDaemon(n_shards=2, memo=memo_cfg(), name="obs-demo",
+                          telemetry_port=0) as daemon:
         host, port = daemon.address
-        print(f"daemon listening on {host}:{port} (2 shards)")
+        print(f"daemon listening on {host}:{port} (2 shards), "
+              f"telemetry plane at {daemon.telemetry.url}")
         cfg = MLRConfig(
             chunk_size=4,
             memo=memo_cfg(transport="tcp", server_address=daemon.address),
@@ -195,8 +242,33 @@ def main() -> int:
               f"{len(cfg.memo.memo_ops)} ops")
         solver.close()
 
+        # -- live telemetry plane: scrape the daemon's HTTP endpoints --
+        base = daemon.telemetry.url
+        assert _http_get(base + "/healthz") == b"ok\n"
+        scraped = _http_get(base + "/metrics").decode("utf-8")
+        n_buckets = _assert_cumulative_buckets(scraped)
+        scraped_series = _series(scraped)
+        local_series = _series(to_prometheus(obs.snapshot()))
+        drift = {k: (scraped_series.get(k), local_series.get(k))
+                 for k in scraped_series.keys() | local_series.keys()
+                 if scraped_series.get(k) != local_series.get(k)}
+        assert not drift, dict(list(drift.items())[:8])
+        print(f"\nlive scrape of {base}/metrics reconciles exactly with the "
+              f"in-process registry ({len(scraped_series)} series, "
+              f"{n_buckets} cumulative buckets); /healthz is ok")
+
+        # -- memo-tier heat, straight off the live daemon state --
+        heat_text = render_heat_report(
+            build_heat_report(list(entry_records(daemon.pull_state()))))
+
     out_dir = args.out or "."
     os.makedirs(out_dir, exist_ok=True)
+    heat_path = os.path.join(out_dir, "heat_report.txt")
+    with open(heat_path, "w", encoding="utf-8") as fh:
+        fh.write(heat_text + "\n")
+    print("\n== memo-tier heat (python -m repro.obs heat HOST:PORT) ==")
+    print(heat_text)
+    print(f"wrote heat report to {heat_path}")
     dump_path = os.path.join(out_dir, "observability_demo.jsonl")
     n_lines = dump_jsonl(dump_path)
     print(f"\nwrote {n_lines} JSONL records to {dump_path}")

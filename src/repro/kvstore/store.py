@@ -18,6 +18,7 @@ Two value representations share the bookkeeping:
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -25,7 +26,23 @@ import numpy as np
 
 from .serialization import encoded_nbytes
 
-__all__ = ["KVStats", "KVStore", "ArrayStore", "store_from_state"]
+__all__ = [
+    "KVStats",
+    "KVStore",
+    "ArrayStore",
+    "store_from_state",
+    "heat_now",
+    "merge_heat_states",
+]
+
+#: wall-clock source for per-entry heat ticks; a module global so tests can
+#: monkeypatch it (``store._heat_clock = fake``) without touching time.time
+_heat_clock = time.time
+
+
+def heat_now() -> float:
+    """The heat tick for 'this entry was touched now' (unix seconds)."""
+    return _heat_clock()
 
 
 @dataclass
@@ -57,6 +74,11 @@ class KVStore:
     _data: OrderedDict = field(default_factory=OrderedDict, repr=False)
     _nbytes: int = 0
     stats: KVStats = field(default_factory=KVStats)
+    #: per-entry heat metadata: key -> [last_hit_unix_s, hit_count].  An
+    #: entry is born with hits=0 and last_hit at insert time; every get()
+    #: hit refreshes it.  This is the measurement layer eviction policies
+    #: act on (cold-entry detection, reclaimable-bytes projection).
+    _heat: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.eviction not in ("fifo", "lru"):
@@ -99,11 +121,14 @@ class KVStore:
         if key in self._data:
             self._nbytes -= self._value_nbytes(self._data.pop(key))
         while self.capacity_bytes is not None and self._nbytes + size > self.capacity_bytes:
-            _, old = self._data.popitem(last=False)
+            old_key, old = self._data.popitem(last=False)
             self._nbytes -= self._value_nbytes(old)
+            self._heat.pop(old_key, None)
             self.stats.evictions += 1
         self._data[key] = value
         self._nbytes += size
+        # an overwrite is new data: its heat starts over
+        self._heat[key] = [heat_now(), 0]
         self.stats.puts += 1
         self.stats.bytes_in += size
 
@@ -115,6 +140,10 @@ class KVStore:
             return None
         if self.eviction == "lru":
             self._data.move_to_end(key)
+        ent = self._heat.get(key)
+        if ent is not None:
+            ent[0] = heat_now()
+            ent[1] += 1
         self.stats.hits += 1
         self.stats.bytes_out += self._value_nbytes(value)
         return value
@@ -124,6 +153,7 @@ class KVStore:
         if value is None:
             return False
         self._nbytes -= self._value_nbytes(value)
+        self._heat.pop(key, None)
         return True
 
     def keys(self):
@@ -131,7 +161,41 @@ class KVStore:
 
     def clear(self) -> None:
         self._data.clear()
+        self._heat.clear()
         self._nbytes = 0
+
+    # -- heat metadata -------------------------------------------------------------------
+
+    def heat(self, key) -> tuple[float, int] | None:
+        """``(last_hit_unix_s, hit_count)`` of a stored entry, or ``None``."""
+        ent = self._heat.get(key)
+        return None if ent is None else (ent[0], ent[1])
+
+    def heat_entries(self) -> list[tuple]:
+        """``(key, last_hit_unix_s, hit_count, accounted_nbytes)`` for every
+        stored entry — the heat analytics / eviction-planning read surface.
+        Entries restored from a pre-heat snapshot carry ``(0.0, 0)``."""
+        out = []
+        for key, value in self._data.items():
+            last, hits = self._heat.get(key) or (0.0, 0)
+            out.append((key, last, hits, self._value_nbytes(value)))
+        return out
+
+    def heat_map(self) -> dict:
+        """``{key: (last_hit, hits)}`` copy, for merging into another store."""
+        return {k: (ent[0], ent[1]) for k, ent in self._heat.items()}
+
+    def merge_heat(self, other: "dict | KVStore") -> None:
+        """Fold another replica's heat for the *same* logical entries into
+        this store: for keys both sides hold, last-hit takes the max and hit
+        counts sum — the partition-level absorb-merge semantics.  Keys only
+        the other side holds are ignored (we don't store their values)."""
+        mapping = other.heat_map() if isinstance(other, KVStore) else other
+        for key, ent in self._heat.items():
+            theirs = mapping.get(key)
+            if theirs is not None:
+                ent[0] = max(ent[0], float(theirs[0]))
+                ent[1] += int(theirs[1])
 
     # -- snapshot hooks -----------------------------------------------------------------
 
@@ -147,12 +211,15 @@ class KVStore:
             if isinstance(key, bool) or not isinstance(key, (int, str)):
                 raise TypeError(f"unsupported key type for snapshot: {type(key).__name__}")
             keys.append(["i", int(key)] if isinstance(key, int) else ["s", key])
+        heat = [self._heat.get(key) or (0.0, 0) for key in self._data]
         return {
             "store_type": self._STORE_TYPE,
             "capacity_bytes": self.capacity_bytes,
             "eviction": self.eviction,
             "keys": keys,
             "vals": list(self._data.values()),
+            "heat_last": [float(h[0]) for h in heat],
+            "heat_hits": [int(h[1]) for h in heat],
             "stats": {
                 "hits": self.stats.hits,
                 "misses": self.stats.misses,
@@ -176,12 +243,21 @@ class KVStore:
             capacity_bytes=None if cap is None else int(cap),
             eviction=str(state["eviction"]),
         )
-        for tagged, value in zip(state["keys"], state["vals"]):
+        # pre-heat snapshots (older schema) carry no heat arrays: every
+        # restored entry then reads as never-hit since the epoch — maximally
+        # cold, which is the conservative answer for eviction planning
+        n = len(state["keys"])
+        heat_last = state.get("heat_last") or [0.0] * n
+        heat_hits = state.get("heat_hits") or [0] * n
+        for tagged, value, last, hits in zip(
+            state["keys"], state["vals"], heat_last, heat_hits
+        ):
             tag, key = tagged
             key = int(key) if tag == "i" else str(key)
             value = store._coerce(value)
             store._data[key] = value
             store._nbytes += store._value_nbytes(value)
+            store._heat[key] = [float(last), int(hits)]
         st = state["stats"]
         store.stats = KVStats(**{k: int(v) for k, v in st.items()})
         return store
@@ -222,3 +298,30 @@ def store_from_state(state: dict) -> KVStore:
         if state["store_type"] == cls._STORE_TYPE:
             return cls.from_state(state)
     raise ValueError(f"unknown store_type {state['store_type']!r}")
+
+
+def merge_heat_states(new_state: dict, old_state: dict) -> None:
+    """Entry-level heat union of two value-store *states* holding the same
+    partition (the state-tree mirror of :meth:`KVStore.merge_heat`): for
+    keys both hold, ``new_state`` takes max(last-hit) / sum(hits), in
+    place.  Both sides tolerate the pre-heat schema (missing arrays read as
+    all-cold and contribute nothing)."""
+    old_keys = old_state.get("keys") or []
+    old_last = old_state.get("heat_last") or [0.0] * len(old_keys)
+    old_hits = old_state.get("heat_hits") or [0] * len(old_keys)
+    theirs = {
+        (tagged[0], tagged[1]): (float(last), int(hits))
+        for tagged, last, hits in zip(old_keys, old_last, old_hits)
+    }
+    if not theirs:
+        return
+    keys = new_state.get("keys") or []
+    last = [float(v) for v in (new_state.get("heat_last") or [0.0] * len(keys))]
+    hits = [int(v) for v in (new_state.get("heat_hits") or [0] * len(keys))]
+    for i, tagged in enumerate(keys):
+        got = theirs.get((tagged[0], tagged[1]))
+        if got is not None:
+            last[i] = max(last[i], got[0])
+            hits[i] += got[1]
+    new_state["heat_last"] = last
+    new_state["heat_hits"] = hits

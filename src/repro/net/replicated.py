@@ -377,10 +377,14 @@ class ReplicatedMemoClient:
         each replica's metric entries gain a ``replica="host:port"`` label
         (the replicas run identical workloads, so unlabeled copies would
         collide in a report), and the per-replica daemon counters ride under
-        ``"replicas"``.  Pulls fail open *per replica* — a dead replica is
-        skipped, not fatal; ``None`` only when no replica answered at all.
-        The single-server ``"server"`` key keeps the first replica's
-        counters so existing callers read the merged body unchanged."""
+        ``"replicas"``.  Each replica's daemon counters are also published
+        into *this* process's registry as ``net_server_*{replica=...}``
+        gauges, so a scheduler fronting a replicated tier surfaces them on
+        its own ``/metrics`` scrape instead of burying them in the JSON
+        body.  Pulls fail open *per replica* — a dead replica is skipped,
+        not fatal; ``None`` only when no replica answered at all.  The
+        single-server ``"server"`` key keeps the first replica's counters
+        so existing callers read the merged body unchanged."""
         merged: list[dict] = []
         per_replica: dict[str, dict] = {}
         obs_any = False
@@ -403,6 +407,7 @@ class ReplicatedMemoClient:
             if first_server is None:
                 first_server = payload.get("server")
             per_replica[tag] = payload.get("server") or {}
+            self._publish_replica_counters(tag, per_replica[tag])
             obs_any = obs_any or bool(payload.get("obs_enabled"))
             for entry in payload.get("metrics") or []:
                 if isinstance(entry, dict):
@@ -419,6 +424,24 @@ class ReplicatedMemoClient:
             "obs_enabled": obs_any,
             "metrics": merged,
         }
+
+    @staticmethod
+    def _publish_replica_counters(tag: str, counters: dict) -> None:
+        """Mirror one replica's daemon counters into the local registry via
+        the same ``ServerStats.publish`` seam the daemon itself uses, with
+        the replica tag as the distinguishing label.  Fields are filtered
+        to the ones this build knows so a version-skewed replica degrades
+        to partial gauges instead of a crash."""
+        if not obs.enabled() or not counters:
+            return
+        from dataclasses import fields
+
+        from .server import ServerStats  # lazy: client side must not need daemon code at import
+
+        known = {f.name for f in fields(ServerStats)}
+        ServerStats(
+            **{k: v for k, v in counters.items() if k in known}
+        ).publish(replica=tag)
 
     def trace_pull(self) -> dict | None:
         """Drain the span buffers of every live replica into one body.

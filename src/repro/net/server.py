@@ -167,6 +167,8 @@ class MemoServerDaemon:
         name: str = "memo-server",
         max_payload: int | None = None,
         idle_timeout_s: float | None = None,
+        telemetry_port: int | None = None,
+        telemetry_host: str = "127.0.0.1",
     ) -> None:
         if idle_timeout_s is not None and idle_timeout_s <= 0:
             raise ValueError(f"idle_timeout_s must be positive, got {idle_timeout_s}")
@@ -221,6 +223,23 @@ class MemoServerDaemon:
                 target=self._snapshot_loop, name=f"{name}-snapshot", daemon=True
             )
             self._snapshot_thread.start()
+        # live telemetry plane: /metrics (traffic gauges + per-entry heat
+        # histograms), /healthz, /readyz (accepting), /snapshot
+        self.telemetry = None
+        if telemetry_port is not None:
+            from ..obs.http import TelemetryServer
+
+            def accepting() -> tuple[bool, str]:
+                ok = self.running
+                return ok, "accepting" if ok else "shut down"
+
+            accepting.probe_name = "accepting"
+            self.telemetry = TelemetryServer(
+                (telemetry_host, telemetry_port),
+                collect=[self._telemetry_collect],
+                readiness=[accepting],
+                name=name,
+            )
 
     # -- lifecycle -----------------------------------------------------------------------
 
@@ -236,6 +255,11 @@ class MemoServerDaemon:
         if self._stop.is_set():
             return
         self._stop.set()
+        if self.telemetry is not None:
+            try:
+                self.telemetry.close()
+            except OSError:
+                pass
         try:
             # close() alone does not wake a thread blocked in accept() — the
             # fd stays open inside the syscall and the port stays LISTEN;
@@ -514,9 +538,16 @@ class MemoServerDaemon:
         def install(sid: int, parts: list[dict]) -> None:
             shard = self.router.shards[sid]
             for part in parts:
-                shard._dbs[(str(part["op"]), int(part["location"]))] = (
-                    MemoDatabase.from_state(part["db"])
-                )
+                key = (str(part["op"]), int(part["location"]))
+                new_db = MemoDatabase.from_state(part["db"])
+                old_db = shard._dbs.get(key)
+                if old_db is not None:
+                    # pushed partitions win wholesale, but heat is telemetry
+                    # about *this* tier's traffic: keep max(last-hit) and
+                    # sum(hits) for keys both sides hold, so an absorb never
+                    # makes a hot entry look cold to the eviction planner
+                    new_db.values.merge_heat(old_db.values)
+                shard._dbs[key] = new_db
 
         futures = [
             self._shard_pools[sid].submit(install, sid, parts)
@@ -563,6 +594,30 @@ class MemoServerDaemon:
             return installed
         log.info("%s: no reachable resync peer — serving cold", self.name)
         return 0
+
+    def _telemetry_collect(self) -> list[dict]:
+        """Telemetry-plane collect hook: publish the traffic counters as
+        ``net_server_*`` gauges (side effect into the registry, picked up
+        by the same scrape) and return fresh-per-scrape
+        ``memo_entry_age_seconds`` histogram entries from the per-entry
+        heat metadata.  Runs on the scrape thread; the heat walk hops to
+        each shard's worker thread so stores are read quiesced."""
+        from ..obs.heat import age_histogram_entries, entry_records_from_store
+
+        with self._lock:
+            stats_now = ServerStats(**vars(self.stats))
+        stats_now.publish(server=self.name)
+
+        def walk(shard) -> list[dict]:
+            records: list[dict] = []
+            for (op, loc), db in shard._dbs.items():
+                records.extend(
+                    entry_records_from_store(db.values, op, shard.shard_id, loc)
+                )
+            return records
+
+        all_records = [r for recs in self._on_all_shards(walk) for r in recs]
+        return age_histogram_entries(all_records)
 
     def serve_metrics(self) -> dict:
         """The daemon's observability view: its own traffic counters plus a
@@ -929,6 +984,15 @@ def main(argv=None) -> int:
         help="replica peer(s) to anti-entropy resync from at boot "
              "(first reachable peer wins; unreachable peers are skipped)",
     )
+    parser.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics /healthz /readyz /snapshot on this HTTP port "
+             "(0 = ephemeral; default: no telemetry server)",
+    )
+    parser.add_argument(
+        "--telemetry-host", default="127.0.0.1",
+        help="bind address for --telemetry-port (default: 127.0.0.1)",
+    )
     args = parser.parse_args(argv)
     if args.metrics_dump is not None:
         return _metrics_dump(args.metrics_dump)
@@ -947,6 +1011,8 @@ def main(argv=None) -> int:
         snapshot_path=args.snapshot,
         snapshot_interval_s=args.snapshot_interval if args.snapshot else None,
         idle_timeout_s=args.idle_timeout,
+        telemetry_port=args.telemetry_port,
+        telemetry_host=args.telemetry_host,
     )
     if args.peer is not None:
         try:
@@ -958,6 +1024,8 @@ def main(argv=None) -> int:
         "memo server listening on %s:%d (%d shards, tau=%g, %s values)",
         host, port, daemon.router.n_shards, daemon.memo.tau, daemon.memo.db_value_mode,
     )
+    if daemon.telemetry is not None:
+        log.info("telemetry plane at %s", daemon.telemetry.url)
     try:
         threading.Event().wait()  # serve until interrupted
     except KeyboardInterrupt:

@@ -13,13 +13,27 @@ Public surface (the instrumentation verbs the rest of the repo uses)::
 All of it is free while disabled (the default): enable with
 ``REPRO_OBS=1`` or ``MLRConfig(obs=ObsConfig(enabled=True))``.  Export
 with :func:`to_prometheus` / :func:`dump_jsonl`; inspect dumps with
-``python -m repro.obs report``.
+``python -m repro.obs report``.  The live telemetry plane —
+:class:`~repro.obs.http.TelemetryServer` (``/metrics`` / ``/healthz`` /
+``/readyz`` / ``/snapshot``), the span-attributed
+:class:`~repro.obs.profiler.SamplingProfiler`, and the memo-tier heat
+analytics (:mod:`repro.obs.heat`, ``python -m repro.obs heat`` /
+``top``) — rides on the same registry.  ``http`` stays a lazy submodule
+import here (it reaches into :mod:`repro.net` for address parsing, which
+imports this package back).
 """
 
 from .config import ObsConfig
 from .export import dump_jsonl, dump_lines, load_jsonl, to_prometheus
+from .profiler import SamplingProfiler
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, log_bucket_edges
-from .report import build_report, merge_dumps, render_report, report_from_file
+from .report import (
+    build_report,
+    merge_dumps,
+    render_profile,
+    render_report,
+    report_from_file,
+)
 from .runtime import (
     collector,
     configure,
@@ -31,15 +45,19 @@ from .runtime import (
     gauge,
     histogram,
     peek_spans,
+    profile_snapshot,
+    profiler,
     registry,
     reset,
     server_span,
     snapshot,
     span,
+    telemetry_server,
 )
 from .spans import (
     Span,
     SpanCollector,
+    active_span_path,
     current_span_id,
     current_trace_context,
     current_trace_id,
@@ -54,9 +72,11 @@ __all__ = [
     "log_bucket_edges",
     "Span",
     "SpanCollector",
+    "SamplingProfiler",
     "current_span_id",
     "current_trace_id",
     "current_trace_context",
+    "active_span_path",
     "configure",
     "enabled",
     "counter",
@@ -71,6 +91,9 @@ __all__ = [
     "peek_spans",
     "flight_dir",
     "flight_dump",
+    "profiler",
+    "profile_snapshot",
+    "telemetry_server",
     "reset",
     "to_prometheus",
     "dump_jsonl",
@@ -79,5 +102,6 @@ __all__ = [
     "build_report",
     "merge_dumps",
     "render_report",
+    "render_profile",
     "report_from_file",
 ]

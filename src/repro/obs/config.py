@@ -40,6 +40,20 @@ class ObsConfig:
         failure / snapshot quarantine / circuit-breaker open).  ``None``
         falls back to the ``REPRO_FLIGHT_DIR`` environment variable; with
         neither set, fault paths skip the dump entirely.
+    http_port / http_host:
+        With ``http_port`` set (and the runtime enabled), the runtime
+        starts a :class:`~repro.obs.http.TelemetryServer` on
+        ``http_host:http_port`` serving ``/metrics``, ``/healthz``,
+        ``/readyz`` and ``/snapshot`` for this process (port 0 binds
+        ephemerally — read it back via
+        :func:`repro.obs.runtime.telemetry_server`).  The zero-code
+        equivalent is ``REPRO_OBS_HTTP=<port>`` in the environment, which
+        also implies ``REPRO_OBS=1``.
+    profile_hz:
+        Sampling rate of the span-attributed profiler
+        (:class:`~repro.obs.profiler.SamplingProfiler`); 0 (default) means
+        no profiler thread at all.  ``REPRO_OBS_PROFILE_HZ=<hz>`` is the
+        environment route.
     """
 
     enabled: bool = True
@@ -48,8 +62,19 @@ class ObsConfig:
     histogram_max_s: float = 100.0
     buckets_per_decade: int = 4
     flight_dir: str | None = None
+    http_port: int | None = None
+    http_host: str = "127.0.0.1"
+    profile_hz: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.http_port is not None and not (0 <= self.http_port <= 65535):
+            raise ValueError(
+                f"http_port must be in [0, 65535] or None, got {self.http_port}"
+            )
+        if not (0.0 <= self.profile_hz <= 1000.0):
+            raise ValueError(
+                f"profile_hz must be in [0, 1000], got {self.profile_hz}"
+            )
         if self.span_buffer < 1:
             raise ValueError(f"span_buffer must be >= 1, got {self.span_buffer}")
         if not (0.0 < self.histogram_min_s < self.histogram_max_s):

@@ -6,7 +6,9 @@ discriminated by a ``"rec"`` key —
 
 - ``{"rec": "meta", ...}`` — one header line (version, drop counts),
 - ``{"rec": "metric", ...}`` — one per metric, the registry snapshot entry,
-- ``{"rec": "span", ...}`` — one per finished span record.
+- ``{"rec": "span", ...}`` — one per finished span record,
+- ``{"rec": "profile", ...}`` — at most one: the sampling profiler's
+  aggregated buckets (only written while a profiler is running).
 """
 
 from __future__ import annotations
@@ -89,8 +91,15 @@ def dump_lines(
     snapshot: list[dict] | None = None,
     spans: list[dict] | None = None,
     dropped_spans: int = 0,
+    profile: dict | None = None,
 ) -> list[str]:
-    """The JSONL dump as a list of serialized lines (no trailing newlines)."""
+    """The JSONL dump as a list of serialized lines (no trailing newlines).
+
+    ``profile`` defaults to the active sampling profiler's snapshot when
+    the dump is taken from the live runtime (both ``snapshot`` and
+    ``spans`` left to default); pass it explicitly otherwise."""
+    if profile is None and snapshot is None and spans is None:
+        profile = runtime.profile_snapshot()
     if snapshot is None:
         snapshot = runtime.snapshot()
     if spans is None:
@@ -109,6 +118,10 @@ def dump_lines(
         rec = {"rec": "span"}
         rec.update(record)
         lines.append(json.dumps(rec, sort_keys=True))
+    if profile is not None:
+        rec = {"rec": "profile"}
+        rec.update(profile)
+        lines.append(json.dumps(rec, sort_keys=True))
     return lines
 
 
@@ -126,10 +139,13 @@ def dump_jsonl(
 
 
 def load_jsonl(path: str) -> dict:
-    """Parse a dump back into ``{"meta": ..., "metrics": [...], "spans": [...]}``."""
+    """Parse a dump back into ``{"meta": ..., "metrics": [...], "spans":
+    [...], "profile": ...}`` (``profile`` is ``None`` unless the dumping
+    process ran the sampling profiler)."""
     meta: dict = {"version": DUMP_VERSION, "dropped_spans": 0}
     metrics: list[dict] = []
     spans: list[dict] = []
+    profile: dict | None = None
     with open(path, "r", encoding="utf-8") as fh:
         for raw in fh:
             raw = raw.strip()
@@ -143,6 +159,8 @@ def load_jsonl(path: str) -> dict:
                 metrics.append(rec)
             elif kind == "span":
                 spans.append(rec)
+            elif kind == "profile":
+                profile = rec
             else:
                 raise ValueError(f"unknown record type {kind!r} in {path}")
-    return {"meta": meta, "metrics": metrics, "spans": spans}
+    return {"meta": meta, "metrics": metrics, "spans": spans, "profile": profile}

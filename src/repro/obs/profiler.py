@@ -1,0 +1,165 @@
+"""Span-attributed sampling profiler: where wall-time actually goes.
+
+A daemon thread samples every Python thread's stack at a configurable rate
+(``sys._current_frames()``) and bills each sample to the sampled thread's
+currently-open span name path (:func:`repro.obs.spans.active_span_path`) —
+so the output reads in the same vocabulary as the trace reports
+("solver.reconstruct/admm.outer/sweep.Fu1D: 42% of self-time") instead of
+file:line frames.  Samples from threads with no open span are classified
+by their top frame: parked-in-the-stdlib threads (lock waits, selectors,
+queue gets) and the repo's own blocking accept/read loops count as
+``idle``, anything else as an unattributed ``frame:<module>.<function>``
+bucket — the signal that an expensive code path is missing a span.
+
+Zero overhead when not running: nothing samples, nothing allocates; span
+enter/exit costs one list append/pop either way.  Start it with
+``ObsConfig(profile_hz=...)`` / ``REPRO_OBS_PROFILE_HZ`` (the runtime owns
+the lifecycle) or drive a :class:`SamplingProfiler` directly in tests.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import sysconfig
+import threading
+
+from .spans import active_span_path
+
+__all__ = ["SamplingProfiler"]
+
+#: stdlib location — a thread whose top frame lives here is parked in a
+#: wait primitive (Condition.wait, selector poll, queue get), not burning
+#: CPU in repo code
+_STDLIB_DIR = sysconfig.get_paths().get("stdlib") or os.path.dirname(
+    threading.__file__
+)
+
+#: top-frame function names of this repo's own blocking loops: threads
+#: sitting in a socket accept/recv or a poll sleep are idle capacity, not
+#: unattributed work
+_IDLE_CO_NAMES = frozenset(
+    {"_accept_loop", "_fill", "_snapshot_loop", "_health_loop", "_sample_loop"}
+)
+
+
+def _classify(frame) -> tuple[str, str]:
+    """(kind, bucket) for one sampled frame of a span-less thread."""
+    code = frame.f_code
+    if code.co_name in _IDLE_CO_NAMES or code.co_filename.startswith(_STDLIB_DIR):
+        return "idle", code.co_name
+    module = os.path.splitext(os.path.basename(code.co_filename))[0]
+    return "other", f"frame:{module}.{code.co_name}"
+
+
+class SamplingProfiler:
+    """Bounded-memory stack sampler billing self-time to open spans.
+
+    ``snapshot()`` is the read surface: per-bucket sample counts and
+    estimated seconds, plus the span-attribution fraction (samples billed
+    to a named span over all non-idle samples) — the number the acceptance
+    gate checks.
+    """
+
+    def __init__(self, hz: float = 67.0, max_buckets: int = 512) -> None:
+        if not (0.0 < hz <= 1000.0):
+            raise ValueError(f"hz must be in (0, 1000], got {hz}")
+        if max_buckets < 1:
+            raise ValueError(f"max_buckets must be >= 1, got {max_buckets}")
+        self.hz = float(hz)
+        self.max_buckets = max_buckets
+        self._lock = threading.Lock()
+        self._buckets: dict[tuple[str, str], int] = {}  # guarded-by: self._lock
+        self._samples = 0  # guarded-by: self._lock
+        self._ticks = 0  # guarded-by: self._lock
+        self._overflowed = 0  # guarded-by: self._lock
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="obs-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- sampling ------------------------------------------------------------------------
+
+    def _sample_loop(self) -> None:
+        own = threading.get_ident()
+        interval = 1.0 / self.hz
+        while not self._stop.wait(interval):
+            frames = sys._current_frames()
+            ticked: list[tuple[str, str]] = []
+            for ident, frame in frames.items():
+                if ident == own:
+                    continue
+                path = active_span_path(ident)
+                if path is not None:
+                    ticked.append(("span", path))
+                else:
+                    ticked.append(_classify(frame))
+            with self._lock:
+                self._ticks += 1
+                for bucket in ticked:
+                    if bucket not in self._buckets and len(self._buckets) >= self.max_buckets:
+                        bucket = (bucket[0], "(overflow)")
+                        self._overflowed += 1
+                    self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+                    self._samples += 1
+
+    # -- read surface --------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Aggregated profile: ``buckets`` sorted by weight, each with its
+        kind (``span`` / ``idle`` / ``other``), sample count and estimated
+        self-seconds; ``span_fraction`` is span-billed over non-idle."""
+        with self._lock:
+            buckets = dict(self._buckets)
+            samples = self._samples
+            ticks = self._ticks
+            overflowed = self._overflowed
+        interval = 1.0 / self.hz
+        rows = [
+            {
+                "kind": kind,
+                "name": name,
+                "samples": count,
+                "self_s": count * interval,
+            }
+            for (kind, name), count in buckets.items()
+        ]
+        rows.sort(key=lambda r: (-r["samples"], r["kind"], r["name"]))
+        span_n = sum(r["samples"] for r in rows if r["kind"] == "span")
+        other_n = sum(r["samples"] for r in rows if r["kind"] == "other")
+        attributable = span_n + other_n
+        return {
+            "hz": self.hz,
+            "ticks": ticks,
+            "samples": samples,
+            "overflowed": overflowed,
+            "span_fraction": (span_n / attributable) if attributable else 1.0,
+            "buckets": rows,
+        }

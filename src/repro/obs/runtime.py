@@ -50,6 +50,9 @@ __all__ = [
     "peek_spans",
     "flight_dir",
     "flight_dump",
+    "profiler",
+    "profile_snapshot",
+    "telemetry_server",
     "reset",
 ]
 
@@ -113,17 +116,99 @@ def _fresh_state(cfg: ObsConfig, enabled_flag: bool) -> dict:
     }
 
 
+def _env_http_port() -> int | None:
+    raw = os.environ.get("REPRO_OBS_HTTP", "")
+    if not raw:
+        return None
+    try:
+        port = int(raw)
+    except ValueError:
+        log.warning("REPRO_OBS_HTTP=%r is not a port number — ignored", raw)
+        return None
+    if not (0 <= port <= 65535):
+        log.warning("REPRO_OBS_HTTP=%d out of range — ignored", port)
+        return None
+    return port
+
+
+def _env_profile_hz() -> float:
+    raw = os.environ.get("REPRO_OBS_PROFILE_HZ", "")
+    if not raw:
+        return 0.0
+    try:
+        hz = float(raw)
+    except ValueError:
+        log.warning("REPRO_OBS_PROFILE_HZ=%r is not a rate — ignored", raw)
+        return 0.0
+    if not (0.0 <= hz <= 1000.0):
+        log.warning("REPRO_OBS_PROFILE_HZ=%g out of range — ignored", hz)
+        return 0.0
+    return hz
+
+
+_ENV_HTTP_PORT = _env_http_port()
+_ENV_PROFILE_HZ = _env_profile_hz()
+
 # REPRO_FLIGHT_DIR alone also enables the runtime: a flight recorder with
-# nothing in its rings would dump empty evidence, which defeats its point
-_ENV_ENABLED = os.environ.get("REPRO_OBS", "") not in ("", "0") or bool(
-    os.environ.get("REPRO_FLIGHT_DIR")
+# nothing in its rings would dump empty evidence, which defeats its point.
+# So do REPRO_OBS_HTTP / REPRO_OBS_PROFILE_HZ: a telemetry endpoint over an
+# empty registry, or a profiler with no spans to bill, would be pointless.
+_ENV_ENABLED = (
+    os.environ.get("REPRO_OBS", "") not in ("", "0")
+    or bool(os.environ.get("REPRO_FLIGHT_DIR"))
+    or _ENV_HTTP_PORT is not None
+    or _ENV_PROFILE_HZ > 0.0
 )
+
+
+def _env_config() -> ObsConfig:
+    """The default config the env gate implies (what :func:`reset` restores)."""
+    return ObsConfig(http_port=_ENV_HTTP_PORT, profile_hz=_ENV_PROFILE_HZ)
+
 
 # Swapped atomically as a whole dict by configure()/reset(); readers grab
 # one entry per call, so a concurrent reconfigure is safe (they just keep
 # using the generation they already saw).
-_STATE = _fresh_state(ObsConfig(), _ENV_ENABLED)
+_STATE = _fresh_state(_env_config(), _ENV_ENABLED)
 _CONFIGURE_LOCK = threading.Lock()
+
+# Sidecars owned by the active configuration: the sampling profiler thread
+# and the HTTP telemetry endpoint.  Started/stopped under _CONFIGURE_LOCK
+# whenever the runtime generation changes; read lock-free.
+_PROFILER = None
+_HTTP = None
+
+
+def _restart_sidecars_locked(state: dict) -> None:
+    """Stop the old generation's profiler/HTTP server, start the new
+    config's (if any).  Caller holds ``_CONFIGURE_LOCK``."""
+    global _PROFILER, _HTTP
+    if _PROFILER is not None:
+        _PROFILER.stop()
+        _PROFILER = None
+    if _HTTP is not None:
+        try:
+            _HTTP.close()
+        except OSError as exc:
+            log.warning("telemetry server close failed: %s", exc)
+        _HTTP = None
+    cfg: ObsConfig = state["config"]
+    if not state["enabled"]:
+        return
+    if cfg.profile_hz > 0.0:
+        # local import: profiler pulls .spans, keep runtime's import lean
+        from .profiler import SamplingProfiler
+
+        _PROFILER = SamplingProfiler(hz=cfg.profile_hz).start()
+    if cfg.http_port is not None:
+        # local import: http imports this module at load time, so the
+        # reverse edge must stay function-scoped
+        from .http import TelemetryServer
+
+        _HTTP = TelemetryServer(
+            (cfg.http_host, cfg.http_port), name="obs-http"
+        )
+        log.info("telemetry endpoints at %s", _HTTP.url)
 
 
 def configure(cfg: ObsConfig | None = None) -> None:
@@ -131,7 +216,9 @@ def configure(cfg: ObsConfig | None = None) -> None:
 
     A fresh registry and span collector are created (sized per ``cfg``);
     previously handed-out metric objects keep working but belong to the
-    old generation and no longer appear in :func:`snapshot`.
+    old generation and no longer appear in :func:`snapshot`.  The config's
+    sidecars — profiler thread, HTTP telemetry server — are (re)started to
+    match; the previous generation's are stopped.
     """
     global _STATE
     cfg = cfg if cfg is not None else ObsConfig()
@@ -139,13 +226,15 @@ def configure(cfg: ObsConfig | None = None) -> None:
         raise TypeError(f"expected ObsConfig, got {type(cfg).__name__}")
     with _CONFIGURE_LOCK:
         _STATE = _fresh_state(cfg, cfg.enabled)
+        _restart_sidecars_locked(_STATE)
 
 
 def reset() -> None:
     """Back to defaults with the ``REPRO_OBS`` env gate (test helper)."""
     global _STATE
     with _CONFIGURE_LOCK:
-        _STATE = _fresh_state(ObsConfig(), _ENV_ENABLED)
+        _STATE = _fresh_state(_env_config(), _ENV_ENABLED)
+        _restart_sidecars_locked(_STATE)
 
 
 def enabled() -> bool:
@@ -231,6 +320,24 @@ def peek_spans() -> tuple[list[dict], int]:
     return _STATE["collector"].peek()
 
 
+def profiler():
+    """The active :class:`~repro.obs.profiler.SamplingProfiler`, or ``None``
+    when the current config runs without one."""
+    return _PROFILER
+
+
+def profile_snapshot() -> dict | None:
+    """The active profiler's aggregated buckets, or ``None`` without one."""
+    p = _PROFILER
+    return None if p is None else p.snapshot()
+
+
+def telemetry_server():
+    """The runtime-owned :class:`~repro.obs.http.TelemetryServer` (the
+    ``ObsConfig(http_port=...)`` / ``REPRO_OBS_HTTP`` one), or ``None``."""
+    return _HTTP
+
+
 # -- flight recorder ------------------------------------------------------------------------
 #
 # The span rings double as a black-box flight recorder: always on while
@@ -288,3 +395,14 @@ def flight_dump(reason: str, **attrs) -> str | None:
         reason, len(spans), len(lines) - len(spans) - 1, path,
     )
     return path
+
+
+# the zero-code env routes (REPRO_OBS_HTTP / REPRO_OBS_PROFILE_HZ) start
+# their sidecars at import, mirroring how REPRO_OBS enables the runtime;
+# a failure here degrades to no sidecar, never a broken import
+if _ENV_HTTP_PORT is not None or _ENV_PROFILE_HZ > 0.0:
+    try:
+        with _CONFIGURE_LOCK:
+            _restart_sidecars_locked(_STATE)
+    except Exception as exc:  # noqa: BLE001 — import-time side effect
+        log.warning("env-configured telemetry sidecars failed to start: %s", exc)

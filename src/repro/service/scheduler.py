@@ -86,6 +86,14 @@ class ServiceConfig:
         tier.  The store is fail-open: a daemon that stays unreachable
         past the store's retry policy means cold seeds and dropped
         absorbs, never failed jobs.
+    telemetry_port / telemetry_host:
+        With ``telemetry_port`` set, the scheduler serves the live
+        telemetry plane (:class:`~repro.obs.http.TelemetryServer`) on
+        ``telemetry_host:telemetry_port``: ``/metrics`` (scheduler gauges
+        plus, for a remote tier, the replica-labeled daemon counters),
+        ``/healthz``, ``/readyz`` (accepting / queue-not-saturated / not
+        every replica breaker open) and ``/snapshot``.  Port 0 binds
+        ephemerally — read ``scheduler.telemetry.port`` back.
     """
 
     n_workers: int = 2
@@ -93,6 +101,8 @@ class ServiceConfig:
     share_memo: bool = True
     memo_transport: str = "inproc"
     memo_server: str | tuple | list | None = None
+    telemetry_port: int | None = None
+    telemetry_host: str = "127.0.0.1"
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -112,6 +122,12 @@ class ServiceConfig:
             from ..net.wire import parse_address_list
 
             parse_address_list(self.memo_server)  # fail fast, naming bad elements
+        if self.telemetry_port is not None:
+            from ..net.wire import parse_address
+
+            # same validation (and same rejection message) as the memo
+            # daemon's bind address
+            parse_address((self.telemetry_host, self.telemetry_port))
 
 
 @dataclass
@@ -204,12 +220,32 @@ class SharedMemoService:
             return new
         new_parts = memo_state_partitions(new)
         seen = {(p["op"], int(p["location"])) for p in new_parts}
+        old_parts = memo_state_partitions(old)
         missing = [
-            p for p in memo_state_partitions(old)
+            p for p in old_parts
             if (p["op"], int(p["location"])) not in seen
         ]
         if not missing:
+            # new subsumes old: the chained, sequential case — the job was
+            # seeded from this tier, so its partitions already carry the
+            # prior heat plus this run's hits
             return new
+        # concurrent completions: the newest partition wins wholesale, but
+        # per-entry heat is unioned (max last-hit / summed hits) so the
+        # losing job's traffic still informs the eviction planner
+        from ..kvstore.store import merge_heat_states
+
+        old_by_key = {(p["op"], int(p["location"])): p for p in old_parts}
+        for part in new_parts:
+            prior = old_by_key.get((part["op"], int(part["location"])))
+            if prior is None:
+                continue
+            new_db, old_db = part.get("db"), prior.get("db")
+            if isinstance(new_db, dict) and isinstance(old_db, dict):
+                new_vals = new_db.get("values")
+                old_vals = old_db.get("values")
+                if isinstance(new_vals, dict) and isinstance(old_vals, dict):
+                    merge_heat_states(new_vals, old_vals)
         return {
             "layout": "single",
             "encoder": new.get("encoder"),
@@ -281,6 +317,81 @@ class ReconstructionScheduler:
         ]
         for t in self._workers:
             t.start()
+        # live telemetry plane (ServiceConfig(telemetry_port=...)):
+        # /metrics, /healthz, /readyz, /snapshot for this scheduler process
+        self.telemetry = None
+        if self.config.telemetry_port is not None:
+            from ..obs.http import TelemetryServer
+
+            self.telemetry = TelemetryServer(
+                (self.config.telemetry_host, self.config.telemetry_port),
+                collect=[self._telemetry_collect],
+                readiness=self._readiness_probes(),
+                name="scheduler",
+            )
+
+    # -- telemetry plane -----------------------------------------------------------------
+
+    def _telemetry_collect(self) -> list[dict]:
+        """Collect hook for the scrape path: publish the scheduler gauges
+        (same seam the worker loop uses) and, when a *replicated* remote
+        tier fronts the memo service, append each live replica's metric
+        entries — they carry ``replica="host:port"`` labels, so the merged
+        scrape stays collision-free.  A single-server tier's entries are
+        unlabeled copies of ours and are left to its own daemon's plane."""
+        with self._cond:
+            stats_now = SchedulerStats(**vars(self.stats))
+            depth_now = self._live_waiting_locked()
+            running_now = self._running
+        stats_now.publish()
+        obs.gauge("scheduler_queue_depth").set(depth_now)
+        obs.gauge("scheduler_running").set(running_now)
+        client = getattr(self.memo_service.store, "_client", None)
+        # health() marks the replicated client; a single-server pull would
+        # cost a wire round trip per scrape only to be discarded below
+        payload = client.metrics() if hasattr(client, "health") else None
+        if isinstance(payload, dict) and "replicas" in payload:
+            return [e for e in payload.get("metrics") or [] if isinstance(e, dict)]
+        return []
+
+    def _readiness_probes(self) -> list:
+        def accepting() -> tuple[bool, str]:
+            with self._cond:
+                ok = not self._shutdown
+            return ok, "accepting" if ok else "shut down"
+
+        def queue() -> tuple[bool, str]:
+            depth = self.config.max_queue_depth
+            with self._cond:
+                waiting = self._live_waiting_locked()
+                idle = self.config.n_workers - self._running
+            if depth is None:
+                return True, f"{waiting} waiting (unbounded queue)"
+            # mirror of submit()'s admission test: would one more job wait
+            # beyond the depth limit?  503 here tells a load balancer to
+            # route around us *before* submissions start bouncing
+            would_wait = (waiting + 1) - min(max(idle, 0), waiting + 1)
+            ok = would_wait <= depth
+            detail = f"{waiting} waiting, {self.config.n_workers - max(idle, 0)} running, depth limit {depth}"
+            return ok, detail if ok else f"saturated: {detail}"
+
+        def memo_tier() -> tuple[bool, str]:
+            # duck-typed: only the replicated client exposes health(); an
+            # in-process tier or single-server client is never the reason
+            # to pull this scheduler out of rotation (those paths fail open)
+            client = getattr(self.memo_service.store, "_client", None)
+            health = getattr(client, "health", None)
+            if health is None:
+                return True, "no replicated tier"
+            circuits = {tag: h.get("circuit") for tag, h in health().items()}
+            ok = any(state != "open" for state in circuits.values())
+            detail = " ".join(f"{tag}:{state}" for tag, state in sorted(circuits.items()))
+            return ok, detail if ok else f"all breakers open: {detail}"
+
+        accepting.probe_name = "accepting"
+        queue.probe_name = "queue"
+        memo_tier.probe_name = "memo_tier"
+        return [accepting, queue, memo_tier]
 
     # -- submission ----------------------------------------------------------------------
 
@@ -341,6 +452,12 @@ class ReconstructionScheduler:
         ``cancel_pending=True`` cancels the waiting queue instead (running
         jobs still finish — use their handles to cancel those too).
         """
+        if self.telemetry is not None:
+            try:
+                self.telemetry.close()
+            except OSError:
+                pass
+            self.telemetry = None
         with self._cond:
             self._shutdown = True
             if cancel_pending:

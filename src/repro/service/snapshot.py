@@ -71,7 +71,7 @@ __all__ = [
 log = logging.getLogger("repro.service.snapshot")
 
 SNAPSHOT_FORMAT = "mlr-snapshot"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 
 _MANIFEST = "manifest.json"
 _ARRAYS = "arrays.npz"
@@ -206,6 +206,12 @@ def write_snapshot(path, tree: dict, kind: str) -> dict:
         },
         "tree": packed,
     }
+    # whole-manifest self-digest: the per-array checksums only cover the
+    # npz payload, so a bit flip inside the JSON tree itself (scalar lists,
+    # heat metadata, config fields) would otherwise parse cleanly and load
+    manifest["manifest_sha256"] = hashlib.sha256(
+        json.dumps(manifest, sort_keys=True).encode("utf-8")
+    ).hexdigest()
     buf = io.BytesIO()
     np.savez_compressed(buf, **arrays)
     # arrays land first: a crash between the two writes leaves the OLD
@@ -243,6 +249,18 @@ def read_snapshot(path, expect_kind: str | None = None, verify: bool = True) -> 
             f"unsupported snapshot version {manifest.get('version')!r} "
             f"(this build reads {SNAPSHOT_VERSION})"
         )
+    claimed = manifest.pop("manifest_sha256", None)
+    if verify:
+        if not isinstance(claimed, str):
+            raise SnapshotError(f"manifest at {path!r} carries no self-digest")
+        actual = hashlib.sha256(
+            json.dumps(manifest, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        if actual != claimed:
+            raise SnapshotError(
+                f"manifest at {path!r} failed its whole-file checksum — "
+                "snapshot corrupted"
+            )
     if expect_kind is not None and manifest.get("kind") != expect_kind:
         raise SnapshotError(
             f"snapshot kind {manifest.get('kind')!r}, expected {expect_kind!r}"

@@ -1,0 +1,141 @@
+"""Span-attributed sampling profiler.
+
+Acceptance property: on a run doing its work inside named spans, at least
+90% of the sampled non-idle self-time lands on span buckets — blocked
+service threads (accept loops, condition waits) classify as idle, not as
+unattributed "other" noise.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import ObsConfig
+from repro.obs.export import dump_lines
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.report import render_report
+from repro.obs.spans import active_span_path
+
+
+def _busy(seconds: float) -> None:
+    deadline = time.time() + seconds
+    while time.time() < deadline:
+        sum(i * i for i in range(2000))
+
+
+class TestAttribution:
+    def test_span_fraction_dominates_on_pipelined_work(self, enabled):
+        """Worker threads each burning CPU inside named spans, plus one
+        thread parked on an Event (a stand-in for a blocked server
+        handler): >= 90% of non-idle samples must be span-attributed."""
+        stop = threading.Event()
+        parked = threading.Thread(target=stop.wait, daemon=True)
+        parked.start()
+
+        def work(name: str) -> None:
+            with obs.span(name):
+                _busy(0.6)
+
+        workers = [
+            threading.Thread(target=work, args=(f"sweep.op{i}",), daemon=True)
+            for i in range(2)
+        ]
+        prof = SamplingProfiler(hz=200.0)
+        with prof:
+            for t in workers:
+                t.start()
+            for t in workers:
+                t.join()
+        stop.set()
+        parked.join()
+
+        snap = prof.snapshot()
+        assert snap["ticks"] > 0 and snap["samples"] > 0
+        assert snap["span_fraction"] >= 0.9, snap
+        span_names = {b["name"] for b in snap["buckets"] if b["kind"] == "span"}
+        assert {"sweep.op0", "sweep.op1"} <= span_names
+
+    def test_nested_spans_attribute_to_path(self, enabled):
+        prof = SamplingProfiler(hz=200.0)
+        with prof:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    _busy(0.4)
+        paths = [b["name"] for b in prof.snapshot()["buckets"] if b["kind"] == "span"]
+        assert any(p == "outer/inner" for p in paths), paths
+
+    def test_thread_span_registry_tracks_enter_exit(self, enabled):
+        ident = threading.get_ident()
+        assert active_span_path(ident) is None
+        with obs.span("a"):
+            with obs.span("b"):
+                assert active_span_path(ident) == "a/b"
+            assert active_span_path(ident) == "a"
+        assert active_span_path(ident) is None
+
+    def test_self_time_scales_with_rate(self, enabled):
+        prof = SamplingProfiler(hz=100.0)
+        with prof:
+            with obs.span("only"):
+                _busy(0.3)
+        snap = prof.snapshot()
+        bucket = next(b for b in snap["buckets"] if b["kind"] == "span")
+        # each sample is worth 1/hz seconds of self-time
+        assert bucket["self_s"] == pytest.approx(bucket["samples"] / 100.0)
+
+
+class TestLifecycle:
+    def test_start_stop_and_double_start_raises(self, enabled):
+        prof = SamplingProfiler(hz=50.0)
+        prof.start()
+        assert prof.running
+        with pytest.raises(RuntimeError):
+            prof.start()
+        prof.stop()
+        assert not prof.running
+        prof.stop()  # idempotent
+
+    def test_runtime_owns_profiler_via_config(self):
+        obs.configure(ObsConfig(enabled=True, profile_hz=31.0))
+        prof = obs.profiler()
+        assert prof is not None and prof.running
+        assert obs.profile_snapshot()["hz"] == 31.0
+        obs.reset()
+        assert obs.profiler() is None
+        assert obs.profile_snapshot() is None
+        assert not prof.running
+
+    def test_zero_hz_means_no_profiler_thread(self):
+        obs.configure(ObsConfig(enabled=True, profile_hz=0.0))
+        assert obs.profiler() is None
+        before = threading.active_count()
+        obs.configure(ObsConfig(enabled=True, profile_hz=0.0))
+        assert threading.active_count() == before
+
+
+class TestExport:
+    def test_live_dump_carries_profile_record_and_renders(self, tmp_path):
+        obs.configure(ObsConfig(enabled=True, profile_hz=100.0))
+        with obs.span("hot"):
+            _busy(0.3)
+        lines = dump_lines()
+        profile_lines = [ln for ln in lines if '"rec": "profile"' in ln]
+        assert len(profile_lines) == 1
+
+        path = tmp_path / "dump.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        data = obs.load_jsonl(path)
+        assert data["profile"]["samples"] > 0
+        text = render_report(obs.build_report(data), include_profile=True)
+        assert "hot" in text and "span" in text
+
+    def test_report_without_profile_explains_how_to_get_one(self, enabled):
+        text = render_report(
+            obs.build_report({"meta": {}, "metrics": [], "spans": []}),
+            include_profile=True,
+        )
+        assert "REPRO_OBS_PROFILE_HZ" in text
